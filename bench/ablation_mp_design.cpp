@@ -1,0 +1,99 @@
+// Ablations over MP's own design choices (DESIGN.md §"future work" items
+// the paper defers):
+//
+//   (a) epoch advancement: every epoch_freq allocations (§6 default) vs on
+//       every unlink (§4.4's improved wasted-memory bound) — measures the
+//       throughput cost of the tighter bound and the waste under a
+//       same-margin churn attack with a stalled thread;
+//   (b) index policy: midpoint (Listing 5) vs low-biased golden split —
+//       measures collision fractions under ascending insertion and the
+//       resulting read-fallback throughput effect.
+#include "harness.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace {
+
+using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
+using List = mp::ds::MichaelList<mp::smr::MP>;
+
+// ---- (a) epoch advancement mode ----
+
+void epoch_mode_ablation(bool unlink_mode, int threads, std::size_t size,
+                         int duration_ms) {
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(threads) + 1;
+  config.slots_per_thread = Tree::kRequiredSlots;
+  config.epoch_advance_on_unlink = unlink_mode;
+  Tree tree(config);
+  mp::bench::prefill(tree, size, 2 * size);
+
+  // Stalled thread holding one margin, as in ablation_stall.
+  auto& scheme = tree.scheme();
+  const int stall_tid = threads;
+  scheme.start_op(stall_tid);
+  auto* aux = scheme.alloc(stall_tid, std::uint64_t{1}, std::uint64_t{1});
+  scheme.set_index(aux, 1u << 24);
+  mp::smr::AtomicTaggedPtr cell(scheme.make_link(aux));
+  scheme.read(stall_tid, 0, cell);
+
+  const auto result = mp::bench::run_workload(
+      tree, threads, mp::bench::kWriteDominated, 2 * size, duration_ms);
+  std::printf("mp_ablation,epoch_mode,%s,%d,%.3f,%.1f\n",
+              unlink_mode ? "unlink" : "alloc150T", threads, result.mops,
+              result.avg_retired);
+  std::fflush(stdout);
+  scheme.end_op(stall_tid);
+  scheme.delete_unlinked(aux);
+}
+
+// ---- (b) index policy ----
+
+void policy_ablation(mp::smr::Config::IndexPolicy policy, const char* name,
+                     int threads, std::size_t size, int duration_ms) {
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(threads);
+  config.slots_per_thread = List::kRequiredSlots;
+  config.index_policy = policy;
+  List list(config);
+  mp::bench::prefill_ascending(list, size);
+  const auto built = list.scheme().stats_snapshot();
+  const auto result = mp::bench::run_workload(
+      list, threads, mp::bench::kReadOnly, size, duration_ms);
+  std::printf("mp_ablation,index_policy,%s,%d,%.3f,%.4f,%.4f\n", name,
+              threads, result.mops,
+              static_cast<double>(built.index_collisions) /
+                  static_cast<double>(built.allocs),
+              result.fences_per_read);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli("MP design ablations: epoch mode and index policy");
+  cli.add_int("threads", 4, "worker threads");
+  cli.add_int("size", 20000, "prefill size for the epoch-mode ablation");
+  cli.add_int("list-size", 2000, "list size for the policy ablation");
+  cli.add_int("duration-ms", 250, "measurement window");
+  cli.parse(argc, argv);
+
+  const int threads = static_cast<int>(cli.get_int("threads"));
+  const auto size = static_cast<std::size_t>(cli.get_int("size"));
+  const auto list_size = static_cast<std::size_t>(cli.get_int("list-size"));
+  const int duration = static_cast<int>(cli.get_int("duration-ms"));
+
+  std::printf("figure,ablation,variant,threads,mops,extra1,extra2\n");
+  std::printf("# epoch_mode rows: extra1 = avg retired (stalled-thread "
+              "write-dominated BST)\n");
+  epoch_mode_ablation(false, threads, size, duration);
+  epoch_mode_ablation(true, threads, size, duration);
+  std::printf("# index_policy rows: extra1 = collision fraction "
+              "(ascending list), extra2 = fences/read\n");
+  policy_ablation(mp::smr::Config::IndexPolicy::kMidpoint, "midpoint",
+                  threads, list_size, duration);
+  policy_ablation(mp::smr::Config::IndexPolicy::kGoldenRatio, "golden",
+                  threads, list_size, duration);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation: the paper's §1 argument made measurable — "robustness alone is
+// not a helpful SMR property". One thread stalls mid-operation (injected
+// deterministically: it announces protection, then sleeps) while the other
+// threads run a write-heavy workload. We sample wasted memory (retired but
+// unreclaimed nodes across all threads) over time.
+//
+// Expected shape:
+//   EBR   — waste grows linearly for the entire stall (not robust);
+//   HE/IBR— waste plateaus at roughly the number of nodes alive at stall
+//           time that later get removed (robust, but arbitrarily large);
+//   MP/HP — waste stays flat at O(slots * T) regardless of stall length.
+#include "harness.hpp"
+
+#include <cinttypes>
+#include <condition_variable>
+#include <mutex>
+
+namespace {
+
+template <typename DS>
+void run_stall(const char* scheme_name, int threads, std::size_t size,
+               int stall_ms, int sample_every_ms) {
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(threads) + 1;
+  config.slots_per_thread = DS::kRequiredSlots;
+  DS ds(config);
+  mp::bench::prefill(ds, size, 2 * size);
+  auto& scheme = ds.scheme();
+
+  // The stalled thread: enters an operation, protects one node the way a
+  // paused traversal would, and blocks until released.
+  const int stall_tid = threads;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stalled = false, released = false;
+  std::thread staller([&] {
+    scheme.start_op(stall_tid);
+    auto* aux = scheme.alloc(stall_tid, std::uint64_t{1}, std::uint64_t{1});
+    scheme.set_index(aux, 1u << 24);
+    mp::smr::AtomicTaggedPtr cell(scheme.make_link(aux));
+    scheme.read(stall_tid, 0, cell);
+    std::unique_lock lock(mutex);
+    stalled = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return released; });
+    scheme.end_op(stall_tid);
+    scheme.delete_unlinked(aux);
+  });
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return stalled; });
+  }
+
+  // Churn threads run write-heavy ops while we sample waste.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      mp::common::Xoshiro256 rng(99 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t key = 1 + rng.next_below(2 * size);
+        if (rng.next() % 2 == 0) {
+          ds.insert(t, key, key);
+        } else {
+          ds.remove(t, key);
+        }
+      }
+    });
+  }
+
+  for (int elapsed = sample_every_ms; elapsed <= stall_ms;
+       elapsed += sample_every_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sample_every_ms));
+    std::uint64_t pending = 0;
+    for (std::size_t t = 0; t < config.max_threads; ++t) {
+      pending += scheme.retired_count(static_cast<int>(t));
+    }
+    std::printf("ablation,bst,stall,%s,%d,%d,%" PRIu64 "\n", scheme_name,
+                threads, elapsed, pending);
+    std::fflush(stdout);
+  }
+
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  {
+    std::lock_guard lock(mutex);
+    released = true;
+  }
+  cv.notify_all();
+  staller.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli("Stall ablation: wasted memory over time per scheme");
+  cli.add_int("threads", 4, "churn threads (plus one stalled thread)");
+  cli.add_int("size", 10000, "prefill size S");
+  cli.add_int("stall-ms", 1000, "length of the injected stall");
+  cli.add_int("sample-ms", 200, "waste sampling period");
+  cli.add_string("schemes", "EBR,IBR,HE,HP,MP", "schemes to compare");
+  cli.parse(argc, argv);
+
+  const int threads = static_cast<int>(cli.get_int("threads"));
+  const auto size = static_cast<std::size_t>(cli.get_int("size"));
+  const int stall_ms = static_cast<int>(cli.get_int("stall-ms"));
+  const int sample_ms = static_cast<int>(cli.get_int("sample-ms"));
+
+  std::printf("figure,structure,workload,scheme,threads,elapsed_ms,waste\n");
+  for (const auto& scheme :
+       mp::common::Cli::split_csv(cli.get_string("schemes"))) {
+#define MARGINPTR_RUN(S)                                              \
+  run_stall<mp::ds::NatarajanTree<S>>(scheme.c_str(), threads, size, \
+                                      stall_ms, sample_ms)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Overview bench: every client structure in the library (list, hash set,
+// skip list, NM BST, COW AVL) under MP and the strongest baselines, one
+// read-dominated configuration — the "which structure for my workload"
+// table a library user reaches for first. Also a cross-check of the
+// paper's symbiosis claim (§6): MP's relative overhead shrinks as the
+// structure gets more efficient.
+#include "harness.hpp"
+
+#include "ds/cow_avl_tree.hpp"
+#include "ds/michael_hashset.hpp"
+
+namespace {
+
+struct Row {
+  const char* structure;
+  double mops;
+  double avg_retired;
+  double fences_per_read;
+};
+
+template <typename DS>
+Row run_case(const char* name, DS& ds, int threads, std::size_t size,
+             int duration_ms) {
+  mp::bench::prefill(ds, size, 2 * size);
+  const auto result = mp::bench::run_workload(
+      ds, threads, mp::bench::kReadDominated, 2 * size, duration_ms);
+  return {name, result.mops, result.avg_retired, result.fences_per_read};
+}
+
+template <template <typename> class S>
+void scheme_block(const char* scheme_name, int threads, std::size_t size,
+                  int duration_ms) {
+  std::vector<Row> rows;
+  {
+    using List = mp::ds::MichaelList<S>;
+    mp::smr::Config config;
+    config.max_threads = static_cast<std::size_t>(threads);
+    config.slots_per_thread = List::kRequiredSlots;
+    List ds(config);
+    rows.push_back(run_case("list", ds, threads,
+                            std::min<std::size_t>(size, 2000), duration_ms));
+  }
+  {
+    using Hash = mp::ds::MichaelHashSet<S>;
+    mp::smr::Config config;
+    config.max_threads = static_cast<std::size_t>(threads);
+    config.slots_per_thread = Hash::kRequiredSlots;
+    Hash ds(config, size / 16);
+    rows.push_back(run_case("hashset", ds, threads, size, duration_ms));
+  }
+  {
+    using SL = mp::ds::FraserSkipList<S>;
+    mp::smr::Config config;
+    config.max_threads = static_cast<std::size_t>(threads);
+    config.slots_per_thread = SL::kRequiredSlots;
+    SL ds(config);
+    rows.push_back(run_case("skiplist", ds, threads, size, duration_ms));
+  }
+  {
+    using Tree = mp::ds::NatarajanTree<S>;
+    mp::smr::Config config;
+    config.max_threads = static_cast<std::size_t>(threads);
+    config.slots_per_thread = Tree::kRequiredSlots;
+    Tree ds(config);
+    rows.push_back(run_case("bst", ds, threads, size, duration_ms));
+  }
+  {
+    using Avl = mp::ds::CowAvlTree<S>;
+    mp::smr::Config config;
+    config.max_threads = static_cast<std::size_t>(threads);
+    config.slots_per_thread = Avl::kRequiredSlots;
+    Avl ds(config);
+    rows.push_back(run_case("cow-avl", ds, threads, size, duration_ms));
+  }
+  for (const auto& row : rows) {
+    std::printf("overview,%s,read-dom,%s,%d,%.3f,%.1f,%.4f\n", row.structure,
+                scheme_name, threads, row.mops, row.avg_retired,
+                row.fences_per_read);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli(
+      "Overview: every client structure under MP and baselines");
+  cli.add_int("threads", 8, "worker threads");
+  cli.add_int("size", 20000, "prefill size (list capped at 2000)");
+  cli.add_int("duration-ms", 200, "measurement window");
+  cli.add_string("schemes", "MP,HP,IBR,EBR", "schemes to compare");
+  cli.parse(argc, argv);
+
+  const int threads = static_cast<int>(cli.get_int("threads"));
+  const auto size = static_cast<std::size_t>(cli.get_int("size"));
+  const int duration = static_cast<int>(cli.get_int("duration-ms"));
+
+  mp::bench::print_header();
+  for (const auto& scheme :
+       mp::common::Cli::split_csv(cli.get_string("schemes"))) {
+#define MARGINPTR_RUN(S) scheme_block<S>(scheme.c_str(), threads, size, duration)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Index-collision analysis — the empirical half of the paper's §4.6 (full
+// version / thesis): how often does MP's index creation run out of room
+// (forcing USE_HP) and how often do reads take the hazard-pointer path, as
+// a function of data structure, structure size, and insertion order?
+//
+// Expected shape:
+//   * uniform insertion: collision fraction near zero at practical sizes —
+//     the midpoint mapping mirrors the random insertion tree;
+//   * ascending insertion into the list: all but ~32 inserts collide (the
+//     Fig 7a worst case); the golden-ratio split stretches this to ~46;
+//   * the hazard-fallback read fraction tracks the fraction of USE_HP
+//     nodes along traversal paths.
+#include "harness.hpp"
+
+namespace {
+
+struct Report {
+  std::uint64_t allocs;
+  std::uint64_t collisions;
+  double read_fallback_fraction;
+};
+
+template <typename DS>
+Report analyze(DS& ds, std::size_t size, std::uint64_t key_range,
+               bool ascending, int probe_ops) {
+  if (ascending) {
+    mp::bench::prefill_ascending(ds, size);
+  } else {
+    mp::bench::prefill(ds, size, key_range);
+  }
+  const auto built = ds.scheme().stats_snapshot();
+  // Probe with a read-only pass to measure the fallback fraction.
+  mp::common::Xoshiro256 rng(99);
+  for (int i = 0; i < probe_ops; ++i) {
+    ds.contains(0, 1 + rng.next_below(key_range));
+  }
+  const auto probed = ds.scheme().stats_snapshot() - built;
+  Report report;
+  report.allocs = built.allocs;
+  report.collisions = built.index_collisions;
+  report.read_fallback_fraction =
+      probed.reads == 0 ? 0.0
+                        : static_cast<double>(probed.hp_fallbacks) /
+                              static_cast<double>(probed.reads);
+  return report;
+}
+
+void print_row(const char* structure, const char* order, const char* policy,
+               std::size_t size, const Report& report) {
+  std::printf("collisions,%s,%s,%s,%zu,%llu,%llu,%.4f,%.4f\n", structure,
+              order, policy, size,
+              static_cast<unsigned long long>(report.allocs),
+              static_cast<unsigned long long>(report.collisions),
+              static_cast<double>(report.collisions) /
+                  static_cast<double>(report.allocs),
+              report.read_fallback_fraction);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli("MP index-collision analysis (paper §4.6)");
+  cli.add_string("sizes", "1000,10000,50000", "structure sizes to analyze");
+  cli.add_int("probe-ops", 20000, "read-only probes per configuration");
+  cli.parse(argc, argv);
+
+  const auto sizes = mp::common::Cli::split_csv_int(cli.get_string("sizes"));
+  const int probe_ops = static_cast<int>(cli.get_int("probe-ops"));
+
+  std::printf(
+      "figure,structure,order,policy,size,allocs,collisions,"
+      "collision_frac,read_fallback_frac\n");
+
+  mp::smr::Config base;
+  base.max_threads = 2;
+
+  for (const auto size_value : sizes) {
+    const auto size = static_cast<std::size_t>(size_value);
+    // Skip list and BST, uniform insertion.
+    {
+      using SL = mp::ds::FraserSkipList<mp::smr::MP>;
+      auto config = base;
+      config.slots_per_thread = SL::kRequiredSlots;
+      SL sl(config);
+      print_row("skiplist", "uniform", "midpoint", size,
+                analyze(sl, size, 2 * size, false, probe_ops));
+    }
+    {
+      using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
+      auto config = base;
+      config.slots_per_thread = Tree::kRequiredSlots;
+      Tree tree(config);
+      print_row("bst", "uniform", "midpoint", size,
+                analyze(tree, size, 2 * size, false, probe_ops));
+    }
+    // The list at bounded sizes (linear traversals).
+    const std::size_t list_size = std::min<std::size_t>(size, 5000);
+    for (const bool ascending : {false, true}) {
+      for (const auto policy :
+           {mp::smr::Config::IndexPolicy::kMidpoint,
+            mp::smr::Config::IndexPolicy::kGoldenRatio}) {
+        using List = mp::ds::MichaelList<mp::smr::MP>;
+        auto config = base;
+        config.slots_per_thread = List::kRequiredSlots;
+        config.index_policy = policy;
+        List list(config);
+        print_row(
+            "list", ascending ? "ascending" : "uniform",
+            policy == mp::smr::Config::IndexPolicy::kMidpoint ? "midpoint"
+                                                              : "golden",
+            list_size,
+            analyze(list, list_size, ascending ? list_size : 2 * list_size,
+                    ascending, probe_ops));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig 2: Natarajan–Mittal BST throughput, read-dominated / write-dominated
+// / read-only workloads, across thread counts and SMR schemes.
+//
+// Paper setup: S = 500 K (and 50 K in the full version), 5 s runs, 88-HT
+// machine. Defaults here use the paper's 50 K configuration with short
+// windows; --full selects 500 K and 1 s windows. Expected shape: HP is the
+// slowest (per-dereference fences); MP tracks IBR/HE on the two mixed
+// workloads and trails the best EBR-family scheme by ~20% on read-only.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  auto args = mp::bench::BenchArgs::parse(
+      argc, argv,
+      "Fig 2: BST throughput by scheme, workload, and thread count",
+      /*default_size=*/50000, /*full_size=*/500000,
+      /*default_schemes=*/"MP,IBR,HE,HP,EBR");
+  mp::bench::print_header();
+  for (const mp::bench::Workload* workload :
+       {&mp::bench::kReadDominated, &mp::bench::kWriteDominated,
+        &mp::bench::kReadOnly}) {
+    for (const auto& scheme : args.schemes) {
+#define MARGINPTR_RUN(S)                                                \
+  mp::bench::sweep_threads<mp::ds::NatarajanTree<S>>(                   \
+      "fig2", "bst", scheme.c_str(), args, *workload,                   \
+      mp::ds::NatarajanTree<S>::kRequiredSlots)
+      MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+    }
+  }
+  return 0;
+}

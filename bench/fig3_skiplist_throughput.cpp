@@ -1,0 +1,27 @@
+// Fig 3: Fraser skip-list throughput, three workloads, across thread
+// counts and SMR schemes. Same methodology and expected shape as Fig 2
+// (see fig2_bst_throughput.cpp); the skip list's taller towers raise the
+// per-operation dereference count, which is what separates HP further.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  auto args = mp::bench::BenchArgs::parse(
+      argc, argv,
+      "Fig 3: skip-list throughput by scheme, workload, and thread count",
+      /*default_size=*/50000, /*full_size=*/500000,
+      /*default_schemes=*/"MP,IBR,HE,HP,EBR");
+  mp::bench::print_header();
+  for (const mp::bench::Workload* workload :
+       {&mp::bench::kReadDominated, &mp::bench::kWriteDominated,
+        &mp::bench::kReadOnly}) {
+    for (const auto& scheme : args.schemes) {
+#define MARGINPTR_RUN(S)                                                \
+  mp::bench::sweep_threads<mp::ds::FraserSkipList<S>>(                  \
+      "fig3", "skiplist", scheme.c_str(), args, *workload,              \
+      mp::ds::FraserSkipList<S>::kRequiredSlots)
+      MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig 4: Michael linked-list (5 K nodes) throughput, three workloads.
+// DTA joins the lineup here — the paper evaluates it only on the list, the
+// one structure with a published freezing technique. Expected shape: the
+// linear traversals amplify per-dereference costs, so IBR/EBR/DTA lead,
+// MP sits between them and HP (its symbiosis works best on log-depth
+// structures), and HP trails.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  auto args = mp::bench::BenchArgs::parse(
+      argc, argv,
+      "Fig 4: linked-list throughput by scheme, workload, and thread count",
+      /*default_size=*/2000, /*full_size=*/5000,
+      /*default_schemes=*/"MP,IBR,HE,HP,EBR,DTA");
+  mp::bench::print_header();
+  for (const mp::bench::Workload* workload :
+       {&mp::bench::kReadDominated, &mp::bench::kWriteDominated,
+        &mp::bench::kReadOnly}) {
+    for (const auto& scheme : args.schemes) {
+#define MARGINPTR_RUN(S)                                          \
+  mp::bench::sweep_threads<mp::ds::MichaelList<S>>(               \
+      "fig4", "list", scheme.c_str(), args, *workload,            \
+      mp::ds::MichaelList<S>::kRequiredSlots)
+      MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 5: memory fences per traversed node, MP vs HP, read-only workload,
+// on all three data structures. Every SMR read() in this library is one
+// node traversal, and every seq_cst fence is counted (smr/stats.hpp), so
+// fences/read is exactly the paper's metric. Expected shape: MP issues
+// roughly half as many fences as HP on every structure, because one margin
+// covers the next several nodes of a traversal.
+#include "harness.hpp"
+
+namespace {
+
+template <typename DS>
+void measure(const char* ds_name, const char* scheme_name,
+             const mp::bench::BenchArgs& args) {
+  auto config = args.config(DS::kRequiredSlots);
+  DS ds(config);
+  mp::bench::prefill(ds, args.size, 2 * args.size);
+  const int threads = args.thread_counts.back();
+  const auto result = mp::bench::run_workload(
+      ds, threads, mp::bench::kReadOnly, 2 * args.size, args.duration_ms);
+  std::printf("fig5,%s,read-only,%s,%d,%.3f,%.1f,%.4f\n", ds_name,
+              scheme_name, threads, result.mops, result.avg_retired,
+              result.fences_per_read);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = mp::bench::BenchArgs::parse(
+      argc, argv, "Fig 5: fences per traversed node, MP vs HP",
+      /*default_size=*/20000, /*full_size=*/500000,
+      /*default_schemes=*/"MP,HP",
+      /*default_threads=*/"8");
+  mp::bench::print_header();
+  // The linear list is capped at the paper's 5 K regardless of --full.
+  mp::bench::BenchArgs list_args = args;
+  list_args.size = std::min<std::size_t>(args.size, 5000);
+  for (const auto& scheme : args.schemes) {
+#define MARGINPTR_RUN(S)                                                  \
+  do {                                                                    \
+    measure<mp::ds::MichaelList<S>>("list", scheme.c_str(), list_args);   \
+    measure<mp::ds::FraserSkipList<S>>("skiplist", scheme.c_str(), args); \
+    measure<mp::ds::NatarajanTree<S>>("bst", scheme.c_str(), args);       \
+  } while (0)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+  }
+  return 0;
+}

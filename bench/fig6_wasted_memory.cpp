@@ -1,0 +1,49 @@
+// Fig 6: wasted memory — the average number of retired-but-unreclaimed
+// nodes in a thread's retired list, sampled at the start of every
+// operation — read-dominated workload, all schemes, all data structures.
+//
+// Expected shape: MP and HP sit near zero at every thread count; HE and
+// IBR accumulate orders of magnitude more, growing with the thread count
+// (more oversubscription, more mid-operation preemptions); EBR is worst.
+// DTA (list only) stays low absent adversarial stalls.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  auto args = mp::bench::BenchArgs::parse(
+      argc, argv,
+      "Fig 6: avg retired-unreclaimed nodes at op start (read-dominated)",
+      /*default_size=*/20000, /*full_size=*/500000,
+      /*default_schemes=*/"MP,IBR,HE,HP,EBR",
+      /*default_threads=*/"2,4,8,16,32");
+  mp::bench::print_header();
+  // Trees and skip lists for all schemes; the list additionally gets DTA.
+  for (const auto& scheme : args.schemes) {
+#define MARGINPTR_RUN(S)                                                 \
+  do {                                                                   \
+    mp::bench::sweep_threads<mp::ds::NatarajanTree<S>>(                  \
+        "fig6", "bst", scheme.c_str(), args, mp::bench::kReadDominated,  \
+        mp::ds::NatarajanTree<S>::kRequiredSlots);                       \
+    mp::bench::sweep_threads<mp::ds::FraserSkipList<S>>(                 \
+        "fig6", "skiplist", scheme.c_str(), args,                        \
+        mp::bench::kReadDominated,                                       \
+        mp::ds::FraserSkipList<S>::kRequiredSlots);                      \
+  } while (0)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+  }
+  {
+    mp::bench::BenchArgs list_args = args;
+    list_args.size = std::min<std::size_t>(args.size, 2000);
+    std::vector<std::string> list_schemes = args.schemes;
+    list_schemes.emplace_back("DTA");
+    for (const auto& scheme : list_schemes) {
+#define MARGINPTR_RUN(S)                                          \
+  mp::bench::sweep_threads<mp::ds::MichaelList<S>>(               \
+      "fig6", "list", scheme.c_str(), list_args,                  \
+      mp::bench::kReadDominated, mp::ds::MichaelList<S>::kRequiredSlots)
+      MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+    }
+  }
+  return 0;
+}

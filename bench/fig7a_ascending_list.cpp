@@ -1,0 +1,45 @@
+// Fig 7a: MP's worst case for index collisions — a linked list built by
+// inserting keys in ascending order. Each insert's search interval is
+// (last key, +inf), so each allocation halves the remaining index range;
+// with 32-bit indices all nodes after the first ~32 get USE_HP and MP
+// degrades to hazard pointers. Expected shape: MP tracks HP's read-only
+// throughput (graceful degradation, no extra overhead) — compare with the
+// uniformly-built list of Fig 4, where MP clearly beats HP.
+#include "harness.hpp"
+
+namespace {
+
+template <typename DS>
+void sweep_ascending(const char* scheme_name,
+                     const mp::bench::BenchArgs& args) {
+  auto config = args.config(DS::kRequiredSlots);
+  DS ds(config);
+  mp::bench::prefill_ascending(ds, args.size);
+  for (int threads : args.thread_counts) {
+    const auto result =
+        mp::bench::run_workload(ds, threads, mp::bench::kReadOnly,
+                                args.size, args.duration_ms);
+    std::printf("fig7a,list-ascending,read-only,%s,%d,%.3f,%.1f,%.4f\n",
+                scheme_name, threads, result.mops, result.avg_retired,
+                result.fences_per_read);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = mp::bench::BenchArgs::parse(
+      argc, argv,
+      "Fig 7a: ascending-insert list (all-collision worst case), MP vs HP",
+      /*default_size=*/2000, /*full_size=*/5000,
+      /*default_schemes=*/"MP,HP");
+  mp::bench::print_header();
+  for (const auto& scheme : args.schemes) {
+#define MARGINPTR_RUN(S) \
+  sweep_ascending<mp::ds::MichaelList<S>>(scheme.c_str(), args)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+  }
+  return 0;
+}

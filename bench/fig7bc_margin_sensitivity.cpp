@@ -1,0 +1,59 @@
+// Fig 7b/c: margin-size sensitivity — throughput (7b) and wasted memory
+// (7c) of MP on the write-dominated BST as the margin sweeps 2^17..2^26.
+// Expected shape: both throughput and wasted memory increase monotonically
+// with the margin (bigger margins mean fewer fences but more covered
+// retired nodes); the paper picks 2^20 as the largest margin whose waste
+// stays flat in the thread count.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli(
+      "Fig 7b/c: MP margin-size sensitivity (write-dominated BST)");
+  cli.add_string("threads", "2,8,32", "comma-separated thread counts");
+  cli.add_int("size", 20000, "prefill size S");
+  cli.add_int("duration-ms", 250, "measurement window per point");
+  cli.add_string("margins", "17,18,19,20,21,22,23,24,25,26",
+                 "log2 margin sizes to sweep");
+  cli.add_bool("full", "paper-scale parameters");
+  cli.parse(argc, argv);
+
+  std::size_t size = static_cast<std::size_t>(cli.get_int("size"));
+  int duration_ms = static_cast<int>(cli.get_int("duration-ms"));
+  if (cli.get_bool("full")) {
+    size = 500000;
+    duration_ms = 1000;
+  }
+  const auto thread_counts =
+      mp::common::Cli::split_csv_int(cli.get_string("threads"));
+  const auto margin_bits =
+      mp::common::Cli::split_csv_int(cli.get_string("margins"));
+
+  std::printf(
+      "figure,structure,workload,scheme,log2_margin,threads,mops,"
+      "avg_retired\n");
+  using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
+  for (const auto bits : margin_bits) {
+    mp::smr::Config config;
+    config.slots_per_thread = Tree::kRequiredSlots;
+    config.margin = 1u << bits;
+    std::size_t max_threads = 1;
+    for (auto t : thread_counts) {
+      max_threads = std::max(max_threads, static_cast<std::size_t>(t));
+    }
+    config.max_threads = max_threads;
+    Tree tree(config);
+    mp::bench::prefill(tree, size, 2 * size);
+    for (const auto threads : thread_counts) {
+      const auto result = mp::bench::run_workload(
+          tree, static_cast<int>(threads), mp::bench::kWriteDominated,
+          2 * size, duration_ms);
+      std::printf("fig7bc,bst,write-dom,MP,%lld,%lld,%.3f,%.1f\n",
+                  static_cast<long long>(bits),
+                  static_cast<long long>(threads), result.mops,
+                  result.avg_retired);
+      std::fflush(stdout);
+      tree.scheme().drain();
+    }
+  }
+  return 0;
+}

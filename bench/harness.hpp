@@ -1,0 +1,239 @@
+// Fixed-duration mixed-workload benchmark driver, reproducing the paper's
+// §6 methodology: T threads repeatedly invoke a random operation on a
+// uniformly random key from a range of size 2S against a structure
+// prefilled with S keys; we report aggregate throughput, plus the wasted-
+// memory and fence metrics behind Figs 5–7.
+//
+// Defaults are scaled for a small machine (the paper used 88 hardware
+// threads and 5-second runs); pass --full for paper-scale parameters.
+// Thread counts beyond the core count run oversubscribed, which is exactly
+// the stall-inducing regime the paper probes past 88 threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "ds/fraser_skiplist.hpp"
+#include "ds/michael_list.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "smr/smr.hpp"
+
+namespace mp::bench {
+
+struct Workload {
+  int insert_pct;
+  int remove_pct;
+  const char* name;
+};
+
+/// The paper's three workloads (§6 "Workloads").
+inline constexpr Workload kReadDominated{5, 5, "read-dom"};
+inline constexpr Workload kWriteDominated{50, 50, "write-dom"};
+inline constexpr Workload kReadOnly{0, 0, "read-only"};
+
+struct RunResult {
+  double mops = 0;             ///< aggregate throughput, million ops/s
+  double avg_retired = 0;      ///< mean retired-list size at op start (Fig 6)
+  double fences_per_read = 0;  ///< Fig 5 numerator/denominator
+  std::uint64_t ops = 0;
+  smr::StatsSnapshot stats;    ///< delta over the timed phase
+};
+
+/// Insert uniformly random keys from [1, key_range] until `target` distinct
+/// keys are present (§6: S keys from a range of size 2S).
+template <typename DS>
+void prefill(DS& ds, std::size_t target, std::uint64_t key_range,
+             std::uint64_t seed = 0xF111) {
+  common::Xoshiro256 rng(seed);
+  std::size_t inserted = 0;
+  while (inserted < target) {
+    inserted += ds.insert(0, 1 + rng.next_below(key_range), 1);
+  }
+}
+
+/// Build a list by inserting keys in ascending order (Fig 7a's worst case
+/// for MP index assignment: every insert halves the remaining index range).
+template <typename DS>
+void prefill_ascending(DS& ds, std::size_t count) {
+  for (std::uint64_t key = 1; key <= count; ++key) {
+    ds.insert(0, key, key);
+  }
+}
+
+/// Run one timed measurement: `threads` workers do random ops for
+/// `duration_ms`, reporting deltas of the scheme's counters.
+template <typename DS>
+RunResult run_workload(DS& ds, int threads, const Workload& workload,
+                       std::uint64_t key_range, int duration_ms,
+                       std::uint64_t seed = 42) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  common::SpinBarrier barrier(static_cast<std::size_t>(threads) + 1);
+  const smr::StatsSnapshot before = ds.scheme().stats_snapshot();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      std::uint64_t ops = 0;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t key = 1 + rng.next_below(key_range);
+        const auto coin = static_cast<int>(rng.next() % 100);
+        if (coin < workload.insert_pct) {
+          ds.insert(t, key, key);
+        } else if (coin < workload.insert_pct + workload.remove_pct) {
+          ds.remove(t, key);
+        } else {
+          ds.contains(t, key);
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.ops = total_ops.load();
+  const double seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.mops = static_cast<double>(result.ops) / seconds / 1e6;
+  result.stats = ds.scheme().stats_snapshot() - before;
+  result.avg_retired = result.stats.avg_retired();
+  result.fences_per_read =
+      result.stats.reads == 0
+          ? 0
+          : static_cast<double>(result.stats.fences) /
+                static_cast<double>(result.stats.reads);
+  return result;
+}
+
+/// Common CLI flags for throughput benchmarks.
+struct BenchArgs {
+  std::vector<int> thread_counts;
+  std::vector<std::string> schemes;
+  std::size_t size = 0;           ///< S (prefill)
+  int duration_ms = 0;
+  std::uint32_t margin = 1u << 20;
+  int runs = 1;
+  std::size_t max_threads = 0;    ///< scheme slot capacity
+
+  static BenchArgs parse(int argc, char** argv, const char* description,
+                         std::size_t default_size,
+                         std::size_t full_size,
+                         const char* default_schemes,
+                         const char* default_threads = "1,2,4,8,16,32") {
+    common::Cli cli(description);
+    cli.add_string("threads", default_threads, "comma-separated thread counts");
+    cli.add_string("schemes", default_schemes, "comma-separated SMR schemes");
+    cli.add_int("size", static_cast<std::int64_t>(default_size),
+                "prefill size S (keys drawn from a 2S range)");
+    cli.add_int("duration-ms", 250, "measurement window per data point");
+    cli.add_int("runs", 1, "repetitions per data point (averaged)");
+    cli.add_int("margin", 1 << 20, "MP margin size");
+    cli.add_bool("full", "paper-scale parameters (large size, 1s windows)");
+    cli.parse(argc, argv);
+
+    BenchArgs args;
+    for (auto count : common::Cli::split_csv_int(cli.get_string("threads"))) {
+      args.thread_counts.push_back(static_cast<int>(count));
+    }
+    args.schemes = common::Cli::split_csv(cli.get_string("schemes"));
+    args.size = static_cast<std::size_t>(cli.get_int("size"));
+    args.duration_ms = static_cast<int>(cli.get_int("duration-ms"));
+    args.margin = static_cast<std::uint32_t>(cli.get_int("margin"));
+    args.runs = static_cast<int>(cli.get_int("runs"));
+    if (cli.get_bool("full")) {
+      args.size = full_size;
+      args.duration_ms = 1000;
+    }
+    int max_threads = 1;
+    for (int count : args.thread_counts) max_threads = std::max(max_threads, count);
+    args.max_threads = static_cast<std::size_t>(max_threads);
+    return args;
+  }
+
+  smr::Config config(int required_slots) const {
+    smr::Config config;
+    config.max_threads = max_threads;
+    config.slots_per_thread = required_slots;
+    config.margin = margin;
+    return config;
+  }
+};
+
+/// One data point of a throughput figure: fresh-ish structure (drained
+/// between thread counts), averaged over `runs` repetitions.
+template <typename DS>
+void sweep_threads(const char* figure, const char* ds_name,
+                   const char* scheme_name, const BenchArgs& args,
+                   const Workload& workload, int required_slots) {
+  auto config = args.config(required_slots);
+  DS ds(config);
+  prefill(ds, args.size, 2 * args.size);
+  for (int threads : args.thread_counts) {
+    double mops = 0, avg_retired = 0, fences_per_read = 0;
+    for (int run = 0; run < args.runs; ++run) {
+      const RunResult result = run_workload(ds, threads, workload,
+                                            2 * args.size, args.duration_ms,
+                                            42 + run);
+      mops += result.mops;
+      avg_retired += result.avg_retired;
+      fences_per_read += result.fences_per_read;
+      ds.scheme().drain();  // quiescent between points
+    }
+    std::printf("%s,%s,%s,%s,%d,%.3f,%.1f,%.4f\n", figure, ds_name,
+                workload.name, scheme_name, threads, mops / args.runs,
+                avg_retired / args.runs, fences_per_read / args.runs);
+    std::fflush(stdout);
+  }
+}
+
+/// Header for the CSV rows emitted by sweep_threads.
+inline void print_header() {
+  std::printf(
+      "figure,structure,workload,scheme,threads,mops,avg_retired,"
+      "fences_per_read\n");
+}
+
+/// Dispatch a template callable over a scheme named on the command line.
+/// `fn` is a generic functor taking the scheme tag as template parameter.
+#define MARGINPTR_DISPATCH_SCHEME(scheme_name, action)                        \
+  do {                                                                        \
+    const std::string& name_ = (scheme_name);                                 \
+    if (name_ == "MP") {                                                      \
+      action(mp::smr::MP);                                                    \
+    } else if (name_ == "HP") {                                               \
+      action(mp::smr::HP);                                                    \
+    } else if (name_ == "EBR") {                                              \
+      action(mp::smr::EBR);                                                   \
+    } else if (name_ == "HE") {                                               \
+      action(mp::smr::HE);                                                    \
+    } else if (name_ == "IBR") {                                              \
+      action(mp::smr::IBR);                                                   \
+    } else if (name_ == "DTA") {                                              \
+      action(mp::smr::DTA);                                                   \
+    } else if (name_ == "Leaky") {                                            \
+      action(mp::smr::Leaky);                                                 \
+    } else {                                                                  \
+      std::fprintf(stderr, "unknown scheme: %s\n", name_.c_str());            \
+      std::exit(2);                                                           \
+    }                                                                         \
+  } while (0)
+
+}  // namespace mp::bench

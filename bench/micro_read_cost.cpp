@@ -1,0 +1,83 @@
+// Micro-benchmark (google-benchmark): the cost of a single SMR-protected
+// read() per scheme, in the two regimes that matter —
+//   * "walk": sequential reads over many distinct nodes (a traversal),
+//     where MP's margin fast path and HP's per-node fences diverge;
+//   * "repeat": re-reading one node (a CAS retry loop), cheap everywhere.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "smr/smr.hpp"
+
+namespace {
+
+struct Node : mp::smr::NodeBase {
+  std::uint64_t key;
+  explicit Node(std::uint64_t k) : key(k) {}
+};
+
+template <template <typename> class SchemeT>
+class ReadCost : public benchmark::Fixture {
+ public:
+  using Scheme = SchemeT<Node>;
+  static constexpr int kNodes = 1024;
+
+  void SetUp(const benchmark::State&) override {
+    mp::smr::Config config;
+    config.max_threads = 2;
+    config.slots_per_thread = 4;
+    scheme = std::make_unique<Scheme>(config);
+    nodes.clear();
+    cells = std::make_unique<mp::smr::AtomicTaggedPtr[]>(kNodes);
+    for (int i = 0; i < kNodes; ++i) {
+      Node* node = scheme->alloc(0, static_cast<std::uint64_t>(i));
+      // Consecutive indices 2^12 apart: a realistic traversal locality for
+      // MP (many nodes per margin, occasional margin moves).
+      scheme->set_index(node, static_cast<std::uint32_t>(i) << 12);
+      nodes.push_back(node);
+      cells[i].store(scheme->make_link(node));
+    }
+  }
+
+  void TearDown(const benchmark::State&) override {
+    for (Node* node : nodes) scheme->delete_unlinked(node);
+    scheme.reset();
+  }
+
+  std::unique_ptr<Scheme> scheme;
+  std::vector<Node*> nodes;
+  std::unique_ptr<mp::smr::AtomicTaggedPtr[]> cells;
+};
+
+#define READ_COST_BENCH(SCHEME)                                         \
+  BENCHMARK_TEMPLATE_F(ReadCost, Walk_##SCHEME, mp::smr::SCHEME)        \
+  (benchmark::State & state) {                                          \
+    scheme->start_op(0);                                                \
+    int i = 0;                                                          \
+    for (auto _ : state) {                                              \
+      benchmark::DoNotOptimize(scheme->read(0, 0, cells[i]));           \
+      i = (i + 1) & (kNodes - 1);                                       \
+    }                                                                   \
+    scheme->end_op(0);                                                  \
+    state.SetItemsProcessed(state.iterations());                        \
+  }                                                                     \
+  BENCHMARK_TEMPLATE_F(ReadCost, Repeat_##SCHEME, mp::smr::SCHEME)      \
+  (benchmark::State & state) {                                          \
+    scheme->start_op(0);                                                \
+    for (auto _ : state) {                                              \
+      benchmark::DoNotOptimize(scheme->read(0, 0, cells[0]));           \
+    }                                                                   \
+    scheme->end_op(0);                                                  \
+    state.SetItemsProcessed(state.iterations());                        \
+  }
+
+READ_COST_BENCH(Leaky)
+READ_COST_BENCH(EBR)
+READ_COST_BENCH(IBR)
+READ_COST_BENCH(HE)
+READ_COST_BENCH(HP)
+READ_COST_BENCH(MP)
+READ_COST_BENCH(DTA)
+
+}  // namespace

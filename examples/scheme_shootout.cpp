@@ -1,0 +1,49 @@
+// scheme_shootout: run the same workload under every SMR scheme and print
+// a side-by-side comparison — a minimal version of the paper's evaluation
+// loop, and a template for picking a scheme for your own workload.
+#include <cstdio>
+#include <string>
+
+#include "../bench/harness.hpp"
+
+namespace {
+
+template <template <typename> class SchemeT>
+void shoot(const char* name, int threads, std::size_t size, int duration_ms) {
+  using Tree = mp::ds::NatarajanTree<SchemeT>;
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(threads);
+  config.slots_per_thread = Tree::kRequiredSlots;
+  Tree tree(config);
+  mp::bench::prefill(tree, size, 2 * size);
+  const auto result = mp::bench::run_workload(
+      tree, threads, mp::bench::kReadDominated, 2 * size, duration_ms);
+  std::printf("  %-5s | %8.3f Mops/s | %10.1f wasted | %7.4f fences/read\n",
+              name, result.mops, result.avg_retired,
+              result.fences_per_read);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 8;
+  if (argc > 1) threads = std::max(1, std::atoi(argv[1]));
+  constexpr std::size_t kSize = 20000;
+  constexpr int kDurationMs = 300;
+
+  std::printf(
+      "BST, read-dominated (90/5/5), S=%zu, %d threads, %d ms per scheme\n\n",
+      kSize, threads, kDurationMs);
+  std::printf("  %-5s | %15s | %17s | %s\n", "scheme", "throughput",
+              "wasted memory", "fence rate");
+  shoot<mp::smr::Leaky>("Leaky", threads, kSize, kDurationMs);
+  shoot<mp::smr::EBR>("EBR", threads, kSize, kDurationMs);
+  shoot<mp::smr::IBR>("IBR", threads, kSize, kDurationMs);
+  shoot<mp::smr::HE>("HE", threads, kSize, kDurationMs);
+  shoot<mp::smr::HP>("HP", threads, kSize, kDurationMs);
+  shoot<mp::smr::MP>("MP", threads, kSize, kDurationMs);
+  std::printf(
+      "\nMP: bounded wasted memory like HP, fence rate close to the "
+      "epoch-based schemes.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Cache-line alignment helpers.
+//
+// Per-thread SMR slots (hazard pointers, margin pointers, epoch
+// announcements) are read by every reclaiming thread and written by their
+// owner; false sharing between slots of different threads would turn every
+// protection update into a coherence storm. We pad to two cache lines to
+// also defeat the adjacent-line ("spatial") prefetcher on Intel parts.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace mp::common {
+
+// Pinned rather than taken from std::hardware_destructive_interference_size:
+// that value varies with -mtune and would make slot layout ABI-fragile.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Alignment for per-thread shared slots: two cache lines.
+inline constexpr std::size_t kSlotAlign = 2 * kCacheLine;
+
+/// A value padded out to its own pair of cache lines.
+template <typename T>
+struct alignas(kSlotAlign) Padded {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace mp::common

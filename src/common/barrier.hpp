@@ -1,0 +1,38 @@
+// Spin barrier for benchmark start/stop synchronization.
+//
+// std::barrier parks threads in the kernel; for short measurement windows we
+// want all workers released within the same few microseconds, so the last
+// arriver flips a generation word that the others spin on. Spinners yield,
+// which is mandatory on an oversubscribed machine or the last arriver may
+// never be scheduled.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace mp::common {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept : parties_(parties) {}
+
+  void arrive_and_wait() noexcept {
+    const std::size_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::size_t> generation_{0};
+};
+
+}  // namespace mp::common

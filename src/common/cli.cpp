@@ -1,0 +1,133 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mp::common {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void Cli::add_int(const std::string& name, std::int64_t default_value,
+                  const std::string& help) {
+  Flag flag;
+  flag.type = Flag::Type::kInt;
+  flag.int_value = default_value;
+  flag.help = help;
+  flags_[name] = std::move(flag);
+}
+
+void Cli::add_string(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  Flag flag;
+  flag.type = Flag::Type::kString;
+  flag.string_value = default_value;
+  flag.help = help;
+  flags_[name] = std::move(flag);
+}
+
+void Cli::add_bool(const std::string& name, const std::string& help) {
+  Flag flag;
+  flag.type = Flag::Type::kBool;
+  flag.help = help;
+  flags_[name] = std::move(flag);
+}
+
+void Cli::usage_and_exit(int code) const {
+  std::fprintf(stderr, "%s\n\nFlags:\n", description_.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::string default_text;
+    switch (flag.type) {
+      case Flag::Type::kInt:
+        default_text = "default " + std::to_string(flag.int_value);
+        break;
+      case Flag::Type::kString:
+        default_text = "default \"" + flag.string_value + "\"";
+        break;
+      case Flag::Type::kBool:
+        default_text = "boolean";
+        break;
+    }
+    std::fprintf(stderr, "  --%-18s %s (%s)\n", name.c_str(),
+                 flag.help.c_str(), default_text.c_str());
+  }
+  std::exit(code);
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage_and_exit(0);
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      usage_and_exit(2);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      usage_and_exit(2);
+    }
+    Flag& flag = it->second;
+    if (flag.type == Flag::Type::kBool) {
+      flag.bool_value = has_value ? (value == "1" || value == "true") : true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        usage_and_exit(2);
+      }
+      value = argv[++i];
+    }
+    if (flag.type == Flag::Type::kInt) {
+      char* end = nullptr;
+      flag.int_value = std::strtoll(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flag --%s: not an integer: %s\n", name.c_str(),
+                     value.c_str());
+        usage_and_exit(2);
+      }
+    } else {
+      flag.string_value = value;
+    }
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return flags_.at(name).int_value;
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  return flags_.at(name).string_value;
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  return flags_.at(name).bool_value;
+}
+
+std::vector<std::string> Cli::split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Cli::split_csv_int(const std::string& value) {
+  std::vector<std::int64_t> out;
+  for (const auto& item : split_csv(value)) out.push_back(std::stoll(item));
+  return out;
+}
+
+}  // namespace mp::common

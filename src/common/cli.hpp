@@ -1,0 +1,52 @@
+// Minimal command-line flag parsing shared by benchmarks and examples.
+//
+// Flags are `--name value` or `--name=value`; `--flag` alone sets a boolean.
+// Unknown flags abort with a usage message listing the registered flags, so
+// every bench binary self-documents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mp::common {
+
+class Cli {
+ public:
+  Cli(std::string program_description);
+
+  /// Register flags before parse(). `help` appears in --help output.
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parse argv. Exits(0) on --help, exits(2) on unknown flag / bad value.
+  void parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Split a comma-separated string flag into its elements.
+  static std::vector<std::string> split_csv(const std::string& value);
+  static std::vector<std::int64_t> split_csv_int(const std::string& value);
+
+ private:
+  struct Flag {
+    enum class Type { kInt, kString, kBool } type;
+    std::string string_value;
+    std::int64_t int_value = 0;
+    bool bool_value = false;
+    std::string help;
+  };
+
+  void usage_and_exit(int code) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace mp::common

@@ -1,0 +1,68 @@
+// Small, fast PRNGs for workload generation.
+//
+// Benchmark threads draw one random key + one operation coin per iteration;
+// std::mt19937 is too heavy to keep out of the measurement. We use
+// splitmix64 for seeding and xoshiro256** for the stream, which is the
+// standard pairing recommended by their authors.
+#pragma once
+
+#include <cstdint>
+
+namespace mp::common {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — public-domain generator by Blackman & Vigna.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  /// (__int128 is a GCC/Clang extension; fine for this library's targets.)
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    __extension__ using uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<uint128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // UniformRandomBitGenerator interface, so <algorithm> shuffles work too.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mp::common

@@ -1,0 +1,38 @@
+#include "common/thread_registry.hpp"
+
+namespace mp::common {
+
+ThreadRegistry::ThreadRegistry(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0 || capacity > kMaxThreads) {
+    throw std::invalid_argument("ThreadRegistry capacity out of range");
+  }
+  for (auto& slot : in_use_) slot.store(false, std::memory_order_relaxed);
+}
+
+int ThreadRegistry::acquire() {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    bool expected = false;
+    if (!in_use_[i].load(std::memory_order_relaxed) &&
+        in_use_[i].compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      return static_cast<int>(i);
+    }
+  }
+  throw std::runtime_error("ThreadRegistry exhausted: too many threads");
+}
+
+void ThreadRegistry::release(int tid) noexcept {
+  if (tid >= 0 && static_cast<std::size_t>(tid) < capacity_) {
+    in_use_[tid].store(false, std::memory_order_release);
+  }
+}
+
+std::size_t ThreadRegistry::registered() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    if (in_use_[i].load(std::memory_order_relaxed)) ++count;
+  }
+  return count;
+}
+
+}  // namespace mp::common

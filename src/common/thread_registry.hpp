@@ -1,0 +1,64 @@
+// Thread identity for SMR schemes.
+//
+// Every scheme in this library keeps per-thread slot arrays indexed by a
+// small dense thread id (the paper's `tid`, Listing 2). Ids are leased from
+// a fixed-capacity registry: a thread acquires the lowest free id on
+// registration and returns it on deregistration, so long-running programs
+// that churn threads never exhaust the id space as long as no more than
+// `capacity` threads are registered at once.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+
+namespace mp::common {
+
+class ThreadRegistry {
+ public:
+  static constexpr std::size_t kMaxThreads = 512;
+
+  explicit ThreadRegistry(std::size_t capacity);
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  /// Acquire the lowest free id. Throws std::runtime_error when full.
+  int acquire();
+
+  /// Release a previously acquired id.
+  void release(int tid) noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of currently registered threads (approximate under churn).
+  std::size_t registered() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::atomic<bool> in_use_[kMaxThreads];
+};
+
+/// RAII lease of a thread id.
+class ThreadLease {
+ public:
+  explicit ThreadLease(ThreadRegistry& registry)
+      : registry_(&registry), tid_(registry.acquire()) {}
+  ~ThreadLease() {
+    if (tid_ >= 0) registry_->release(tid_);
+  }
+  ThreadLease(ThreadLease&& other) noexcept
+      : registry_(other.registry_), tid_(other.tid_) {
+    other.tid_ = -1;
+  }
+  ThreadLease(const ThreadLease&) = delete;
+  ThreadLease& operator=(const ThreadLease&) = delete;
+  ThreadLease& operator=(ThreadLease&&) = delete;
+
+  int tid() const noexcept { return tid_; }
+
+ private:
+  ThreadRegistry* registry_;
+  int tid_;
+};
+
+}  // namespace mp::common

@@ -1,0 +1,64 @@
+// Runtime configuration shared by all SMR schemes.
+//
+// Defaults follow the paper's evaluation (§6 "Parameters"): reclamation is
+// attempted every 30 retires; global-epoch schemes advance the epoch once
+// every 150*T allocations per thread; MP uses a 2^20 margin (the value the
+// paper selects from its Fig 7 sensitivity study).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mp::smr {
+
+struct Config {
+  /// Maximum number of concurrently registered threads (the paper's T).
+  std::size_t max_threads = 64;
+
+  /// Protection slots per thread (the paper's #HP / #MP, MPs_per_thread).
+  /// Skip-list updates need two slots per level, so the ceiling is generous.
+  int slots_per_thread = 8;
+
+  /// Retire calls between reclamation attempts (paper: 30).
+  int empty_freq = 30;
+
+  /// Per-thread allocations between global-epoch increments. The paper uses
+  /// 150*T; zero means "use 150 * max_threads".
+  std::uint64_t epoch_freq = 0;
+
+  /// MP only: size of the protected margin around an announced index.
+  /// Must be >= 2^17 so a margin always covers one full 16-bit tag range.
+  std::uint32_t margin = 1u << 20;
+
+  /// DTA only: node traversals between anchor announcements (paper: 100).
+  int anchor_distance = 100;
+
+  /// MP only (paper §4.4 future work): advance the global epoch on every
+  /// node unlink instead of every epoch_freq allocations. Improves the
+  /// per-thread wasted-memory bound from #HP + #MP*M*(1 + epoch_freq*T) to
+  /// #HP + O(#MP*M), at the cost of more frequent hp_mode fallbacks.
+  bool epoch_advance_on_unlink = false;
+
+  /// MP only: policy for assigning an index to a freshly inserted key
+  /// within the search interval (lower, upper). The paper uses the
+  /// midpoint and notes other policies as future work.
+  enum class IndexPolicy {
+    kMidpoint,      ///< floor((lower + upper) / 2) — the paper's Listing 5
+    kGoldenRatio,   ///< lower + 0.382*(upper-lower): low-biased splits slow
+                    ///< exhaustion under ascending insertion patterns
+  };
+  IndexPolicy index_policy = IndexPolicy::kMidpoint;
+
+  /// Diagnostics hook: invoked (with `context`) for every node the scheme
+  /// frees, before the memory is released. Used by the fuzz oracle tests;
+  /// leave null in production.
+  void (*free_hook)(void* context, const void* node) = nullptr;
+  void* free_hook_context = nullptr;
+
+  std::uint64_t effective_epoch_freq() const noexcept {
+    return epoch_freq != 0 ? epoch_freq
+                           : 150 * static_cast<std::uint64_t>(max_threads);
+  }
+};
+
+}  // namespace mp::smr

@@ -1,0 +1,227 @@
+// Shared plumbing for all SMR schemes (CRTP base).
+//
+// Owns what every scheme in the paper has in common: the per-thread retired
+// lists and retire counters (Listing 4), allocation bookkeeping (Listing 5 /
+// 10's alloc), per-thread statistics, and teardown draining. The derived
+// scheme supplies the protection policy through a handful of hooks:
+//
+//   epoch_now()                 current global epoch (0 if the scheme has none)
+//   on_alloc_tick(tid, count)   called per allocation (epoch advancement)
+//   assign_index(tid)           32-bit MP index for a fresh node
+//   empty(tid)                  scan-and-reclaim over the thread's retired list
+//
+// Lifetime rules (paper §2): retire() is only passed removed nodes, at most
+// once; drain()/the destructor may only run when no thread is inside an
+// operation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/config.hpp"
+#include "smr/node.hpp"
+#include "smr/stats.hpp"
+#include "smr/tagged_ptr.hpp"
+
+namespace mp::smr::detail {
+
+template <typename Node, typename Derived>
+class SchemeBase {
+ public:
+  using node_type = Node;
+
+  explicit SchemeBase(const Config& config)
+      : config_(config),
+        stats_(std::make_unique<common::Padded<ThreadStats>[]>(
+            config.max_threads)),
+        local_(std::make_unique<common::Padded<PerThread>[]>(
+            config.max_threads)) {}
+
+  SchemeBase(const SchemeBase&) = delete;
+  SchemeBase& operator=(const SchemeBase&) = delete;
+
+  ~SchemeBase() { drain(); }
+
+  const Config& config() const noexcept { return config_; }
+
+  /// Allocate a node through the scheme (paper's alloc). Sets the SMR
+  /// header (birth epoch, index) before handing the node to the client.
+  template <typename... Args>
+  Node* alloc(int tid, Args&&... args) {
+    auto& local = *local_[tid];
+    derived().on_alloc_tick(tid, ++local.alloc_counter);
+    Node* node = new Node(std::forward<Args>(args)...);
+    node->smr_header.birth_epoch.store(derived().epoch_now(),
+                                       std::memory_order_relaxed);
+    node->smr_header.index.store(derived().assign_index(tid),
+                                 std::memory_order_relaxed);
+    auto& stats = *stats_[tid];
+    stats.bump(stats.allocs);
+    allocated_.fetch_add(1, std::memory_order_relaxed);
+    return node;
+  }
+
+  /// Retire a removed node (Listing 4). Buffers the node and triggers a
+  /// reclamation attempt every empty_freq retirements.
+  void retire(int tid, Node* node) {
+    derived().on_retire_tick(tid);
+    node->smr_header.retire_epoch.store(derived().epoch_now(),
+                                        std::memory_order_relaxed);
+    auto& local = *local_[tid];
+    local.retired.push_back(node);
+    auto& stats = *stats_[tid];
+    stats.bump(stats.retires);
+    if (++local.retire_counter % config_.empty_freq == 0) {
+      stats.bump(stats.empties);
+      derived().empty(tid);
+    }
+  }
+
+  /// Free a node that was never linked (e.g. a failed insert's spare node).
+  /// No other thread can reference it, so it is freed immediately.
+  void delete_unlinked(Node* node) noexcept {
+    freed_.fetch_add(1, std::memory_order_relaxed);
+    delete node;
+  }
+
+  /// Encode a link word for a node (or null), per §4.3.1.
+  TaggedPtr make_link(const Node* node, unsigned mark = 0) const noexcept {
+    if (node == nullptr) return TaggedPtr{static_cast<std::uint64_t>(mark)};
+    return TaggedPtr::make(node, node->smr_header.tag(), mark);
+  }
+
+  /// Assign an explicit index to a sentinel node before it is linked
+  /// (paper §5.1 step 3). Meaningful for MP; harmless elsewhere.
+  void set_index(Node* node, std::uint32_t index) noexcept {
+    node->smr_header.index.store(index, std::memory_order_relaxed);
+  }
+
+  /// Give `node` the index of `donor` (NM-tree internal routers share their
+  /// equal-keyed child's index; see DESIGN.md deviation 5).
+  void copy_index(Node* node, const Node* donor) noexcept {
+    node->smr_header.index.store(donor->smr_header.index_relaxed(),
+                                 std::memory_order_relaxed);
+  }
+
+  /// Number of nodes currently buffered in `tid`'s retired list.
+  std::size_t retired_count(int tid) const noexcept {
+    return local_[tid]->retired.size();
+  }
+
+  /// Nodes allocated and not yet freed (live + retired-but-unreclaimed).
+  std::uint64_t outstanding() const noexcept {
+    return allocated_.load(std::memory_order_relaxed) -
+           freed_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t total_allocated() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_freed() const noexcept {
+    return freed_.load(std::memory_order_relaxed);
+  }
+
+  ThreadStats& thread_stats(int tid) noexcept { return *stats_[tid]; }
+
+  StatsSnapshot stats_snapshot() const {
+    StatsSnapshot snapshot;
+    for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      snapshot += *stats_[i];
+    }
+    return snapshot;
+  }
+
+  /// Unconditionally free every buffered retired node. Only callable when
+  /// no thread is inside an operation (typical use: teardown, or between
+  /// benchmark phases).
+  void drain() noexcept {
+    for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      auto& local = *local_[i];
+      for (Node* node : local.retired) free_node(static_cast<int>(i), node);
+      local.retired.clear();
+    }
+  }
+
+  // MP's optional interface (paper §4.1); no-ops for every other scheme so
+  // client data structures are written once. Derived (MP) shadows these.
+  void update_lower_bound(int /*tid*/, const Node* /*node*/) noexcept {}
+  void update_upper_bound(int /*tid*/, const Node* /*node*/) noexcept {}
+
+  /// Dropping a local reference (paper Listing 1). Default: no-op, matching
+  /// MP/EBR/IBR semantics; HP-family schemes shadow it.
+  void unprotect(int /*tid*/, int /*refno*/) noexcept {}
+
+  /// Pin a node without validation. Legal only when the caller knows the
+  /// node cannot be freed at the call: it is this thread's own unpublished
+  /// allocation, or it is currently protected/alive within this operation.
+  /// Uses: a skip-list inserter keeps accessing its node after linking it
+  /// (a concurrent deleter may retire it); an NM-tree deleter holds its
+  /// flagged leaf across re-seeks that recycle the seek slots. Default:
+  /// no-op (operation-scoped schemes already cover the whole operation).
+  void pin(int /*tid*/, int /*refno*/, Node* /*node*/) noexcept {}
+
+  // Default hooks; schemes with epochs/indices shadow them.
+  std::uint64_t epoch_now() const noexcept { return 0; }
+  void on_alloc_tick(int /*tid*/, std::uint64_t /*count*/) noexcept {}
+  void on_retire_tick(int /*tid*/) noexcept {}
+  std::uint32_t assign_index(int /*tid*/) noexcept { return kUseHp; }
+
+ protected:
+  struct PerThread {
+    std::vector<Node*> retired;
+    std::uint64_t retire_counter = 0;
+    std::uint64_t alloc_counter = 0;
+  };
+
+  Derived& derived() noexcept { return static_cast<Derived&>(*this); }
+  const Derived& derived() const noexcept {
+    return static_cast<const Derived&>(*this);
+  }
+
+  void free_node(int tid, Node* node) noexcept {
+    auto& stats = *stats_[tid];
+    stats.bump(stats.reclaims);
+    freed_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.free_hook != nullptr) {
+      config_.free_hook(config_.free_hook_context, node);
+    }
+    delete node;
+  }
+
+  /// Record the retired-list size at an operation start (Fig 6's metric).
+  void sample_retired(int tid) noexcept {
+    auto& stats = *stats_[tid];
+    stats.bump(stats.retired_sum, local_[tid]->retired.size());
+    stats.bump(stats.retired_samples);
+  }
+
+  PerThread& local(int tid) noexcept { return *local_[tid]; }
+
+  Config config_;
+  std::unique_ptr<common::Padded<ThreadStats>[]> stats_;
+  std::unique_ptr<common::Padded<PerThread>[]> local_;
+  std::atomic<std::uint64_t> allocated_{0};
+  std::atomic<std::uint64_t> freed_{0};
+};
+
+/// RAII operation guard: start_op on construction, end_op on destruction.
+template <typename Scheme>
+class OpGuard {
+ public:
+  OpGuard(Scheme& scheme, int tid) : scheme_(scheme), tid_(tid) {
+    scheme_.start_op(tid_);
+  }
+  ~OpGuard() { scheme_.end_op(tid_); }
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+
+ private:
+  Scheme& scheme_;
+  int tid_;
+};
+
+}  // namespace mp::smr::detail

@@ -1,0 +1,138 @@
+// Drop the Anchor (Braginsky, Kogan & Petrank, SPAA 2013) — paper §3.1.
+//
+// DTA reduces HP overhead by posting an *anchor* once every
+// `anchor_distance` node traversals instead of a hazard pointer per
+// dereference; the anchor conceptually protects every node within that
+// distance. Reclamation runs EBR-style; anchors exist so that a stalled
+// thread's neighborhood can be *frozen* (copied and made immutable),
+// letting every other node be reclaimed.
+//
+// This implementation is faithful on the fast path (anchor posting with
+// validation, EBR reclamation horizon) and conservative on recovery: the
+// published freezing procedure exists only for linked lists and is the part
+// of DTA the paper criticizes (an unbounded number of nodes can be frozen,
+// §3.1), so when a stalled thread blocks the EBR horizon we keep its
+// pre-stall retirees buffered rather than freeze — exactly the wasted-
+// memory pathology the stall ablation bench demonstrates. In the paper's
+// experiments (no indefinite stall) the two behaviors coincide. See
+// DESIGN.md, deviation 7.
+//
+// As in the paper, DTA is evaluated only on the linked list — the freezing
+// technique is list-specific — though the scheme compiles for any client.
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "smr/detail/scheme_base.hpp"
+
+namespace mp::smr {
+
+template <typename Node>
+class DTA : public detail::SchemeBase<Node, DTA<Node>> {
+  using Base = detail::SchemeBase<Node, DTA<Node>>;
+
+ public:
+  static constexpr const char* kName = "DTA";
+  static constexpr bool kBoundedWaste = false;  // frozen set can be unbounded
+  static constexpr bool kRobust = false;        // see header comment
+
+  static constexpr std::uint64_t kIdle =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit DTA(const Config& config)
+      : Base(config),
+        slots_(std::make_unique<common::Padded<Slot>[]>(config.max_threads)),
+        scratch_(std::make_unique<common::Padded<Scratch>[]>(
+            config.max_threads)) {
+    for (std::size_t t = 0; t < config.max_threads; ++t) {
+      slots_[t]->announced.store(kIdle, std::memory_order_relaxed);
+      slots_[t]->anchor.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  void start_op(int tid) noexcept {
+    this->sample_retired(tid);
+    auto& slot = *slots_[tid];
+    slot.announced.store(global_epoch_.load(std::memory_order_acquire),
+                         std::memory_order_relaxed);
+    slot.hops = 0;
+    counted_fence(this->thread_stats(tid));
+  }
+
+  void end_op(int tid) noexcept {
+    auto& slot = *slots_[tid];
+    slot.anchor.store(nullptr, std::memory_order_relaxed);
+    slot.announced.store(kIdle, std::memory_order_release);
+  }
+
+  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    auto& stats = this->thread_stats(tid);
+    auto& slot = *slots_[tid];
+    stats.bump(stats.reads);
+    while (true) {
+      const TaggedPtr observed = src.load(std::memory_order_acquire);
+      Node* node = observed.template ptr<Node>();
+      if (node == nullptr) return observed;
+      if (++slot.hops < this->config().anchor_distance) return observed;
+      // Time to drop the anchor: post, publish, and validate that the node
+      // is still linked (same protocol as a hazard pointer, but amortized
+      // over anchor_distance traversals).
+      slot.anchor.store(node, std::memory_order_relaxed);
+      stats.bump(stats.slow_protects);
+      counted_fence(stats);
+      if (src.load(std::memory_order_acquire) == observed) {
+        slot.hops = 0;
+        return observed;
+      }
+    }
+  }
+
+  std::uint64_t epoch_now() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {
+    if (count % this->config().effective_epoch_freq() == 0) {
+      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void empty(int tid) {
+    std::uint64_t horizon = kIdle;
+    for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      horizon = std::min(horizon,
+                         slots_[t]->announced.load(std::memory_order_acquire));
+    }
+    auto& retired = this->local(tid).retired;
+    auto& survivors = scratch_[tid]->survivors;
+    survivors.clear();
+    for (Node* node : retired) {
+      if (node->smr_header.retire_relaxed() < horizon) {
+        this->free_node(tid, node);
+      } else {
+        survivors.push_back(node);
+      }
+    }
+    retired.swap(survivors);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> announced;
+    std::atomic<Node*> anchor;
+    // Owner-local traversal counter; sharing the padded line is fine since
+    // only the owner touches it on the hot path.
+    int hops = 0;
+  };
+  struct Scratch {
+    std::vector<Node*> survivors;
+  };
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::unique_ptr<common::Padded<Slot>[]> slots_;
+  std::unique_ptr<common::Padded<Scratch>[]> scratch_;
+};
+
+}  // namespace mp::smr

@@ -1,0 +1,107 @@
+// Epoch-based reclamation (Fraser 2004 / McKenney & Slingwine 1998) — §3.2.
+//
+// A thread announces the global epoch when it starts an operation and marks
+// itself idle when it ends. A retired node is reclaimed once its retirement
+// epoch precedes every active thread's announced epoch. The per-operation
+// cost is one announcement (a store + fence); reads are plain loads.
+//
+// EBR is NOT robust: a thread stalled mid-operation pins its announced
+// epoch, so nothing retired at or after that epoch is ever reclaimed —
+// wasted memory grows without bound (the ablation bench demonstrates this).
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "smr/detail/scheme_base.hpp"
+
+namespace mp::smr {
+
+template <typename Node>
+class EBR : public detail::SchemeBase<Node, EBR<Node>> {
+  using Base = detail::SchemeBase<Node, EBR<Node>>;
+
+ public:
+  static constexpr const char* kName = "EBR";
+  static constexpr bool kBoundedWaste = false;
+  static constexpr bool kRobust = false;
+
+  /// Announced value of a thread that is not inside an operation.
+  static constexpr std::uint64_t kIdle =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit EBR(const Config& config)
+      : Base(config),
+        slots_(std::make_unique<common::Padded<Slot>[]>(config.max_threads)),
+        scratch_(std::make_unique<common::Padded<Scratch>[]>(
+            config.max_threads)) {
+    for (std::size_t t = 0; t < config.max_threads; ++t) {
+      slots_[t]->announced.store(kIdle, std::memory_order_relaxed);
+    }
+  }
+
+  void start_op(int tid) noexcept {
+    this->sample_retired(tid);
+    auto& slot = *slots_[tid];
+    slot.announced.store(global_epoch_.load(std::memory_order_acquire),
+                         std::memory_order_relaxed);
+    // The announcement must be visible before any shared read of the
+    // operation, or a reclaimer may miss this thread entirely.
+    counted_fence(this->thread_stats(tid));
+  }
+
+  void end_op(int tid) noexcept {
+    slots_[tid]->announced.store(kIdle, std::memory_order_release);
+  }
+
+  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    auto& stats = this->thread_stats(tid);
+    stats.bump(stats.reads);
+    return src.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t epoch_now() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {
+    if (count % this->config().effective_epoch_freq() == 0) {
+      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void empty(int tid) {
+    std::uint64_t horizon = kIdle;
+    for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      const std::uint64_t announced =
+          slots_[t]->announced.load(std::memory_order_acquire);
+      horizon = std::min(horizon, announced);
+    }
+    auto& retired = this->local(tid).retired;
+    auto& survivors = scratch_[tid]->survivors;
+    survivors.clear();
+    for (Node* node : retired) {
+      if (node->smr_header.retire_relaxed() < horizon) {
+        this->free_node(tid, node);
+      } else {
+        survivors.push_back(node);
+      }
+    }
+    retired.swap(survivors);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> announced;
+  };
+  struct Scratch {
+    std::vector<Node*> survivors;
+  };
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::unique_ptr<common::Padded<Slot>[]> slots_;
+  std::unique_ptr<common::Padded<Scratch>[]> scratch_;
+};
+
+}  // namespace mp::smr

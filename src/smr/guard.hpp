@@ -1,0 +1,91 @@
+// RAII facade over the SMR interface, in the shape of the C++ standard
+// library's hazard-pointer proposal (P0233, cited in the paper's §1 as the
+// motivation for bounded wasted memory): an OperationScope brackets
+// start_op/end_op, and Guard objects bind protection slots whose lifetime
+// releases the slot.
+//
+// This layer adds no overhead over the raw interface (everything inlines
+// to the same calls); it exists so client code can't forget an end_op or
+// leak a refno.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "smr/tagged_ptr.hpp"
+
+namespace mp::smr {
+
+/// Brackets one data-structure operation: start_op on construction,
+/// end_op on destruction (which also releases every protection).
+template <typename Scheme>
+class OperationScope {
+ public:
+  OperationScope(Scheme& scheme, int tid) : scheme_(scheme), tid_(tid) {
+    scheme_.start_op(tid_);
+  }
+  ~OperationScope() { scheme_.end_op(tid_); }
+  OperationScope(const OperationScope&) = delete;
+  OperationScope& operator=(const OperationScope&) = delete;
+
+  Scheme& scheme() const noexcept { return scheme_; }
+  int tid() const noexcept { return tid_; }
+
+ private:
+  Scheme& scheme_;
+  int tid_;
+};
+
+/// A protection slot bound for the lifetime of the guard. protect() loads
+/// a link word and guarantees the target stays unreclaimed until the guard
+/// is re-pointed, reset, or destroyed (or the operation ends).
+template <typename Scheme>
+class Guard {
+ public:
+  using Node = typename Scheme::node_type;
+
+  Guard(OperationScope<Scheme>& scope, int refno)
+      : scheme_(scope.scheme()), tid_(scope.tid()), refno_(refno) {}
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  ~Guard() { scheme_.unprotect(tid_, refno_); }
+
+  /// Protect-and-load: returns the validated link word (address + index
+  /// tag + client mark bits).
+  TaggedPtr protect(const AtomicTaggedPtr& src) {
+    word_ = scheme_.read(tid_, refno_, src);
+    return word_;
+  }
+
+  /// Convenience: protect and return the node pointer (marks stripped).
+  Node* protect_ptr(const AtomicTaggedPtr& src) {
+    return protect(src).template ptr<Node>();
+  }
+
+  /// The last word this guard protected.
+  TaggedPtr word() const noexcept { return word_; }
+  Node* get() const noexcept { return word_.template ptr<Node>(); }
+  Node* operator->() const noexcept {
+    assert(get() != nullptr);
+    return get();
+  }
+  explicit operator bool() const noexcept { return !word_.is_null(); }
+
+  /// Drop the protection early (before guard destruction).
+  void reset() noexcept {
+    scheme_.unprotect(tid_, refno_);
+    word_ = TaggedPtr::null();
+  }
+
+  int refno() const noexcept { return refno_; }
+
+ private:
+  Scheme& scheme_;
+  int tid_;
+  int refno_;
+  TaggedPtr word_;
+};
+
+}  // namespace mp::smr

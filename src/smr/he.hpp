@@ -1,0 +1,150 @@
+// Hazard eras (Ramalhete & Correia, SPAA 2017) — paper §3.3.
+//
+// HP's interface with EBR's granularity: each protection slot announces an
+// *era* (global epoch value) instead of a node address. A retired node is
+// reclaimable when no announced era falls inside its [birth, retire]
+// lifetime. A slot only needs re-announcing (store + fence) when the global
+// era has changed since its last announcement, so multiple nodes are
+// typically protected by one fence — the source of HE's low overhead.
+//
+// HE is robust but not bounded: a stalled thread pins every node whose
+// lifetime contains its announced era, which can be the entire data
+// structure at stall time.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "smr/detail/scheme_base.hpp"
+#include "smr/hp.hpp"
+
+namespace mp::smr {
+
+template <typename Node>
+class HE : public detail::SchemeBase<Node, HE<Node>> {
+  using Base = detail::SchemeBase<Node, HE<Node>>;
+
+ public:
+  static constexpr const char* kName = "HE";
+  static constexpr bool kBoundedWaste = false;
+  static constexpr bool kRobust = true;
+
+  /// Era value of an unused slot. Global eras start at 1.
+  static constexpr std::uint64_t kNoEra = 0;
+
+  explicit HE(const Config& config)
+      : Base(config),
+        slots_(std::make_unique<common::Padded<Slots>[]>(config.max_threads)),
+        scratch_(std::make_unique<common::Padded<Scratch>[]>(
+            config.max_threads)) {
+    assert(config.slots_per_thread <= kMaxSlotsPerThread);
+    for (std::size_t t = 0; t < config.max_threads; ++t) {
+      for (auto& era : slots_[t]->eras) {
+        era.store(kNoEra, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void start_op(int tid) noexcept { this->sample_retired(tid); }
+
+  void end_op(int tid) noexcept {
+    auto& slots = *slots_[tid];
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      slots.eras[i].store(kNoEra, std::memory_order_relaxed);
+    }
+    counted_fence(this->thread_stats(tid));
+  }
+
+  TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
+    assert(refno >= 0 && refno < this->config().slots_per_thread);
+    auto& stats = this->thread_stats(tid);
+    auto& era = slots_[tid]->eras[refno];
+    stats.bump(stats.reads);
+    std::uint64_t announced = era.load(std::memory_order_relaxed);
+    while (true) {
+      const TaggedPtr observed = src.load(std::memory_order_acquire);
+      const std::uint64_t current =
+          global_era_.load(std::memory_order_acquire);
+      // If the era announced in this slot is still current, the observed
+      // node's birth era is <= the announced era, so it is protected.
+      if (current == announced) return observed;
+      era.store(current, std::memory_order_relaxed);
+      stats.bump(stats.slow_protects);
+      counted_fence(stats);
+      announced = current;
+      // Re-read the pointer: the node observed before the announcement was
+      // published may already have been reclaimed.
+    }
+  }
+
+  void unprotect(int tid, int refno) noexcept {
+    slots_[tid]->eras[refno].store(kNoEra, std::memory_order_relaxed);
+  }
+
+  void pin(int tid, int refno, Node* node) noexcept {
+    // The current era lies inside the node's lifetime (birth <= now, and it
+    // will be retired at an era >= now), so announcing it pins the node.
+    (void)node;
+    slots_[tid]->eras[refno].store(global_era_.load(std::memory_order_acquire),
+                                   std::memory_order_relaxed);
+    counted_fence(this->thread_stats(tid));
+  }
+
+  std::uint64_t epoch_now() const noexcept {
+    return global_era_.load(std::memory_order_acquire);
+  }
+
+  void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {
+    if (count % this->config().effective_epoch_freq() == 0) {
+      global_era_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void empty(int tid) {
+    auto& scratch = *scratch_[tid];
+    scratch.eras.clear();
+    const int per_thread = this->config().slots_per_thread;
+    for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      for (int i = 0; i < per_thread; ++i) {
+        const std::uint64_t era =
+            slots_[t]->eras[i].load(std::memory_order_acquire);
+        if (era != kNoEra) scratch.eras.push_back(era);
+      }
+    }
+
+    auto& retired = this->local(tid).retired;
+    scratch.survivors.clear();
+    for (Node* node : retired) {
+      const std::uint64_t birth = node->smr_header.birth_relaxed();
+      const std::uint64_t retire = node->smr_header.retire_relaxed();
+      bool conflict = false;
+      for (const std::uint64_t era : scratch.eras) {
+        if (era >= birth && era <= retire) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) {
+        scratch.survivors.push_back(node);
+      } else {
+        this->free_node(tid, node);
+      }
+    }
+    retired.swap(scratch.survivors);
+  }
+
+ private:
+  struct Slots {
+    std::atomic<std::uint64_t> eras[kMaxSlotsPerThread];
+  };
+  struct Scratch {
+    std::vector<std::uint64_t> eras;
+    std::vector<Node*> survivors;
+  };
+
+  std::atomic<std::uint64_t> global_era_{1};
+  std::unique_ptr<common::Padded<Slots>[]> slots_;
+  std::unique_ptr<common::Padded<Scratch>[]> scratch_;
+};
+
+}  // namespace mp::smr

@@ -1,0 +1,127 @@
+// Hazard pointers (Michael, IEEE TPDS 2004) — paper §3.1.
+//
+// Each thread owns `slots_per_thread` hazard slots. read() announces the
+// target node in the caller's slot, issues a fence, and validates that the
+// source pointer is unchanged; success means the node was linked throughout,
+// so it is protected until the slot is overwritten or the operation ends.
+//
+// Wasted memory is bounded by O(#slots × T): empty() frees every retired
+// node not named by some hazard slot.
+//
+// Includes the paper's §6 optimizations: one fence when an operation ends
+// (not one per cleared slot), and empty() snapshots all hazard slots once
+// and queries the snapshot.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "smr/detail/scheme_base.hpp"
+
+namespace mp::smr {
+
+/// Hard ceiling on protection slots per thread (skip lists protect two
+/// nodes per level, so this is sized for tall towers).
+inline constexpr int kMaxSlotsPerThread = 64;
+
+template <typename Node>
+class HP : public detail::SchemeBase<Node, HP<Node>> {
+  using Base = detail::SchemeBase<Node, HP<Node>>;
+
+ public:
+  static constexpr const char* kName = "HP";
+  static constexpr bool kBoundedWaste = true;
+  static constexpr bool kRobust = true;
+
+  explicit HP(const Config& config)
+      : Base(config),
+        slots_(std::make_unique<common::Padded<Slots>[]>(config.max_threads)),
+        scratch_(std::make_unique<common::Padded<Scratch>[]>(
+            config.max_threads)) {
+    assert(config.slots_per_thread <= kMaxSlotsPerThread);
+    for (std::size_t t = 0; t < config.max_threads; ++t) {
+      for (auto& slot : slots_[t]->hazard) {
+        slot.store(nullptr, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void start_op(int tid) noexcept { this->sample_retired(tid); }
+
+  void end_op(int tid) noexcept {
+    auto& slots = *slots_[tid];
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      slots.hazard[i].store(nullptr, std::memory_order_relaxed);
+    }
+    // One fence for all clears (§6 "Optimizations to IBR Framework").
+    counted_fence(this->thread_stats(tid));
+  }
+
+  TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
+    assert(refno >= 0 && refno < this->config().slots_per_thread);
+    auto& stats = this->thread_stats(tid);
+    auto& slot = slots_[tid]->hazard[refno];
+    stats.bump(stats.reads);
+    while (true) {
+      const TaggedPtr observed = src.load(std::memory_order_acquire);
+      Node* node = observed.template ptr<Node>();
+      if (node == nullptr) return observed;
+      if (slot.load(std::memory_order_relaxed) == node) return observed;
+      slot.store(node, std::memory_order_relaxed);
+      stats.bump(stats.slow_protects);
+      counted_fence(stats);
+      // The announcement is globally visible; if the source still holds the
+      // same word, the node was linked throughout and is now protected.
+      if (src.load(std::memory_order_acquire) == observed) return observed;
+    }
+  }
+
+  void unprotect(int tid, int refno) noexcept {
+    slots_[tid]->hazard[refno].store(nullptr, std::memory_order_relaxed);
+  }
+
+  void pin(int tid, int refno, Node* node) noexcept {
+    slots_[tid]->hazard[refno].store(node, std::memory_order_relaxed);
+    counted_fence(this->thread_stats(tid));
+  }
+
+  void empty(int tid) {
+    auto& scratch = *scratch_[tid];
+    scratch.hazards.clear();
+    const int per_thread = this->config().slots_per_thread;
+    for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      for (int i = 0; i < per_thread; ++i) {
+        Node* hazard = slots_[t]->hazard[i].load(std::memory_order_acquire);
+        if (hazard != nullptr) scratch.hazards.push_back(hazard);
+      }
+    }
+    std::sort(scratch.hazards.begin(), scratch.hazards.end());
+
+    auto& retired = this->local(tid).retired;
+    scratch.survivors.clear();
+    for (Node* node : retired) {
+      if (std::binary_search(scratch.hazards.begin(), scratch.hazards.end(),
+                             node)) {
+        scratch.survivors.push_back(node);
+      } else {
+        this->free_node(tid, node);
+      }
+    }
+    retired.swap(scratch.survivors);
+  }
+
+ private:
+  struct Slots {
+    std::atomic<Node*> hazard[kMaxSlotsPerThread];
+  };
+  struct Scratch {
+    std::vector<Node*> hazards;
+    std::vector<Node*> survivors;
+  };
+
+  std::unique_ptr<common::Padded<Slots>[]> slots_;
+  std::unique_ptr<common::Padded<Scratch>[]> scratch_;
+};
+
+}  // namespace mp::smr

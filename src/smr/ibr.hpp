@@ -1,0 +1,159 @@
+// Interval-based reclamation, 2GE variant (Wen et al., PPoPP 2018) — §3.3.
+//
+// Each thread reserves an epoch interval [lower, upper]: lower is the epoch
+// announced at operation start, upper is bumped to the current global epoch
+// whenever the thread observes it changed during a read. Any node the
+// thread can access has its birth epoch inside the reservation, so a
+// retired node is reclaimable if, for every active thread, it was retired
+// before the reservation started or born after it ended.
+//
+// Unlike HE there is one reservation per thread (not per slot), so an epoch
+// change costs a single store + fence — IBR's published advantage over HE.
+// Robust but not bounded, like HE.
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "smr/detail/scheme_base.hpp"
+
+namespace mp::smr {
+
+template <typename Node>
+class IBR : public detail::SchemeBase<Node, IBR<Node>> {
+  using Base = detail::SchemeBase<Node, IBR<Node>>;
+
+ public:
+  static constexpr const char* kName = "IBR";
+  static constexpr bool kBoundedWaste = false;
+  static constexpr bool kRobust = true;
+
+  static constexpr std::uint64_t kIdle =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit IBR(const Config& config)
+      : Base(config),
+        slots_(std::make_unique<common::Padded<Slot>[]>(config.max_threads)),
+        scratch_(std::make_unique<common::Padded<Scratch>[]>(
+            config.max_threads)) {
+    for (std::size_t t = 0; t < config.max_threads; ++t) {
+      slots_[t]->lower.store(kIdle, std::memory_order_relaxed);
+      slots_[t]->upper.store(kIdle, std::memory_order_relaxed);
+    }
+  }
+
+  void start_op(int tid) noexcept {
+    this->sample_retired(tid);
+    auto& slot = *slots_[tid];
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+    slot.lower.store(epoch, std::memory_order_relaxed);
+    slot.upper.store(epoch, std::memory_order_relaxed);
+    slot.cached_upper = epoch;
+    counted_fence(this->thread_stats(tid));
+  }
+
+  void end_op(int tid) noexcept {
+    auto& slot = *slots_[tid];
+    slot.lower.store(kIdle, std::memory_order_relaxed);
+    slot.upper.store(kIdle, std::memory_order_release);
+  }
+
+  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    auto& stats = this->thread_stats(tid);
+    auto& slot = *slots_[tid];
+    stats.bump(stats.reads);
+    while (true) {
+      const TaggedPtr observed = src.load(std::memory_order_acquire);
+      const std::uint64_t epoch =
+          global_epoch_.load(std::memory_order_acquire);
+      // Common case: the epoch is unchanged since our reservation covered
+      // it, so the observed node's birth epoch is within the reservation.
+      if (epoch == slot.cached_upper) return observed;
+      slot.upper.store(epoch, std::memory_order_relaxed);
+      stats.bump(stats.slow_protects);
+      counted_fence(stats);
+      slot.cached_upper = epoch;
+      // Retry: the node observed before the reservation was published may
+      // have been reclaimed in the meantime.
+    }
+  }
+
+  void pin(int tid, int /*refno*/, Node* node) noexcept {
+    // Extend the reservation to the node's birth epoch: the node was born
+    // inside this operation, possibly after the last upper refresh.
+    (void)node;
+    auto& slot = *slots_[tid];
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+    if (epoch != slot.cached_upper) {
+      slot.upper.store(epoch, std::memory_order_relaxed);
+      counted_fence(this->thread_stats(tid));
+      slot.cached_upper = epoch;
+    }
+  }
+
+  std::uint64_t epoch_now() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {
+    if (count % this->config().effective_epoch_freq() == 0) {
+      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void empty(int tid) {
+    auto& scratch = *scratch_[tid];
+    scratch.reservations.clear();
+    for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      const std::uint64_t lower =
+          slots_[t]->lower.load(std::memory_order_acquire);
+      const std::uint64_t upper =
+          slots_[t]->upper.load(std::memory_order_acquire);
+      if (lower != kIdle) scratch.reservations.push_back({lower, upper});
+    }
+
+    auto& retired = this->local(tid).retired;
+    scratch.survivors.clear();
+    for (Node* node : retired) {
+      const std::uint64_t birth = node->smr_header.birth_relaxed();
+      const std::uint64_t retire = node->smr_header.retire_relaxed();
+      bool conflict = false;
+      for (const auto& [lower, upper] : scratch.reservations) {
+        // Conflict unless the node died before the reservation began or was
+        // born after it ended.
+        if (!(retire < lower || birth > upper)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) {
+        scratch.survivors.push_back(node);
+      } else {
+        this->free_node(tid, node);
+      }
+    }
+    retired.swap(scratch.survivors);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> lower;
+    std::atomic<std::uint64_t> upper;
+    // Owner-local mirror of `upper`, avoiding an atomic load per read.
+    std::uint64_t cached_upper = kIdle;
+  };
+  struct Scratch {
+    struct Reservation {
+      std::uint64_t lower, upper;
+    };
+    std::vector<Reservation> reservations;
+    std::vector<Node*> survivors;
+  };
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::unique_ptr<common::Padded<Slot>[]> slots_;
+  std::unique_ptr<common::Padded<Scratch>[]> scratch_;
+};
+
+}  // namespace mp::smr

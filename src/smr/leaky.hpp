@@ -1,0 +1,42 @@
+// "Leaky" non-reclaiming baseline.
+//
+// retire() buffers nodes forever and nothing is freed until teardown. This
+// is the zero-overhead upper bound every SMR scheme is measured against,
+// and a control for differential testing: any data-structure bug that shows
+// up only under a real scheme is a reclamation bug, not a client bug.
+#pragma once
+
+#include "smr/detail/scheme_base.hpp"
+
+namespace mp::smr {
+
+template <typename Node>
+class Leaky : public detail::SchemeBase<Node, Leaky<Node>> {
+  using Base = detail::SchemeBase<Node, Leaky<Node>>;
+
+ public:
+  static constexpr const char* kName = "Leaky";
+  static constexpr bool kBoundedWaste = false;
+  static constexpr bool kRobust = false;
+
+  explicit Leaky(const Config& config) : Base(config) {}
+
+  void start_op(int tid) noexcept {
+    this->sample_retired(tid);
+    auto& stats = this->thread_stats(tid);
+    stats.bump(stats.reads, 0);  // keep the counter hot-path shape uniform
+  }
+
+  void end_op(int /*tid*/) noexcept {}
+
+  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    auto& stats = this->thread_stats(tid);
+    stats.bump(stats.reads);
+    return src.load(std::memory_order_acquire);
+  }
+
+  /// Never reclaims; the retired list only drains at teardown.
+  void empty(int /*tid*/) noexcept {}
+};
+
+}  // namespace mp::smr

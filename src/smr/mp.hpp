@@ -1,0 +1,409 @@
+// Margin pointers — the paper's contribution (§4, Listing 10).
+//
+// MP is pointer-based reclamation whose protection variables cover *logical
+// subsets* of a search data structure: an announced 32-bit index i plus a
+// margin M protects every node whose index lies in [i - M/2, i + M/2].
+// Because one announcement covers many physically-close nodes (indices are
+// assigned so that physical proximity implies index proximity), most reads
+// take a fence-free fast path, yet the number of retired nodes a thread can
+// pin is bounded — the property HP has and EBR/HE/IBR lack.
+//
+// Components, mirroring Listing 10:
+//   * per-thread margin slots + paired hazard slots (the §4.3.2 fallback)
+//   * per-thread announced epoch, global epoch advanced every epoch_freq
+//     allocations (§6 parameters), node birth/retire stamps
+//   * index creation: insert operations report the shrinking search
+//     interval via update_lower_bound/update_upper_bound; alloc() assigns
+//     the midpoint, or USE_HP when the gap has no room (index collision)
+//   * read(): margin fast path -> margin install (fence + validate) ->
+//     hazard-pointer path for USE_HP nodes or after the epoch advances
+//     mid-operation ("use HPs from now, but old MPs remain")
+//
+// Wasted-memory bound (Theorem 4.2): per thread at most
+//   #HP + #MP*M + #MP*M*(epoch_freq*T)  retired nodes stay pinned.
+//
+// Deviations from the paper's pseudocode (argued in DESIGN.md):
+//   1. empty()'s epoch filter uses the closed interval [birth, retire].
+//   2. empty() checks hazard slots for every node, not only USE_HP ones.
+//   3. A margin slot stores the lower bound of the pointer tag's index
+//      range; protection requires the margin interval to contain the whole
+//      range, hence margin >= 2^17 is enforced.
+//   4. update_*_bound with a USE_HP donor, or an inverted interval, poisons
+//      the search interval so the next alloc falls back to USE_HP.
+//   8. *Every* read (including the fast path) verifies that the global
+//      epoch still equals the operation's announced epoch and otherwise
+//      switches to hazard pointers: a margin installed at epoch e must not
+//      be trusted for nodes born after e, because reclaimers ignore this
+//      thread for such nodes.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "smr/detail/scheme_base.hpp"
+#include "smr/hp.hpp"  // kMaxSlotsPerThread
+
+namespace mp::smr {
+
+template <typename Node>
+class MP : public detail::SchemeBase<Node, MP<Node>> {
+  using Base = detail::SchemeBase<Node, MP<Node>>;
+
+ public:
+  static constexpr const char* kName = "MP";
+  static constexpr bool kBoundedWaste = true;
+  static constexpr bool kRobust = true;
+
+  /// Margin-slot value meaning "no protection" (Listing 10's NO_MARGIN).
+  static constexpr std::uint32_t kNoMargin = 0xFFFFFFFFu;
+
+  explicit MP(const Config& config)
+      : Base(config),
+        margin_half_(config.margin / 2),
+        slots_(std::make_unique<common::Padded<Slots>[]>(config.max_threads)),
+        owner_(std::make_unique<common::Padded<Owner>[]>(config.max_threads)) {
+    assert(config.slots_per_thread <= kMaxSlotsPerThread);
+    // A margin must be able to cover one full 16-bit tag range (§4.3.1:
+    // "the margin must be larger than 2^16"; with the slot holding the
+    // range's lower bound, half the margin must cover the range width).
+    assert(config.margin >= (1u << 17) && "margin must be at least 2^17");
+    for (std::size_t t = 0; t < config.max_threads; ++t) {
+      auto& slots = *slots_[t];
+      for (int i = 0; i < kMaxSlotsPerThread; ++i) {
+        slots.margins[i].store(kNoMargin, std::memory_order_relaxed);
+        slots.hazards[i].store(nullptr, std::memory_order_relaxed);
+      }
+      slots.epoch.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // ---- Operation brackets (Listing 10 start_op / end_op) ----
+
+  void start_op(int tid) noexcept {
+    this->sample_retired(tid);
+    auto& owner = *owner_[tid];
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+    slots_[tid]->epoch.store(epoch, std::memory_order_relaxed);
+    owner.epoch = epoch;
+    // "No predecessor reported yet" is soundly modeled by the space
+    // minimum (any index below the successor's preserves the order); the
+    // upper endpoint has no such safe default and starts unknown.
+    owner.lower_bound = kMinIndex;
+    owner.lower_known = true;
+    owner.upper_bound = kMinIndex;
+    owner.upper_known = false;
+    owner.hp_mode = false;
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      owner.cover_lo[i] = 1;  // empty interval: nothing covered
+      owner.cover_hi[i] = 0;
+    }
+    counted_fence(this->thread_stats(tid));
+  }
+
+  void end_op(int tid) noexcept {
+    auto& slots = *slots_[tid];
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      slots.margins[i].store(kNoMargin, std::memory_order_relaxed);
+      slots.hazards[i].store(nullptr, std::memory_order_relaxed);
+    }
+    counted_fence(this->thread_stats(tid));
+  }
+
+  // ---- Protection (Listing 10 read) ----
+
+  TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
+    assert(refno >= 0 && refno < this->config().slots_per_thread);
+    auto& stats = this->thread_stats(tid);
+    auto& slots = *slots_[tid];
+    auto& owner = *owner_[tid];
+    stats.bump(stats.reads);
+
+    while (true) {
+      const TaggedPtr observed = src.load(std::memory_order_acquire);
+      Node* node = observed.template ptr<Node>();
+      if (node == nullptr) return observed;
+
+      const std::uint32_t range_lo = observed.index_lower_bound();
+      const std::uint32_t range_hi = observed.index_upper_bound();
+
+      // Margin fast path (the common case): the owner-local mirror of this
+      // slot's coverage interval makes it two compares plus the epoch
+      // check. A USE_HP-range tag never satisfies it (cover_hi < kUseHp).
+      if (!owner.hp_mode && range_lo >= owner.cover_lo[refno] &&
+          range_hi <= owner.cover_hi[refno]) {
+        // Deviation 8: a margin is only trustworthy while the global epoch
+        // equals our announcement — later-born covered nodes are invisible
+        // to reclaimers through our margins.
+        if (global_epoch_.load(std::memory_order_acquire) == owner.epoch) {
+          return observed;
+        }
+        owner.hp_mode = true;
+      }
+
+      bool use_hp = owner.hp_mode || range_hi == kUseHp;
+      if (!use_hp &&
+          global_epoch_.load(std::memory_order_acquire) != owner.epoch) {
+        owner.hp_mode = true;
+        use_hp = true;
+      }
+
+      if (use_hp) {
+        // Note: in hp_mode, margins installed earlier keep protecting nodes
+        // *already returned* by read() ("old MPs remain"), but they must not
+        // serve new reads — a freshly loaded node inside the margin could
+        // have been born after our announced epoch, and reclaimers ignore
+        // our margins for such nodes.
+        stats.bump(stats.hp_fallbacks);
+        auto& hazard = slots.hazards[refno];
+        if (hazard.load(std::memory_order_relaxed) == node) return observed;
+        hazard.store(node, std::memory_order_relaxed);
+        stats.bump(stats.slow_protects);
+        counted_fence(stats);
+        if (src.load(std::memory_order_acquire) == observed) return observed;
+        continue;
+      }
+
+      // Install a margin around the node's index range and validate.
+      slots.margins[refno].store(range_lo, std::memory_order_relaxed);
+      owner.cover_lo[refno] =
+          range_lo >= margin_half_ ? range_lo - margin_half_ : 0;
+      owner.cover_hi[refno] =
+          range_lo <= (kUseHp - 1) - margin_half_ ? range_lo + margin_half_
+                                                  : kUseHp - 1;
+      stats.bump(stats.slow_protects);
+      counted_fence(stats);
+      if (src.load(std::memory_order_acquire) == observed) {
+        if (global_epoch_.load(std::memory_order_acquire) != owner.epoch) {
+          // Epoch advanced under us: the node may have been born in the new
+          // epoch; retry via the hazard-pointer path (Listing 10).
+          owner.hp_mode = true;
+          continue;
+        }
+        return observed;
+      }
+      // Source changed: the margin stays (it can only over-protect) and the
+      // protocol repeats for the new target.
+    }
+  }
+
+  void pin(int tid, int refno, Node* node) noexcept {
+    // The hazard slot (not a margin) is used so the protection survives
+    // hp_mode and is honored by empty() regardless of the node's birth
+    // epoch relative to our announcement.
+    slots_[tid]->hazards[refno].store(node, std::memory_order_relaxed);
+    counted_fence(this->thread_stats(tid));
+  }
+
+  // ---- Index creation (Listing 5 / 10 alloc path) ----
+
+  // Endpoint tracking is per-endpoint and *recoverable* (deviation 4): an
+  // update with a USE_HP node marks that endpoint unknown, and a later
+  // update with a real index restores it. Only the FINAL interval
+  // endpoints matter for correctness (Listing 5: they are the key's
+  // predecessor and successor), so a USE_HP node merely passed at an upper
+  // skip-list level must not condemn the insert — a sticky poison flag
+  // makes collisions avalanche (each USE_HP node poisons every traversal
+  // through it, minting more USE_HP nodes).
+  void update_lower_bound(int tid, const Node* node) noexcept {
+    auto& owner = *owner_[tid];
+    const std::uint32_t index = node->smr_header.index_relaxed();
+    if (index == kUseHp) {
+      owner.lower_known = false;
+      return;
+    }
+    owner.lower_bound = index;
+    owner.lower_known = true;
+  }
+
+  void update_upper_bound(int tid, const Node* node) noexcept {
+    auto& owner = *owner_[tid];
+    const std::uint32_t index = node->smr_header.index_relaxed();
+    if (index == kUseHp) {
+      owner.upper_known = false;
+      return;
+    }
+    owner.upper_bound = index;
+    owner.upper_known = true;
+  }
+
+  std::uint32_t assign_index(int tid) noexcept {
+    auto& owner = *owner_[tid];
+    const std::uint32_t lo = owner.lower_bound;
+    const std::uint32_t hi = owner.upper_bound;
+    if (!owner.lower_known || !owner.upper_known || lo > hi || hi - lo <= 1) {
+      // Index collision (§4.3.2), inverted interval, or an unknown
+      // endpoint: fall back to hazard-pointer protection for this node.
+      auto& stats = this->thread_stats(tid);
+      stats.bump(stats.index_collisions);
+      return kUseHp;
+    }
+    switch (this->config().index_policy) {
+      case Config::IndexPolicy::kGoldenRatio: {
+        // Asymmetric split biased low (1 - 1/phi ~ 0.382 of the span):
+        // ascending insertions — the Fig 7a worst case and a common
+        // append-mostly production pattern — keep 61.8% of the remaining
+        // range each step instead of 50%, stretching the collision-free
+        // run from ~32 to ~46 inserts (at the cost of descending runs).
+        const std::uint64_t span = hi - lo;
+        // Clamp the offset into [1, span-1]: integer flooring must never
+        // duplicate an endpoint's index (linked indices stay unique).
+        const std::uint64_t offset =
+            std::clamp<std::uint64_t>((span * 382) / 1000, 1, span - 1);
+        return lo + static_cast<std::uint32_t>(offset);
+      }
+      case Config::IndexPolicy::kMidpoint:
+      default:
+        return lo + (hi - lo) / 2;  // Listing 5
+    }
+  }
+
+  // ---- Epoch machinery (§4.3.2) ----
+
+  std::uint64_t epoch_now() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {
+    if (this->config().epoch_advance_on_unlink) return;  // §4.4 mode
+    if (count % this->config().effective_epoch_freq() == 0) {
+      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void on_retire_tick(int /*tid*/) noexcept {
+    // §4.4 future-work variant: advancing the epoch on every unlink
+    // improves the wasted-memory bound to #HP + O(#MP * M) per thread.
+    if (this->config().epoch_advance_on_unlink) {
+      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  // ---- Reclamation (Listing 10 empty) ----
+
+  void empty(int tid) {
+    auto& scratch = owner_[tid]->scratch;
+    const std::size_t threads = this->config().max_threads;
+    const int per_thread = this->config().slots_per_thread;
+
+    // Snapshot every thread's announcement once (§6 optimization), into
+    // compact lists holding only *active* protections — the spirit of the
+    // interval-index optimization §4.3 suggests. The epoch is snapshotted
+    // before the thread's slots (see DESIGN.md: protections installed
+    // after the snapshot cannot cover nodes already in our retired list).
+    scratch.margin_entries.clear();
+    scratch.hazard_entries.clear();
+    for (std::size_t t = 0; t < threads; ++t) {
+      auto& slots = *slots_[t];
+      const std::uint64_t epoch = slots.epoch.load(std::memory_order_acquire);
+      for (int i = 0; i < per_thread; ++i) {
+        const std::uint32_t margin =
+            slots.margins[i].load(std::memory_order_acquire);
+        if (margin != kNoMargin) {
+          scratch.margin_entries.push_back(
+              {interval_lo(margin), interval_hi(margin), epoch});
+        }
+        Node* hazard = slots.hazards[i].load(std::memory_order_acquire);
+        if (hazard != nullptr) scratch.hazard_entries.push_back(hazard);
+      }
+    }
+    // Hazards are honored regardless of epochs (deviation 2), so a sorted
+    // set + binary search suffices.
+    std::sort(scratch.hazard_entries.begin(), scratch.hazard_entries.end());
+
+    auto& retired = this->local(tid).retired;
+    scratch.survivors.clear();
+    for (Node* node : retired) {
+      if (is_protected(node, scratch)) {
+        scratch.survivors.push_back(node);
+      } else {
+        this->free_node(tid, node);
+      }
+    }
+    retired.swap(scratch.survivors);
+  }
+
+ private:
+  struct Slots {
+    std::atomic<std::uint32_t> margins[kMaxSlotsPerThread];
+    std::atomic<Node*> hazards[kMaxSlotsPerThread];
+    std::atomic<std::uint64_t> epoch;
+  };
+
+  struct MarginEntry {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::uint64_t epoch;  ///< owning thread's announced epoch
+  };
+
+  struct Scratch {
+    std::vector<MarginEntry> margin_entries;
+    std::vector<Node*> hazard_entries;
+    std::vector<Node*> survivors;
+  };
+
+  struct Owner {
+    std::uint64_t epoch = 0;
+    std::uint32_t lower_bound = kMinIndex;
+    std::uint32_t upper_bound = kMinIndex;
+    bool lower_known = false;
+    bool upper_known = false;
+    bool hp_mode = false;
+    // Owner-local mirror of each margin slot's protection interval,
+    // precomputed at install so the fast path is two compares. cover_hi is
+    // capped at kUseHp - 1 so a USE_HP-range tag never matches.
+    std::uint32_t cover_lo[kMaxSlotsPerThread];
+    std::uint32_t cover_hi[kMaxSlotsPerThread];
+    Scratch scratch;
+  };
+
+  /// Saturating bounds of the protection interval around an announced
+  /// margin value.
+  std::uint32_t interval_lo(std::uint32_t margin) const noexcept {
+    return margin >= margin_half_ ? margin - margin_half_ : 0;
+  }
+  std::uint32_t interval_hi(std::uint32_t margin) const noexcept {
+    return margin <= kUseHp - margin_half_ ? margin + margin_half_ : kUseHp;
+  }
+
+  /// Does the margin interval around announced value `margin` cover the
+  /// whole index range [lo, hi]?
+  bool covers(std::uint32_t margin, std::uint32_t lo,
+              std::uint32_t hi) const noexcept {
+    return interval_lo(margin) <= lo && hi <= interval_hi(margin);
+  }
+
+  bool is_protected(const Node* node, const Scratch& scratch) const noexcept {
+    // Hazard slots are honored unconditionally (deviation 2): an HP set in
+    // hp_mode can legitimately protect a node born after the thread's
+    // announced epoch, so no epoch filter gates this check.
+    if (std::binary_search(scratch.hazard_entries.begin(),
+                           scratch.hazard_entries.end(),
+                           const_cast<Node*>(node))) {
+      return true;
+    }
+    const std::uint32_t index = node->smr_header.index_relaxed();
+    if (index == kUseHp) return false;  // only hazards protect USE_HP nodes
+
+    // Margins are only trusted by readers for nodes whose lifetime
+    // contains the reader's announced epoch (Theorem 4.2's filter; closed
+    // interval per deviation 1), so the reclaimer mirrors that gate.
+    const std::uint64_t birth = node->smr_header.birth_relaxed();
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    const std::uint32_t range_lo = index & ~0xFFFFu;
+    const std::uint32_t range_hi = index | 0xFFFFu;
+    for (const MarginEntry& entry : scratch.margin_entries) {
+      if (entry.epoch < birth || entry.epoch > retire) continue;
+      if (entry.lo <= range_lo && range_hi <= entry.hi) return true;
+    }
+    return false;
+  }
+
+  const std::uint32_t margin_half_;
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::unique_ptr<common::Padded<Slots>[]> slots_;
+  std::unique_ptr<common::Padded<Owner>[]> owner_;
+};
+
+}  // namespace mp::smr

@@ -1,0 +1,53 @@
+// Umbrella header for the marginptr SMR library.
+//
+// The SMR interface (paper §2, Listing 1), implemented by every scheme:
+//
+//   Scheme(config)                     fixed max_threads, slots, frequencies
+//   start_op(tid) / end_op(tid)        bracket every data-structure operation
+//   read(tid, refno, src) -> TaggedPtr protect-and-load a link word; `refno`
+//                                      names the local reference (ignored by
+//                                      schemes without per-reference state)
+//   unprotect(tid, refno)              drop a local reference (no-op where
+//                                      protection is interval/epoch based)
+//   alloc<Args...>(tid, args...)       allocate a node, stamping SMR header
+//   retire(tid, node)                  hand over a removed node
+//   make_link(node, mark) -> TaggedPtr encode a link word (§4.3.1)
+//   set_index(node, i) / copy_index()  sentinel / router index assignment
+//   update_lower_bound(tid, node)      MP's optional search-interval calls
+//   update_upper_bound(tid, node)      (no-ops everywhere else)
+//
+// Threads do not hold references across operations (§2), so end_op may
+// clear all protections.
+//
+// Schemes:            wasted memory            per-read cost
+//   Leaky             unbounded (never frees)  plain load
+//   EBR               unbounded under stalls   plain load
+//   IBR (2GE)         robust, unbounded        load + epoch check
+//   HE                robust, unbounded        load + epoch check (per slot)
+//   DTA               robust†, list-only       load + anchor per k hops
+//   HP                bounded O(#slots*T)      store + fence per dereference
+//   MP  (this paper)  bounded (Thm 4.2)        load + epoch check; fence only
+//                                              when leaving the margin
+#pragma once
+
+#include "smr/config.hpp"
+#include "smr/detail/scheme_base.hpp"
+#include "smr/dta.hpp"
+#include "smr/ebr.hpp"
+#include "smr/guard.hpp"
+#include "smr/he.hpp"
+#include "smr/hp.hpp"
+#include "smr/ibr.hpp"
+#include "smr/leaky.hpp"
+#include "smr/mp.hpp"
+#include "smr/node.hpp"
+#include "smr/stats.hpp"
+#include "smr/tagged_ptr.hpp"
+
+namespace mp::smr {
+
+/// RAII operation bracket.
+template <typename Scheme>
+using OpGuard = detail::OpGuard<Scheme>;
+
+}  // namespace mp::smr

@@ -1,0 +1,99 @@
+// Per-thread SMR statistics.
+//
+// Counters are the data source for the paper's Fig 5 (memory fences per
+// traversed node) and Fig 6 (retired-but-unreclaimed nodes sampled at the
+// start of each operation). Each thread owns one cache-line-padded record
+// and bumps it with relaxed atomics; aggregation reads are racy by design
+// (monotonic counters, so a snapshot is always a valid lower bound).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+
+namespace mp::smr {
+
+struct ThreadStats {
+  std::atomic<std::uint64_t> fences{0};        ///< seq_cst fences issued
+  std::atomic<std::uint64_t> reads{0};         ///< SMR read() calls
+  std::atomic<std::uint64_t> slow_protects{0}; ///< protection-slot writes
+  std::atomic<std::uint64_t> hp_fallbacks{0};  ///< MP reads served via HP path
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> retires{0};
+  std::atomic<std::uint64_t> reclaims{0};      ///< nodes actually freed
+  std::atomic<std::uint64_t> empties{0};       ///< empty() invocations
+  std::atomic<std::uint64_t> retired_sum{0};   ///< sum of retired-list sizes…
+  std::atomic<std::uint64_t> retired_samples{0}; ///< …sampled at start_op
+  std::atomic<std::uint64_t> index_collisions{0}; ///< MP allocs forced to USE_HP
+
+  void bump(std::atomic<std::uint64_t>& counter,
+            std::uint64_t by = 1) noexcept {
+    counter.store(counter.load(std::memory_order_relaxed) + by,
+                  std::memory_order_relaxed);
+  }
+};
+
+/// Plain aggregate of ThreadStats, for reporting.
+struct StatsSnapshot {
+  std::uint64_t fences = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t slow_protects = 0;
+  std::uint64_t hp_fallbacks = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t retires = 0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t empties = 0;
+  std::uint64_t retired_sum = 0;
+  std::uint64_t retired_samples = 0;
+  std::uint64_t index_collisions = 0;
+
+  StatsSnapshot& operator+=(const ThreadStats& t) noexcept {
+    fences += t.fences.load(std::memory_order_relaxed);
+    reads += t.reads.load(std::memory_order_relaxed);
+    slow_protects += t.slow_protects.load(std::memory_order_relaxed);
+    hp_fallbacks += t.hp_fallbacks.load(std::memory_order_relaxed);
+    allocs += t.allocs.load(std::memory_order_relaxed);
+    retires += t.retires.load(std::memory_order_relaxed);
+    reclaims += t.reclaims.load(std::memory_order_relaxed);
+    empties += t.empties.load(std::memory_order_relaxed);
+    retired_sum += t.retired_sum.load(std::memory_order_relaxed);
+    retired_samples += t.retired_samples.load(std::memory_order_relaxed);
+    index_collisions += t.index_collisions.load(std::memory_order_relaxed);
+    return *this;
+  }
+
+  StatsSnapshot operator-(const StatsSnapshot& rhs) const noexcept {
+    StatsSnapshot out = *this;
+    out.fences -= rhs.fences;
+    out.reads -= rhs.reads;
+    out.slow_protects -= rhs.slow_protects;
+    out.hp_fallbacks -= rhs.hp_fallbacks;
+    out.allocs -= rhs.allocs;
+    out.retires -= rhs.retires;
+    out.reclaims -= rhs.reclaims;
+    out.empties -= rhs.empties;
+    out.retired_sum -= rhs.retired_sum;
+    out.retired_samples -= rhs.retired_samples;
+    out.index_collisions -= rhs.index_collisions;
+    return out;
+  }
+
+  /// Fig 6 metric: mean retired-list size observed at operation starts.
+  double avg_retired() const noexcept {
+    return retired_samples == 0
+               ? 0.0
+               : static_cast<double>(retired_sum) /
+                     static_cast<double>(retired_samples);
+  }
+};
+
+/// Issue a sequentially consistent fence and account for it. Every fence on
+/// an SMR hot path in this library goes through here so that Fig 5 counts
+/// are exact.
+inline void counted_fence(ThreadStats& stats) noexcept {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  stats.bump(stats.fences);
+}
+
+}  // namespace mp::smr

@@ -1,0 +1,142 @@
+// Packed pointer representation (paper §4.3.1, Listing 6).
+//
+// MP needs to know a node's index *without dereferencing it*, so a pointer
+// is a single 64-bit word:
+//
+//   [63:48]  tag — the 16 most significant bits of the target's 32-bit index
+//   [47:2]   the node's address
+//   [1:0]    client mark bits (list deletion bit, NM-tree flag/tag bits)
+//
+// x86-64 and AArch64 user-space addresses fit in 48 bits with the upper bits
+// zero, which we assert on encoding. Non-MP schemes carry a zero tag; the
+// layout is shared so all data-structure code is scheme-agnostic.
+//
+// The SMR schemes compare and validate *raw words*, so a recycled node that
+// reappears at the same address with a different tag fails validation and
+// the read retries — tags double as ABA insurance on the protection path.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace mp::smr {
+
+class TaggedPtr {
+ public:
+  static constexpr std::uint64_t kAddrBits = 48;
+  static constexpr std::uint64_t kAddrMask = (1ULL << kAddrBits) - 1;
+  static constexpr std::uint64_t kMarkMask = 0x3;
+  static constexpr std::uint64_t kPtrMask = kAddrMask & ~kMarkMask;
+
+  constexpr TaggedPtr() noexcept : word_(0) {}
+  constexpr explicit TaggedPtr(std::uint64_t raw) noexcept : word_(raw) {}
+
+  static constexpr TaggedPtr null() noexcept { return TaggedPtr{}; }
+
+  /// Encode a node address with an index tag and optional mark bits.
+  static TaggedPtr make(const void* node, std::uint16_t tag,
+                        unsigned mark = 0) noexcept {
+    const auto addr = reinterpret_cast<std::uintptr_t>(node);
+    assert((addr & ~kPtrMask) == 0 && "address does not fit the 48-bit field");
+    assert(mark <= kMarkMask);
+    return TaggedPtr{(static_cast<std::uint64_t>(tag) << kAddrBits) | addr |
+                     mark};
+  }
+
+  /// The node address, mark bits stripped.
+  template <typename Node>
+  Node* ptr() const noexcept {
+    return reinterpret_cast<Node*>(word_ & kPtrMask);
+  }
+
+  void* address() const noexcept {
+    return reinterpret_cast<void*>(word_ & kPtrMask);
+  }
+
+  bool is_null() const noexcept { return (word_ & kPtrMask) == 0; }
+
+  unsigned mark() const noexcept {
+    return static_cast<unsigned>(word_ & kMarkMask);
+  }
+
+  TaggedPtr with_mark(unsigned mark) const noexcept {
+    assert(mark <= kMarkMask);
+    return TaggedPtr{(word_ & ~kMarkMask) | mark};
+  }
+
+  TaggedPtr without_mark() const noexcept {
+    return TaggedPtr{word_ & ~kMarkMask};
+  }
+
+  /// The 16-bit index tag (high bits of the target node's index).
+  std::uint16_t tag() const noexcept {
+    return static_cast<std::uint16_t>(word_ >> kAddrBits);
+  }
+
+  /// Lower/upper bound of the 32-bit index range this tag stands for
+  /// (Listing 10: idx_lower_bound / idx_upper_bound).
+  std::uint32_t index_lower_bound() const noexcept {
+    return static_cast<std::uint32_t>(tag()) << 16;
+  }
+  std::uint32_t index_upper_bound() const noexcept {
+    return index_lower_bound() | 0xFFFFu;
+  }
+
+  std::uint64_t raw() const noexcept { return word_; }
+
+  friend bool operator==(TaggedPtr a, TaggedPtr b) noexcept {
+    return a.word_ == b.word_;
+  }
+  friend bool operator!=(TaggedPtr a, TaggedPtr b) noexcept {
+    return a.word_ != b.word_;
+  }
+
+ private:
+  std::uint64_t word_;
+};
+
+/// Atomic cell holding a TaggedPtr. Data-structure link fields are of this
+/// type; SMR read() takes a reference to one and validates against it.
+class AtomicTaggedPtr {
+ public:
+  AtomicTaggedPtr() noexcept : word_(0) {}
+  explicit AtomicTaggedPtr(TaggedPtr value) noexcept : word_(value.raw()) {}
+
+  TaggedPtr load(std::memory_order order = std::memory_order_acquire)
+      const noexcept {
+    return TaggedPtr{word_.load(order)};
+  }
+
+  void store(TaggedPtr value,
+             std::memory_order order = std::memory_order_release) noexcept {
+    word_.store(value.raw(), order);
+  }
+
+  bool compare_exchange_strong(
+      TaggedPtr& expected, TaggedPtr desired,
+      std::memory_order order = std::memory_order_acq_rel) noexcept {
+    std::uint64_t raw = expected.raw();
+    const bool ok = word_.compare_exchange_strong(raw, desired.raw(), order,
+                                                  std::memory_order_acquire);
+    if (!ok) expected = TaggedPtr{raw};
+    return ok;
+  }
+
+  bool compare_exchange_weak(
+      TaggedPtr& expected, TaggedPtr desired,
+      std::memory_order order = std::memory_order_acq_rel) noexcept {
+    std::uint64_t raw = expected.raw();
+    const bool ok = word_.compare_exchange_weak(raw, desired.raw(), order,
+                                                std::memory_order_acquire);
+    if (!ok) expected = TaggedPtr{raw};
+    return ok;
+  }
+
+ private:
+  std::atomic<std::uint64_t> word_;
+};
+
+static_assert(sizeof(AtomicTaggedPtr) == 8);
+
+}  // namespace mp::smr

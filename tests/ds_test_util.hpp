@@ -1,0 +1,173 @@
+// Shared machinery for data-structure tests: reference-model property
+// checks and concurrent workload drivers, parameterized over (DS, scheme).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "ds/fraser_skiplist.hpp"
+#include "ds/michael_list.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "smr/smr.hpp"
+
+namespace mp::test {
+
+/// Key ranges sized so collisions (and hence contended deletes) are common.
+inline smr::Config ds_config(std::size_t threads, int slots,
+                             int empty_freq = 8) {
+  smr::Config config;
+  config.max_threads = threads;
+  config.slots_per_thread = slots;
+  config.empty_freq = empty_freq;
+  return config;
+}
+
+/// Run a randomized op sequence against both the DS and std::set, checking
+/// every return value (single-threaded linearizability oracle).
+template <typename DS>
+void reference_model_check(DS& ds, std::uint64_t seed, int ops,
+                           std::uint64_t key_range) {
+  common::Xoshiro256 rng(seed);
+  std::set<std::uint64_t> model;
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(key_range);
+    switch (rng.next() % 3) {
+      case 0: {
+        const bool expect = model.insert(key).second;
+        ASSERT_EQ(ds.insert(0, key, key * 2), expect)
+            << "insert(" << key << ") at op " << i;
+        break;
+      }
+      case 1: {
+        const bool expect = model.erase(key) > 0;
+        ASSERT_EQ(ds.remove(0, key), expect)
+            << "remove(" << key << ") at op " << i;
+        break;
+      }
+      default: {
+        const bool expect = model.count(key) > 0;
+        ASSERT_EQ(ds.contains(0, key), expect)
+            << "contains(" << key << ") at op " << i;
+        break;
+      }
+    }
+  }
+  // Final structural agreement.
+  ASSERT_TRUE(ds.validate());
+  auto keys = ds.keys();
+  std::vector<std::uint64_t> expected(model.begin(), model.end());
+  std::sort(keys.begin(), keys.end());
+  ASSERT_EQ(keys, expected);
+}
+
+struct ConcurrentOutcome {
+  std::uint64_t successful_inserts = 0;
+  std::uint64_t successful_removes = 0;
+};
+
+/// Mixed random workload from `threads` threads; afterwards the structure
+/// must validate and its size must equal inserts - removes.
+template <typename DS>
+ConcurrentOutcome concurrent_mix_check(DS& ds, int threads, int ops_per_thread,
+                                       std::uint64_t key_range,
+                                       int insert_pct, int remove_pct,
+                                       std::uint64_t seed = 777) {
+  std::atomic<std::uint64_t> inserts{0}, removes{0};
+  common::SpinBarrier barrier(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
+      std::uint64_t local_inserts = 0, local_removes = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(key_range);
+        const auto coin = static_cast<int>(rng.next() % 100);
+        if (coin < insert_pct) {
+          local_inserts += ds.insert(t, key, key);
+        } else if (coin < insert_pct + remove_pct) {
+          local_removes += ds.remove(t, key);
+        } else {
+          ds.contains(t, key);
+        }
+      }
+      inserts.fetch_add(local_inserts);
+      removes.fetch_add(local_removes);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_TRUE(ds.validate());
+  EXPECT_EQ(ds.size(), inserts.load() - removes.load())
+      << "set size must equal successful inserts minus removes";
+  return {inserts.load(), removes.load()};
+}
+
+/// Each thread owns a disjoint key stripe: all its inserts/removes must
+/// succeed, and the final content is exactly the keys left per stripe.
+template <typename DS>
+void disjoint_stripes_check(DS& ds, int threads, int keys_per_thread) {
+  common::SpinBarrier barrier(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      const std::uint64_t base =
+          1 + static_cast<std::uint64_t>(t) * keys_per_thread;
+      for (int i = 0; i < keys_per_thread; ++i) {
+        if (!ds.insert(t, base + i, t)) failed.store(true);
+      }
+      // Remove the even offsets again.
+      for (int i = 0; i < keys_per_thread; i += 2) {
+        if (!ds.remove(t, base + i)) failed.store(true);
+      }
+      for (int i = 0; i < keys_per_thread; ++i) {
+        const bool expect = (i % 2) == 1;
+        if (ds.contains(t, base + i) != expect) failed.store(true);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_FALSE(failed.load()) << "disjoint-stripe ops must all succeed";
+  EXPECT_TRUE(ds.validate());
+  EXPECT_EQ(ds.size(), static_cast<std::size_t>(threads) * keys_per_thread / 2);
+}
+
+/// Hammer a single key from all threads: at any quiescent point the key is
+/// present iff successful inserts exceed successful removes by one.
+template <typename DS>
+void single_key_duel_check(DS& ds, int threads, int rounds) {
+  std::atomic<std::uint64_t> inserts{0}, removes{0};
+  common::SpinBarrier barrier(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::uint64_t local_inserts = 0, local_removes = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < rounds; ++i) {
+        if ((i + t) % 2 == 0) {
+          local_inserts += ds.insert(t, 42, t);
+        } else {
+          local_removes += ds.remove(t, 42);
+        }
+      }
+      inserts.fetch_add(local_inserts);
+      removes.fetch_add(local_removes);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const std::uint64_t diff = inserts.load() - removes.load();
+  ASSERT_LE(diff, 1u);
+  EXPECT_EQ(ds.contains(0, 42), diff == 1);
+  EXPECT_TRUE(ds.validate());
+}
+
+}  // namespace mp::test

@@ -1,0 +1,208 @@
+// Unit tests for the common substrate: RNG, thread registry, barrier, CLI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+
+namespace {
+
+using mp::common::Cli;
+using mp::common::SpinBarrier;
+using mp::common::ThreadLease;
+using mp::common::ThreadRegistry;
+using mp::common::Xoshiro256;
+
+// ---- RNG ----
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u) << "every residue should appear in 1000 draws";
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02) << "mean far from uniform";
+}
+
+TEST(Rng, UniformBitsRoughlyBalanced) {
+  Xoshiro256 rng(17);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i) ones += __builtin_popcountll(rng.next());
+  EXPECT_NEAR(ones / (1000.0 * 64), 0.5, 0.02);
+}
+
+// ---- Thread registry ----
+
+TEST(ThreadRegistry, AssignsLowestFreeId) {
+  ThreadRegistry registry(8);
+  EXPECT_EQ(registry.acquire(), 0);
+  EXPECT_EQ(registry.acquire(), 1);
+  registry.release(0);
+  EXPECT_EQ(registry.acquire(), 0) << "freed id is reused first";
+}
+
+TEST(ThreadRegistry, ThrowsWhenExhausted) {
+  ThreadRegistry registry(2);
+  registry.acquire();
+  registry.acquire();
+  EXPECT_THROW(registry.acquire(), std::runtime_error);
+}
+
+TEST(ThreadRegistry, RejectsBadCapacity) {
+  EXPECT_THROW(ThreadRegistry{0}, std::invalid_argument);
+  EXPECT_THROW(ThreadRegistry{ThreadRegistry::kMaxThreads + 1},
+               std::invalid_argument);
+}
+
+TEST(ThreadRegistry, CountsRegistered) {
+  ThreadRegistry registry(4);
+  EXPECT_EQ(registry.registered(), 0u);
+  const int a = registry.acquire();
+  registry.acquire();
+  EXPECT_EQ(registry.registered(), 2u);
+  registry.release(a);
+  EXPECT_EQ(registry.registered(), 1u);
+}
+
+TEST(ThreadRegistry, LeaseReleasesOnScopeExit) {
+  ThreadRegistry registry(4);
+  {
+    ThreadLease lease(registry);
+    EXPECT_EQ(lease.tid(), 0);
+    EXPECT_EQ(registry.registered(), 1u);
+  }
+  EXPECT_EQ(registry.registered(), 0u);
+}
+
+TEST(ThreadRegistry, ConcurrentAcquireYieldsUniqueIds) {
+  constexpr int kThreads = 16;
+  ThreadRegistry registry(kThreads);
+  std::vector<int> ids(kThreads, -1);
+  std::vector<std::thread> threads;
+  SpinBarrier barrier(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      barrier.arrive_and_wait();
+      ids[i] = registry.acquire();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::sort(ids.begin(), ids.end());
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(ids[i], i);
+}
+
+// ---- Spin barrier ----
+
+TEST(SpinBarrier, ReleasesAllParties) {
+  constexpr int kThreads = 8;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Every thread must observe all arrivals once released.
+      EXPECT_EQ(before.load(), kThreads);
+      after.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(after.load(), kThreads);
+}
+
+TEST(SpinBarrier, Reusable) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_sum{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 5; ++phase) {
+        barrier.arrive_and_wait();
+        phase_sum.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(phase_sum.load(), kThreads * 5);
+}
+
+// ---- CLI ----
+
+TEST(Cli, DefaultsApply) {
+  Cli cli("test");
+  cli.add_int("threads", 4, "thread count");
+  cli.add_string("scheme", "MP", "scheme name");
+  cli.add_bool("full", "paper scale");
+  const char* argv[] = {"prog"};
+  cli.parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("threads"), 4);
+  EXPECT_EQ(cli.get_string("scheme"), "MP");
+  EXPECT_FALSE(cli.get_bool("full"));
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  Cli cli("test");
+  cli.add_int("threads", 4, "");
+  cli.add_string("scheme", "", "");
+  cli.add_bool("full", "");
+  const char* argv[] = {"prog", "--threads", "9", "--scheme=HE", "--full"};
+  cli.parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("threads"), 9);
+  EXPECT_EQ(cli.get_string("scheme"), "HE");
+  EXPECT_TRUE(cli.get_bool("full"));
+}
+
+TEST(Cli, ParsesHexIntegers) {
+  Cli cli("test");
+  cli.add_int("margin", 0, "");
+  const char* argv[] = {"prog", "--margin", "0x100000"};
+  cli.parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("margin"), 0x100000);
+}
+
+TEST(Cli, SplitCsv) {
+  EXPECT_EQ(Cli::split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Cli::split_csv(""), std::vector<std::string>{});
+  EXPECT_EQ(Cli::split_csv_int("1,2,30"),
+            (std::vector<std::int64_t>{1, 2, 30}));
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Concurrent correctness: mixed random workloads, disjoint stripes, and
+// single-key duels over every (data structure × scheme) combination, on an
+// oversubscribed thread count with aggressive reclamation (empty_freq
+// small) to maximize interleavings and reclamation pressure.
+#include <gtest/gtest.h>
+
+#include "ds_test_util.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using mp::test::concurrent_mix_check;
+using mp::test::disjoint_stripes_check;
+using mp::test::ds_config;
+using mp::test::single_key_duel_check;
+
+constexpr int kThreads = 8;
+constexpr int kOps = 12000;
+
+template <typename Tag>
+class ConcurrentListTest : public ::testing::Test {
+ protected:
+  using DS = mp::ds::MichaelList<Tag::template scheme>;
+  DS make() { return DS(ds_config(kThreads, DS::kRequiredSlots, 4)); }
+};
+template <typename Tag>
+class ConcurrentSkipListTest : public ::testing::Test {
+ protected:
+  using DS = mp::ds::FraserSkipList<Tag::template scheme>;
+  DS make() { return DS(ds_config(kThreads, DS::kRequiredSlots, 4)); }
+};
+template <typename Tag>
+class ConcurrentTreeTest : public ::testing::Test {
+ protected:
+  using DS = mp::ds::NatarajanTree<Tag::template scheme>;
+  DS make() { return DS(ds_config(kThreads, DS::kRequiredSlots, 4)); }
+};
+
+TYPED_TEST_SUITE(ConcurrentListTest, mp::test::AllSchemeTags,
+                 mp::test::SchemeTagNames);
+TYPED_TEST_SUITE(ConcurrentSkipListTest, mp::test::AllSchemeTags,
+                 mp::test::SchemeTagNames);
+TYPED_TEST_SUITE(ConcurrentTreeTest, mp::test::AllSchemeTags,
+                 mp::test::SchemeTagNames);
+
+// ---- Linked list ----
+
+TYPED_TEST(ConcurrentListTest, WriteHeavyMix) {
+  auto list = this->make();
+  concurrent_mix_check(list, kThreads, kOps / 4, /*key_range=*/128,
+                       /*insert_pct=*/50, /*remove_pct=*/50);
+}
+
+TYPED_TEST(ConcurrentListTest, ReadDominatedMix) {
+  auto list = this->make();
+  concurrent_mix_check(list, kThreads, kOps / 4, 128, 5, 5);
+}
+
+TYPED_TEST(ConcurrentListTest, DisjointStripes) {
+  auto list = this->make();
+  disjoint_stripes_check(list, kThreads, 64);
+}
+
+TYPED_TEST(ConcurrentListTest, SingleKeyDuel) {
+  auto list = this->make();
+  single_key_duel_check(list, kThreads, 4000);
+}
+
+// ---- Skip list ----
+
+TYPED_TEST(ConcurrentSkipListTest, WriteHeavyMix) {
+  auto sl = this->make();
+  concurrent_mix_check(sl, kThreads, kOps, /*key_range=*/2048, 50, 50);
+}
+
+TYPED_TEST(ConcurrentSkipListTest, ReadDominatedMix) {
+  auto sl = this->make();
+  concurrent_mix_check(sl, kThreads, kOps, 2048, 5, 5);
+}
+
+TYPED_TEST(ConcurrentSkipListTest, HighContentionSmallKeyRange) {
+  auto sl = this->make();
+  concurrent_mix_check(sl, kThreads, kOps / 2, /*key_range=*/16, 50, 50);
+}
+
+TYPED_TEST(ConcurrentSkipListTest, DisjointStripes) {
+  auto sl = this->make();
+  disjoint_stripes_check(sl, kThreads, 256);
+}
+
+TYPED_TEST(ConcurrentSkipListTest, SingleKeyDuel) {
+  auto sl = this->make();
+  single_key_duel_check(sl, kThreads, 4000);
+}
+
+// ---- BST ----
+
+TYPED_TEST(ConcurrentTreeTest, WriteHeavyMix) {
+  auto tree = this->make();
+  concurrent_mix_check(tree, kThreads, kOps, /*key_range=*/2048, 50, 50);
+}
+
+TYPED_TEST(ConcurrentTreeTest, ReadDominatedMix) {
+  auto tree = this->make();
+  concurrent_mix_check(tree, kThreads, kOps, 2048, 5, 5);
+}
+
+TYPED_TEST(ConcurrentTreeTest, HighContentionSmallKeyRange) {
+  auto tree = this->make();
+  concurrent_mix_check(tree, kThreads, kOps / 2, /*key_range=*/16, 50, 50);
+}
+
+TYPED_TEST(ConcurrentTreeTest, DisjointStripes) {
+  auto tree = this->make();
+  disjoint_stripes_check(tree, kThreads, 256);
+}
+
+TYPED_TEST(ConcurrentTreeTest, SingleKeyDuel) {
+  auto tree = this->make();
+  single_key_duel_check(tree, kThreads, 4000);
+}
+
+// ---- Reclamation accounting under concurrency ----
+
+TYPED_TEST(ConcurrentTreeTest, AllocationsBalanceAfterTeardown) {
+  using DS = typename TestFixture::DS;
+  std::uint64_t allocated = 0;
+  {
+    DS tree(ds_config(kThreads, DS::kRequiredSlots, 2));
+    concurrent_mix_check(tree, kThreads, kOps / 2, 512, 50, 50);
+    allocated = tree.scheme().total_allocated();
+    EXPECT_GT(allocated, 1000u);
+    // Retired nodes are only a fraction of allocations while running...
+    EXPECT_LE(tree.scheme().total_freed(), allocated);
+  }
+  // ...and the destructor freed the rest (verified by ASan builds; here we
+  // just ensure the test reaches teardown without crashing).
+}
+
+}  // namespace

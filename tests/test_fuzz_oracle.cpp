@@ -1,0 +1,144 @@
+// Scheme-level fuzz with a use-after-free oracle.
+//
+// The Config::free_hook records every address a scheme frees in a shadow
+// set; reader threads assert that nodes returned by read() are not in it.
+// A scheme that ever reclaims a protected node trips the oracle (ASan
+// would too, but the oracle is deterministic about *what* went wrong and
+// runs in ordinary builds).
+//
+// One writer owns all link cells (so retire-once holds trivially); readers
+// hammer the cells through the full protection protocol.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using mp::smr::AtomicTaggedPtr;
+using mp::smr::Config;
+using mp::smr::TaggedPtr;
+using mp::test::TestNode;
+
+class ShadowFreeSet {
+ public:
+  static void hook(void* context, const void* node) {
+    static_cast<ShadowFreeSet*>(context)->insert(node);
+  }
+
+  void insert(const void* node) {
+    std::lock_guard lock(mutex_);
+    freed_.insert(node);
+  }
+
+  /// Called by the writer before republishing a recycled address.
+  void erase(const void* node) {
+    std::lock_guard lock(mutex_);
+    freed_.erase(node);
+  }
+
+  bool contains(const void* node) {
+    std::lock_guard lock(mutex_);
+    return freed_.count(node) > 0;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_set<const void*> freed_;
+};
+
+template <typename Tag>
+class FuzzOracleTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(FuzzOracleTest, mp::test::AllSchemeTags,
+                 mp::test::SchemeTagNames);
+
+TYPED_TEST(FuzzOracleTest, NoProtectedNodeIsEverFreed) {
+  using Scheme = typename TypeParam::type;
+  constexpr int kReaders = 3;
+  constexpr int kCells = 32;
+  constexpr int kWriterOps = 20000;
+  constexpr int kWriterTid = kReaders;
+
+  ShadowFreeSet shadow;
+  Config config;
+  config.max_threads = kReaders + 1;
+  config.slots_per_thread = 4;
+  config.empty_freq = 2;
+  config.epoch_freq = 16;
+  config.free_hook = &ShadowFreeSet::hook;
+  config.free_hook_context = &shadow;
+  Scheme scheme(config);
+
+  std::vector<AtomicTaggedPtr> cells(kCells);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  mp::common::SpinBarrier barrier(kReaders + 1);
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      mp::common::Xoshiro256 rng(100 + r);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        scheme.start_op(r);
+        for (int i = 0; i < 8; ++i) {
+          const auto cell = rng.next_below(kCells);
+          const int refno = static_cast<int>(rng.next_below(4));
+          const TaggedPtr word = scheme.read(r, refno, cells[cell]);
+          TestNode* node = word.template ptr<TestNode>();
+          if (node != nullptr && shadow.contains(node)) {
+            failed.store(true);
+          }
+          // Touch the node the way a client would.
+          if (node != nullptr && node->key == 0xDEAD) failed.store(true);
+        }
+        scheme.end_op(r);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    mp::common::Xoshiro256 rng(7);
+    barrier.arrive_and_wait();
+    for (int op = 0; op < kWriterOps; ++op) {
+      const auto index = rng.next_below(kCells);
+      const TaggedPtr current = cells[index].load();
+      TestNode* node = current.template ptr<TestNode>();
+      if (node != nullptr) {
+        // Unlink, then retire — the SMR contract's order.
+        cells[index].store(TaggedPtr::null());
+        scheme.retire(kWriterTid, node);
+      } else {
+        TestNode* fresh = scheme.alloc(kWriterTid, rng.next() | 1);
+        scheme.set_index(fresh,
+                         static_cast<std::uint32_t>(rng.next()) & ~0xFu);
+        // The allocator may hand back a previously freed address; clear it
+        // from the shadow set before the node becomes reachable.
+        shadow.erase(fresh);
+        cells[index].store(scheme.make_link(fresh));
+      }
+    }
+    stop.store(true);
+  });
+
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(failed.load()) << "a reader observed a freed node";
+
+  // Teardown bookkeeping: unlink whatever is still published.
+  for (auto& cell : cells) {
+    TestNode* node = cell.load().template ptr<TestNode>();
+    if (node != nullptr) scheme.retire(kWriterTid, node);
+  }
+  scheme.drain();
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// HP-specific unit tests: hazard announcement, validation, reclamation
+// against the hazard snapshot, and the O(#slots * T) waste bound.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace {
+
+using mp::smr::AtomicTaggedPtr;
+using mp::smr::Config;
+using mp::smr::TaggedPtr;
+using mp::test::TestNode;
+using HP = mp::smr::HP<TestNode>;
+
+Config config_for(std::size_t threads, int slots = 4, int empty_freq = 4) {
+  Config config;
+  config.max_threads = threads;
+  config.slots_per_thread = slots;
+  config.empty_freq = empty_freq;
+  return config;
+}
+
+TEST(Hp, ReadIssuesFencePerNewTarget) {
+  HP scheme(config_for(2));
+  TestNode* a = scheme.alloc(0, 1u);
+  TestNode* b = scheme.alloc(0, 2u);
+  AtomicTaggedPtr cell_a(scheme.make_link(a));
+  AtomicTaggedPtr cell_b(scheme.make_link(b));
+  scheme.start_op(0);
+  const auto before = scheme.stats_snapshot();
+  scheme.read(0, 0, cell_a);
+  scheme.read(0, 1, cell_b);
+  const auto after = scheme.stats_snapshot();
+  EXPECT_EQ(after.fences - before.fences, 2u) << "one fence per dereference";
+  scheme.end_op(0);
+  scheme.delete_unlinked(a);
+  scheme.delete_unlinked(b);
+}
+
+TEST(Hp, RepeatedReadOfSameNodeSkipsFence) {
+  HP scheme(config_for(2));
+  TestNode* node = scheme.alloc(0, 1u);
+  AtomicTaggedPtr cell(scheme.make_link(node));
+  scheme.start_op(0);
+  scheme.read(0, 0, cell);
+  const auto before = scheme.stats_snapshot();
+  for (int i = 0; i < 10; ++i) scheme.read(0, 0, cell);
+  const auto after = scheme.stats_snapshot();
+  EXPECT_EQ(after.fences, before.fences)
+      << "an already-announced hazard needs no new fence";
+  scheme.end_op(0);
+  scheme.delete_unlinked(node);
+}
+
+TEST(Hp, ValidationRetriesOnConcurrentChange) {
+  // Simulate a racing unlink: the cell's content changes between protect
+  // and validate — read() must end up protecting the *new* target.
+  HP scheme(config_for(2));
+  TestNode* old_node = scheme.alloc(0, 1u);
+  TestNode* new_node = scheme.alloc(0, 2u);
+  AtomicTaggedPtr cell(scheme.make_link(old_node));
+  // Swap the cell from another thread while this thread reads in a loop;
+  // the returned node must always match a value the cell actually held.
+  scheme.start_op(0);
+  std::thread swapper([&] {
+    cell.store(scheme.make_link(new_node));
+  });
+  swapper.join();
+  const TaggedPtr observed = scheme.read(0, 0, cell);
+  EXPECT_EQ(observed.template ptr<TestNode>(), new_node);
+  scheme.end_op(0);
+  scheme.delete_unlinked(old_node);
+  scheme.delete_unlinked(new_node);
+}
+
+TEST(Hp, HazardBlocksReclamationUntilUnprotect) {
+  HP scheme(config_for(2, 4, 2));
+  TestNode* node = scheme.alloc(0, 42u);
+  AtomicTaggedPtr cell(scheme.make_link(node));
+  scheme.start_op(1);
+  scheme.read(1, 0, cell);
+  cell.store(TaggedPtr::null());
+  scheme.retire(0, node);
+  for (int i = 0; i < 32; ++i) {
+    scheme.retire(0, scheme.alloc(0, 0u));
+  }
+  EXPECT_GE(scheme.outstanding(), 1u);
+  EXPECT_EQ(node->key, 42u) << "hazard must keep the node alive";
+
+  scheme.unprotect(1, 0);
+  for (int i = 0; i < 32; ++i) {
+    scheme.retire(0, scheme.alloc(0, 0u));
+  }
+  // After unprotecting, a later empty() run frees it; drain to be certain.
+  scheme.end_op(1);
+  scheme.drain();
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+TEST(Hp, EndOpClearsAllHazards) {
+  HP scheme(config_for(2, 4, 2));
+  TestNode* node = scheme.alloc(0, 1u);
+  AtomicTaggedPtr cell(scheme.make_link(node));
+  scheme.start_op(1);
+  scheme.read(1, 0, cell);
+  scheme.read(1, 3, cell);
+  scheme.end_op(1);
+  cell.store(TaggedPtr::null());
+  scheme.retire(0, node);
+  for (int i = 0; i < 8; ++i) scheme.retire(0, scheme.alloc(0, 0u));
+  scheme.drain();
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+TEST(Hp, WasteBoundedBySlotsTimesThreads) {
+  // The paper's Table 1 property: at most O(#HP * T) retired nodes are
+  // unreclaimable, no matter how many are retired.
+  constexpr std::size_t kThreads = 4;
+  constexpr int kSlots = 4;
+  HP scheme(config_for(kThreads, kSlots, 1));
+  // Every thread protects kSlots distinct nodes, then all are retired.
+  std::vector<TestNode*> pinned;
+  std::vector<AtomicTaggedPtr> cells(kThreads * kSlots);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    scheme.start_op(static_cast<int>(t));
+    for (int s = 0; s < kSlots; ++s) {
+      TestNode* node = scheme.alloc(static_cast<int>(t), t * 10 + s);
+      cells[t * kSlots + s].store(scheme.make_link(node));
+      scheme.read(static_cast<int>(t), s, cells[t * kSlots + s]);
+      pinned.push_back(node);
+    }
+  }
+  for (TestNode* node : pinned) scheme.retire(0, node);
+  // Retire a large batch of unprotected nodes; empty_freq=1 reclaims
+  // aggressively.
+  for (int i = 0; i < 1000; ++i) scheme.retire(0, scheme.alloc(0, 0u));
+  EXPECT_LE(scheme.outstanding(), kThreads * kSlots + 1)
+      << "waste must not exceed #HP * T (+1 node retired after last empty)";
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    scheme.end_op(static_cast<int>(t));
+  }
+}
+
+TEST(Hp, SnapshotEmptyScansAllThreadsIncludingSelf) {
+  HP scheme(config_for(3, 2, 1));
+  TestNode* node = scheme.alloc(2, 5u);
+  AtomicTaggedPtr cell(scheme.make_link(node));
+  scheme.start_op(2);
+  scheme.read(2, 1, cell);
+  // Thread 2 retires the node it itself protects; its own hazard must be
+  // honored by its own empty() run.
+  cell.store(TaggedPtr::null());
+  scheme.retire(2, node);
+  EXPECT_EQ(node->key, 5u);
+  EXPECT_GE(scheme.outstanding(), 1u);
+  scheme.end_op(2);
+}
+
+}  // namespace

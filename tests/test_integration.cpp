@@ -1,0 +1,153 @@
+// Workload-parameterized integration sweep: short concurrent mixed
+// workloads across thread counts, key ranges, and read fractions, on every
+// data structure with the MP scheme (and spot checks against HP and IBR),
+// verifying structural invariants and operation accounting each time.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ds_test_util.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using mp::test::concurrent_mix_check;
+using mp::test::ds_config;
+
+// (threads, key_range, insert_pct/remove_pct each)
+using WorkloadParam = std::tuple<int, std::uint64_t, int>;
+
+std::string workload_name(
+    const ::testing::TestParamInfo<WorkloadParam>& info) {
+  return "t" + std::to_string(std::get<0>(info.param)) + "_r" +
+         std::to_string(std::get<1>(info.param)) + "_w" +
+         std::to_string(std::get<2>(info.param));
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<WorkloadParam> {
+ protected:
+  template <typename DS>
+  void run(DS& ds, int ops) {
+    const auto [threads, key_range, write_pct] = GetParam();
+    concurrent_mix_check(ds, threads, ops, key_range, write_pct, write_pct,
+                         /*seed=*/0x5eed + key_range);
+    // Reclamation accounting is consistent after the run.
+    auto snapshot = ds.scheme().stats_snapshot();
+    EXPECT_EQ(snapshot.retires, snapshot.reclaims + total_retired_pending(ds))
+        << "every retired node is reclaimed or still buffered";
+  }
+
+  template <typename DS>
+  std::uint64_t total_retired_pending(DS& ds) {
+    std::uint64_t pending = 0;
+    for (std::size_t t = 0; t < ds.scheme().config().max_threads; ++t) {
+      pending += ds.scheme().retired_count(static_cast<int>(t));
+    }
+    return pending;
+  }
+};
+
+TEST_P(WorkloadSweep, MichaelListMp) {
+  const int threads = std::get<0>(GetParam());
+  mp::ds::MichaelList<mp::smr::MP> list(ds_config(threads, 4, 4));
+  run(list, 1500);
+}
+
+TEST_P(WorkloadSweep, SkipListMp) {
+  const int threads = std::get<0>(GetParam());
+  using SL = mp::ds::FraserSkipList<mp::smr::MP>;
+  SL sl(ds_config(threads, SL::kRequiredSlots, 4));
+  run(sl, 4000);
+}
+
+TEST_P(WorkloadSweep, TreeMp) {
+  const int threads = std::get<0>(GetParam());
+  using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
+  Tree tree(ds_config(threads, Tree::kRequiredSlots, 4));
+  run(tree, 4000);
+}
+
+TEST_P(WorkloadSweep, TreeHp) {
+  const int threads = std::get<0>(GetParam());
+  using Tree = mp::ds::NatarajanTree<mp::smr::HP>;
+  Tree tree(ds_config(threads, Tree::kRequiredSlots, 4));
+  run(tree, 3000);
+}
+
+TEST_P(WorkloadSweep, SkipListIbr) {
+  const int threads = std::get<0>(GetParam());
+  using SL = mp::ds::FraserSkipList<mp::smr::IBR>;
+  SL sl(ds_config(threads, SL::kRequiredSlots, 4));
+  run(sl, 4000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WorkloadSweep,
+    ::testing::Values(
+        // threads, key range, write percentage (each of insert/remove)
+        WorkloadParam{2, 64, 50},      // small hot set, write heavy
+        WorkloadParam{2, 4096, 50},    // sparse, write heavy
+        WorkloadParam{4, 256, 50},     // moderate contention
+        WorkloadParam{4, 4096, 5},     // read dominated
+        WorkloadParam{8, 1024, 50},    // oversubscribed write heavy
+        WorkloadParam{8, 1024, 5},     // oversubscribed read dominated
+        WorkloadParam{16, 512, 25},    // heavily oversubscribed mixed
+        WorkloadParam{8, 16, 50}),     // extreme contention
+    workload_name);
+
+// ---- MP margin-size sweep (Fig 7's parameter space as a sanity sweep) ----
+
+class MarginSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MarginSweep, TreeCorrectUnderAnyMargin) {
+  using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
+  auto config = ds_config(4, Tree::kRequiredSlots, 4);
+  config.margin = GetParam();
+  Tree tree(config);
+  concurrent_mix_check(tree, 4, 3000, 512, 50, 50, /*seed=*/GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, MarginSweep,
+                         ::testing::Values(1u << 17, 1u << 18, 1u << 20,
+                                           1u << 23, 1u << 26),
+                         [](const auto& info) {
+                           return "m2e" +
+                                  std::to_string(__builtin_ctz(info.param));
+                         });
+
+// ---- Epoch-frequency sweep: reclamation cadence must not affect safety ----
+
+class EpochFreqSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EpochFreqSweep, SkipListCorrectUnderAnyEpochFreq) {
+  using SL = mp::ds::FraserSkipList<mp::smr::MP>;
+  auto config = ds_config(4, SL::kRequiredSlots, 2);
+  config.epoch_freq = GetParam();
+  SL sl(config);
+  concurrent_mix_check(sl, 4, 3000, 512, 50, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, EpochFreqSweep,
+                         ::testing::Values(1, 8, 64, 1024),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param);
+                         });
+
+// ---- Aggressive reclamation: empty after every retire ----
+
+TEST(AggressiveReclamation, AllSchemesSurviveEmptyFreqOne) {
+  const auto run_one = [](auto tag) {
+    using Tag = decltype(tag);
+    using Tree = mp::ds::NatarajanTree<Tag::template scheme>;
+    auto config = ds_config(8, Tree::kRequiredSlots, 1);
+    Tree tree(config);
+    concurrent_mix_check(tree, 8, 2000, 256, 50, 50);
+  };
+  run_one(mp::test::SchemeTag<mp::smr::HP>{});
+  run_one(mp::test::SchemeTag<mp::smr::MP>{});
+  run_one(mp::test::SchemeTag<mp::smr::HE>{});
+  run_one(mp::test::SchemeTag<mp::smr::IBR>{});
+  run_one(mp::test::SchemeTag<mp::smr::EBR>{});
+}
+
+}  // namespace

@@ -1,0 +1,281 @@
+// Tests for the paper's explicitly-deferred MP design points, implemented
+// here as options: epoch advancement on unlink (§4.4's improved bound) and
+// alternative index-assignment policies (§4.1 "other policies are
+// possible"), plus the index-collision statistic behind the §4.6 analysis.
+#include <gtest/gtest.h>
+
+#include "ds/michael_list.hpp"
+#include "ds_test_util.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using mp::smr::AtomicTaggedPtr;
+using mp::smr::Config;
+using mp::smr::kUseHp;
+using mp::smr::TaggedPtr;
+using mp::test::TestNode;
+using MP = mp::smr::MP<TestNode>;
+
+Config base_config() {
+  Config config;
+  config.max_threads = 2;
+  config.slots_per_thread = 4;
+  config.empty_freq = 1;
+  config.epoch_freq = 1 << 20;  // effectively never, unless unlink mode
+  return config;
+}
+
+// ---- §4.4: epoch advance on unlink ----
+
+TEST(MpUnlinkEpoch, EveryRetireAdvancesEpoch) {
+  Config config = base_config();
+  config.epoch_advance_on_unlink = true;
+  MP scheme(config);
+  const std::uint64_t start = scheme.epoch_now();
+  for (int i = 0; i < 10; ++i) scheme.retire(0, scheme.alloc(0, 0u));
+  EXPECT_EQ(scheme.epoch_now() - start, 10u);
+}
+
+TEST(MpUnlinkEpoch, AllocationsDoNotAdvanceInUnlinkMode) {
+  Config config = base_config();
+  config.epoch_advance_on_unlink = true;
+  config.epoch_freq = 1;  // would advance every alloc in the default mode
+  MP scheme(config);
+  const std::uint64_t start = scheme.epoch_now();
+  std::vector<TestNode*> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(scheme.alloc(0, 0u));
+  EXPECT_EQ(scheme.epoch_now(), start);
+  for (TestNode* n : nodes) scheme.delete_unlinked(n);
+}
+
+TEST(MpUnlinkEpoch, ImprovedBoundUnderStalledMargin) {
+  // §4.4: with the epoch advancing on every unlink, a stalled thread's
+  // margin pins only nodes from its own epoch — O(#MP * M) instead of
+  // O(#MP * M * epoch_freq * T). Same-index churn (the §4.3.2 repeated
+  // insert/delete scenario) is the stress case.
+  Config config = base_config();
+  config.epoch_advance_on_unlink = true;
+  MP scheme(config);
+  TestNode* anchor = scheme.alloc(0, 0u);
+  scheme.set_index(anchor, 1u << 24);
+  AtomicTaggedPtr cell(scheme.make_link(anchor));
+  scheme.start_op(1);
+  scheme.read(1, 0, cell);  // stall holding a margin around 1<<24
+  // Churn nodes with the *same* index, all inside the stalled margin.
+  for (int i = 0; i < 5000; ++i) {
+    TestNode* node = scheme.alloc(0, 0u);
+    scheme.set_index(node, (1u << 24) + 1);
+    scheme.retire(0, node);
+  }
+  // Every retire advanced the epoch, so at most the first few nodes share
+  // the stalled announcement's epoch; the rest were born later and are
+  // invisible to the stalled thread's margin.
+  EXPECT_LE(scheme.outstanding() - 1, 8u)
+      << "unlink-epoch mode must pin only same-epoch nodes";
+  scheme.end_op(1);
+}
+
+TEST(MpUnlinkEpoch, DefaultModePinsEpochWindow) {
+  // Contrast: allocation-based epochs with a large freq pin the whole
+  // churn (all born in the stalled epoch).
+  Config config = base_config();  // epoch_freq = 2^20: never advances here
+  MP scheme(config);
+  TestNode* anchor = scheme.alloc(0, 0u);
+  scheme.set_index(anchor, 1u << 24);
+  AtomicTaggedPtr cell(scheme.make_link(anchor));
+  scheme.start_op(1);
+  scheme.read(1, 0, cell);
+  for (int i = 0; i < 5000; ++i) {
+    TestNode* node = scheme.alloc(0, 0u);
+    scheme.set_index(node, (1u << 24) + 1);
+    scheme.retire(0, node);
+  }
+  EXPECT_EQ(scheme.outstanding() - 1, 5000u)
+      << "same-epoch covered nodes all stay pinned";
+  scheme.end_op(1);
+}
+
+TEST(MpUnlinkEpoch, ListWorksInUnlinkMode) {
+  Config config = mp::test::ds_config(4, 4, 4);
+  config.epoch_advance_on_unlink = true;
+  mp::ds::MichaelList<mp::smr::MP> list(config);
+  mp::test::reference_model_check(list, 0xE77, 2000, 64);
+}
+
+TEST(MpUnlinkEpoch, ConcurrentListInUnlinkMode) {
+  Config config = mp::test::ds_config(8, 4, 2);
+  config.epoch_advance_on_unlink = true;
+  mp::ds::MichaelList<mp::smr::MP> list(config);
+  mp::test::concurrent_mix_check(list, 8, 3000, 128, 50, 50);
+}
+
+// ---- Index policies ----
+
+TEST(MpIndexPolicy, GoldenRatioSplitsAsymmetrically) {
+  Config config = base_config();
+  config.index_policy = Config::IndexPolicy::kGoldenRatio;
+  MP scheme(config);
+  scheme.start_op(0);
+  TestNode* lo = scheme.alloc(0, 0u);
+  TestNode* hi = scheme.alloc(0, 0u);
+  scheme.set_index(lo, 0);
+  scheme.set_index(hi, 1000);
+  scheme.update_lower_bound(0, lo);
+  scheme.update_upper_bound(0, hi);
+  TestNode* fresh = scheme.alloc(0, 0u);
+  EXPECT_EQ(fresh->smr_header.index_relaxed(), 382u);
+  scheme.end_op(0);
+  for (TestNode* n : {lo, hi, fresh}) scheme.delete_unlinked(n);
+}
+
+TEST(MpIndexPolicy, GoldenRatioSurvivesMoreAscendingInserts) {
+  // Ascending insertion repeatedly splits the upper remainder. The
+  // midpoint policy halves it (collisions after ~32 inserts); the
+  // low-biased golden policy keeps 61.8% each step (~46 inserts).
+  const auto collisions_for = [](Config::IndexPolicy policy) {
+    Config config = mp::test::ds_config(2, 4, 8);
+    config.index_policy = policy;
+    mp::ds::MichaelList<mp::smr::MP> list(config);
+    for (std::uint64_t key = 1; key <= 200; ++key) list.insert(0, key, key);
+    return list.scheme().stats_snapshot().index_collisions;
+  };
+  const auto midpoint = collisions_for(Config::IndexPolicy::kMidpoint);
+  const auto golden = collisions_for(Config::IndexPolicy::kGoldenRatio);
+  EXPECT_GT(midpoint, 150u) << "midpoint collapses after ~32 inserts";
+  EXPECT_LT(golden, midpoint) << "asymmetric splits last longer";
+}
+
+TEST(MpIndexPolicy, GoldenRatioListCorrect) {
+  Config config = mp::test::ds_config(4, 4, 4);
+  config.index_policy = Config::IndexPolicy::kGoldenRatio;
+  mp::ds::MichaelList<mp::smr::MP> list(config);
+  mp::test::reference_model_check(list, 0x601d, 2000, 64);
+}
+
+// ---- Index uniqueness / order consistency (Theorem 4.2's invariant) ----
+
+TEST(MpIndexInvariant, MidpointKeepsLinkedIndicesUniqueAndOrdered) {
+  mp::ds::MichaelList<mp::smr::MP> list(mp::test::ds_config(2, 4, 8));
+  mp::common::Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(1u << 16);
+    if (rng.next() % 3 == 0) {
+      list.remove(0, key);
+    } else {
+      list.insert(0, key, key);
+    }
+  }
+  EXPECT_TRUE(list.validate());
+  EXPECT_TRUE(list.validate_indices());
+}
+
+TEST(MpIndexInvariant, GoldenKeepsLinkedIndicesUniqueAndOrdered) {
+  // Regression: the golden split once floored its offset to zero on small
+  // spans, duplicating the predecessor's index.
+  auto config = mp::test::ds_config(2, 4, 8);
+  config.index_policy = Config::IndexPolicy::kGoldenRatio;
+  mp::ds::MichaelList<mp::smr::MP> list(config);
+  // Ascending inserts drive the span toward the small-gap regime.
+  for (std::uint64_t key = 1; key <= 1000; ++key) list.insert(0, key, key);
+  EXPECT_TRUE(list.validate_indices());
+  // And a mixed workload after the collapse.
+  mp::common::Xoshiro256 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(4096);
+    if (rng.next() % 2 == 0) {
+      list.insert(0, key, key);
+    } else {
+      list.remove(0, key);
+    }
+  }
+  EXPECT_TRUE(list.validate());
+  EXPECT_TRUE(list.validate_indices());
+}
+
+TEST(MpIndexInvariant, SkipListIndicesUniqueAndOrdered) {
+  using SL = mp::ds::FraserSkipList<mp::smr::MP>;
+  SL sl(mp::test::ds_config(2, SL::kRequiredSlots, 8));
+  mp::common::Xoshiro256 rng(21);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(1u << 18);
+    if (rng.next() % 3 == 0) {
+      sl.remove(0, key);
+    } else {
+      sl.insert(0, key, key);
+    }
+  }
+  EXPECT_TRUE(sl.validate());
+  EXPECT_TRUE(sl.validate_indices());
+}
+
+TEST(MpIndexInvariant, TreeLeafIndicesUniqueAndOrdered) {
+  using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
+  Tree tree(mp::test::ds_config(2, Tree::kRequiredSlots, 8));
+  mp::common::Xoshiro256 rng(22);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(1u << 18);
+    if (rng.next() % 3 == 0) {
+      tree.remove(0, key);
+    } else {
+      tree.insert(0, key, key);
+    }
+  }
+  EXPECT_TRUE(tree.validate());
+  EXPECT_TRUE(tree.validate_indices());
+}
+
+TEST(MpIndexInvariant, ConcurrentChurnPreservesListIndexOrder) {
+  mp::ds::MichaelList<mp::smr::MP> list(mp::test::ds_config(8, 4, 4));
+  mp::test::concurrent_mix_check(list, 8, 3000, 512, 50, 50);
+  EXPECT_TRUE(list.validate_indices());
+}
+
+TEST(MpIndexInvariant, ConcurrentChurnPreservesSkipListIndexOrder) {
+  // Regression: a skip-list insert once reused its node (and stale index)
+  // across bottom-level CAS retries.
+  using SL = mp::ds::FraserSkipList<mp::smr::MP>;
+  SL sl(mp::test::ds_config(8, SL::kRequiredSlots, 4));
+  mp::test::concurrent_mix_check(sl, 8, 4000, 256, 50, 50);
+  EXPECT_TRUE(sl.validate_indices());
+}
+
+TEST(MpIndexInvariant, ConcurrentChurnPreservesTreeIndexOrder) {
+  using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
+  Tree tree(mp::test::ds_config(8, Tree::kRequiredSlots, 4));
+  mp::test::concurrent_mix_check(tree, 8, 4000, 256, 50, 50);
+  EXPECT_TRUE(tree.validate_indices());
+}
+
+// ---- Collision statistics (§4.6 analysis plumbing) ----
+
+TEST(MpCollisions, UniformInsertsRarelyCollide) {
+  Config config = mp::test::ds_config(2, 4, 8);
+  mp::ds::MichaelList<mp::smr::MP> list(config);
+  mp::common::Xoshiro256 rng(5);
+  std::size_t inserted = 0;
+  while (inserted < 1000) {
+    inserted += list.insert(0, 1 + rng.next_below(1u << 30), 1);
+  }
+  const auto snapshot = list.scheme().stats_snapshot();
+  EXPECT_LT(snapshot.index_collisions, snapshot.allocs / 10)
+      << "uniform keys leave plenty of index room";
+}
+
+TEST(MpCollisions, AscendingInsertsMostlyCollide) {
+  // The Fig 7a worst case: each insert halves the remaining range, so all
+  // but ~32 nodes get USE_HP.
+  Config config = mp::test::ds_config(2, 4, 8);
+  mp::ds::MichaelList<mp::smr::MP> list(config);
+  for (std::uint64_t key = 1; key <= 500; ++key) list.insert(0, key, key);
+  const auto snapshot = list.scheme().stats_snapshot();
+  EXPECT_GT(snapshot.index_collisions, 400u);
+  // And the read side degrades to hazard pointers, not to unsafety.
+  for (std::uint64_t key = 1; key <= 500; ++key) {
+    ASSERT_TRUE(list.contains(0, key));
+  }
+  const auto after = list.scheme().stats_snapshot();
+  EXPECT_GT(after.hp_fallbacks, 0u);
+}
+
+}  // namespace

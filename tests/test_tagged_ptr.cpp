@@ -1,0 +1,147 @@
+// Unit tests for the packed pointer representation (paper §4.3.1).
+#include "smr/tagged_ptr.hpp"
+
+#include "smr/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using mp::smr::AtomicTaggedPtr;
+using mp::smr::TaggedPtr;
+
+struct Dummy {
+  int payload;
+};
+
+alignas(64) Dummy g_node{7};
+alignas(64) Dummy g_other{9};
+
+TEST(TaggedPtr, DefaultIsNull) {
+  TaggedPtr ptr;
+  EXPECT_TRUE(ptr.is_null());
+  EXPECT_EQ(ptr.ptr<Dummy>(), nullptr);
+  EXPECT_EQ(ptr.tag(), 0);
+  EXPECT_EQ(ptr.mark(), 0u);
+  EXPECT_EQ(ptr.raw(), 0u);
+}
+
+TEST(TaggedPtr, NullFactoryEqualsDefault) {
+  EXPECT_EQ(TaggedPtr::null(), TaggedPtr{});
+}
+
+TEST(TaggedPtr, RoundTripsAddress) {
+  const TaggedPtr ptr = TaggedPtr::make(&g_node, 0);
+  EXPECT_EQ(ptr.ptr<Dummy>(), &g_node);
+  EXPECT_FALSE(ptr.is_null());
+}
+
+TEST(TaggedPtr, RoundTripsTag) {
+  for (std::uint32_t tag : {0u, 1u, 0x1234u, 0xFFFEu, 0xFFFFu}) {
+    const TaggedPtr ptr = TaggedPtr::make(&g_node, static_cast<std::uint16_t>(tag));
+    EXPECT_EQ(ptr.tag(), tag);
+    EXPECT_EQ(ptr.ptr<Dummy>(), &g_node) << "tag must not disturb address";
+  }
+}
+
+TEST(TaggedPtr, RoundTripsMarks) {
+  for (unsigned mark : {0u, 1u, 2u, 3u}) {
+    const TaggedPtr ptr = TaggedPtr::make(&g_node, 0x42, mark);
+    EXPECT_EQ(ptr.mark(), mark);
+    EXPECT_EQ(ptr.ptr<Dummy>(), &g_node) << "marks must not disturb address";
+    EXPECT_EQ(ptr.tag(), 0x42) << "marks must not disturb tag";
+  }
+}
+
+TEST(TaggedPtr, WithMarkReplacesMark) {
+  const TaggedPtr clean = TaggedPtr::make(&g_node, 7, 0);
+  const TaggedPtr marked = clean.with_mark(1);
+  EXPECT_EQ(marked.mark(), 1u);
+  EXPECT_EQ(marked.without_mark(), clean);
+  EXPECT_NE(marked, clean) << "mark is part of the raw word";
+  EXPECT_EQ(clean.with_mark(3).with_mark(2).mark(), 2u);
+}
+
+TEST(TaggedPtr, IndexRangeFromTag) {
+  const TaggedPtr ptr = TaggedPtr::make(&g_node, 0x0012);
+  EXPECT_EQ(ptr.index_lower_bound(), 0x00120000u);
+  EXPECT_EQ(ptr.index_upper_bound(), 0x0012FFFFu);
+}
+
+TEST(TaggedPtr, UseHpTagYieldsFullTopRange) {
+  // Tag 0xFFFF stands for indices in [0xFFFF0000, 0xFFFFFFFF]; its upper
+  // bound equals the USE_HP reserved index (Listing 10's fallback check).
+  const TaggedPtr ptr = TaggedPtr::make(&g_node, 0xFFFF);
+  EXPECT_EQ(ptr.index_upper_bound(), mp::smr::kUseHp);
+}
+
+TEST(TaggedPtr, EqualityIsRawWordEquality) {
+  const TaggedPtr a = TaggedPtr::make(&g_node, 5, 1);
+  const TaggedPtr b = TaggedPtr::make(&g_node, 5, 1);
+  const TaggedPtr c = TaggedPtr::make(&g_node, 6, 1);
+  const TaggedPtr d = TaggedPtr::make(&g_other, 5, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c) << "differing tags must compare unequal (ABA insurance)";
+  EXPECT_NE(a, d);
+}
+
+TEST(TaggedPtr, NullWithMarkIsStillNull) {
+  const TaggedPtr marked_null = TaggedPtr{}.with_mark(1);
+  EXPECT_TRUE(marked_null.is_null());
+  EXPECT_EQ(marked_null.mark(), 1u);
+}
+
+TEST(AtomicTaggedPtr, LoadStoreRoundTrip) {
+  AtomicTaggedPtr cell;
+  EXPECT_TRUE(cell.load().is_null());
+  const TaggedPtr value = TaggedPtr::make(&g_node, 0xAB, 2);
+  cell.store(value);
+  EXPECT_EQ(cell.load(), value);
+}
+
+TEST(AtomicTaggedPtr, CompareExchangeSuccess) {
+  AtomicTaggedPtr cell{TaggedPtr::make(&g_node, 1)};
+  TaggedPtr expected = TaggedPtr::make(&g_node, 1);
+  const TaggedPtr desired = TaggedPtr::make(&g_other, 2);
+  EXPECT_TRUE(cell.compare_exchange_strong(expected, desired));
+  EXPECT_EQ(cell.load(), desired);
+}
+
+TEST(AtomicTaggedPtr, CompareExchangeFailureUpdatesExpected) {
+  AtomicTaggedPtr cell{TaggedPtr::make(&g_node, 1)};
+  TaggedPtr expected = TaggedPtr::make(&g_other, 1);
+  EXPECT_FALSE(cell.compare_exchange_strong(expected, TaggedPtr{}));
+  EXPECT_EQ(expected, TaggedPtr::make(&g_node, 1));
+  EXPECT_EQ(cell.load(), TaggedPtr::make(&g_node, 1)) << "cell unchanged";
+}
+
+TEST(AtomicTaggedPtr, MarkOnlyChangeFailsCompareExchange) {
+  // A concurrent mark flips the word, so CASes expecting the clean word
+  // must fail — the property the deletion protocols rely on.
+  AtomicTaggedPtr cell{TaggedPtr::make(&g_node, 1, 1)};
+  TaggedPtr expected = TaggedPtr::make(&g_node, 1, 0);
+  EXPECT_FALSE(cell.compare_exchange_strong(expected, TaggedPtr{}));
+}
+
+TEST(AtomicTaggedPtr, IsLockFreeWordSized) {
+  EXPECT_EQ(sizeof(AtomicTaggedPtr), 8u);
+  std::atomic<std::uint64_t> probe{0};
+  EXPECT_TRUE(probe.is_lock_free());
+}
+
+TEST(TaggedPtr, HeapAddressesRoundTrip) {
+  // Exercise real allocator addresses, not just statics.
+  std::vector<Dummy*> nodes;
+  for (int i = 0; i < 64; ++i) nodes.push_back(new Dummy{i});
+  for (Dummy* node : nodes) {
+    const TaggedPtr ptr = TaggedPtr::make(node, 0x7777, 3);
+    EXPECT_EQ(ptr.ptr<Dummy>(), node);
+    EXPECT_EQ(ptr.ptr<Dummy>()->payload, node->payload);
+  }
+  for (Dummy* node : nodes) delete node;
+}
+
+}  // namespace

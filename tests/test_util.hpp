@@ -1,0 +1,48 @@
+// Shared helpers for the marginptr test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "smr/smr.hpp"
+
+namespace mp::test {
+
+/// Minimal client node: a key plus one link, as the SMR model assumes.
+struct TestNode : smr::NodeBase {
+  std::uint64_t key;
+  smr::AtomicTaggedPtr next;
+
+  explicit TestNode(std::uint64_t k = 0) : key(k) {}
+};
+
+/// gtest typed-test wrapper: carries the scheme template as a type.
+template <template <typename> class SchemeT>
+struct SchemeTag {
+  template <typename Node>
+  using scheme = SchemeT<Node>;
+  using type = SchemeT<TestNode>;
+  static constexpr const char* name = SchemeT<TestNode>::kName;
+};
+
+using AllSchemeTags =
+    ::testing::Types<SchemeTag<smr::Leaky>, SchemeTag<smr::HP>,
+                     SchemeTag<smr::EBR>, SchemeTag<smr::HE>,
+                     SchemeTag<smr::IBR>, SchemeTag<smr::MP>,
+                     SchemeTag<smr::DTA>>;
+
+/// Reclaiming schemes only (everything but Leaky).
+using ReclaimingSchemeTags =
+    ::testing::Types<SchemeTag<smr::HP>, SchemeTag<smr::EBR>,
+                     SchemeTag<smr::HE>, SchemeTag<smr::IBR>,
+                     SchemeTag<smr::MP>, SchemeTag<smr::DTA>>;
+
+struct SchemeTagNames {
+  template <typename Tag>
+  static std::string GetName(int) {
+    return Tag::name;
+  }
+};
+
+}  // namespace mp::test
