@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mp_design.dir/ablation_mp_design.cpp.o"
+  "CMakeFiles/ablation_mp_design.dir/ablation_mp_design.cpp.o.d"
+  "ablation_mp_design"
+  "ablation_mp_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mp_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

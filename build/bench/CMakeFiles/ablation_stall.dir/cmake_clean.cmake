@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stall.dir/ablation_stall.cpp.o"
+  "CMakeFiles/ablation_stall.dir/ablation_stall.cpp.o.d"
+  "ablation_stall"
+  "ablation_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

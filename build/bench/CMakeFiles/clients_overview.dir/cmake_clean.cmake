@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clients_overview.dir/clients_overview.cpp.o"
+  "CMakeFiles/clients_overview.dir/clients_overview.cpp.o.d"
+  "clients_overview"
+  "clients_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clients_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

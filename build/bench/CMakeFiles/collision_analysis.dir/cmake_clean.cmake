@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_analysis.dir/collision_analysis.cpp.o"
+  "CMakeFiles/collision_analysis.dir/collision_analysis.cpp.o.d"
+  "collision_analysis"
+  "collision_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

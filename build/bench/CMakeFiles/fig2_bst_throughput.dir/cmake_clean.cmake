@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bst_throughput.dir/fig2_bst_throughput.cpp.o"
+  "CMakeFiles/fig2_bst_throughput.dir/fig2_bst_throughput.cpp.o.d"
+  "fig2_bst_throughput"
+  "fig2_bst_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bst_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_skiplist_throughput.dir/fig3_skiplist_throughput.cpp.o"
+  "CMakeFiles/fig3_skiplist_throughput.dir/fig3_skiplist_throughput.cpp.o.d"
+  "fig3_skiplist_throughput"
+  "fig3_skiplist_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_skiplist_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

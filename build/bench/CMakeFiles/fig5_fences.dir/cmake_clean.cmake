@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fences.dir/fig5_fences.cpp.o"
+  "CMakeFiles/fig5_fences.dir/fig5_fences.cpp.o.d"
+  "fig5_fences"
+  "fig5_fences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

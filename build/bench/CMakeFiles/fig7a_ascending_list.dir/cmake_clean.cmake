@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_ascending_list.dir/fig7a_ascending_list.cpp.o"
+  "CMakeFiles/fig7a_ascending_list.dir/fig7a_ascending_list.cpp.o.d"
+  "fig7a_ascending_list"
+  "fig7a_ascending_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_ascending_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

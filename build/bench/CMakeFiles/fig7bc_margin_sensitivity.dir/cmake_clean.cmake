@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7bc_margin_sensitivity.dir/fig7bc_margin_sensitivity.cpp.o"
+  "CMakeFiles/fig7bc_margin_sensitivity.dir/fig7bc_margin_sensitivity.cpp.o.d"
+  "fig7bc_margin_sensitivity"
+  "fig7bc_margin_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7bc_margin_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7bc_margin_sensitivity.
+# This may be replaced when dependencies are built.

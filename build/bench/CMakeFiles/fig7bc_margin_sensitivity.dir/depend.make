@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7bc_margin_sensitivity.
+# This may be replaced when dependencies are built.

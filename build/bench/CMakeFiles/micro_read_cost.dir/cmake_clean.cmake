@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_read_cost.dir/micro_read_cost.cpp.o"
+  "CMakeFiles/micro_read_cost.dir/micro_read_cost.cpp.o.d"
+  "micro_read_cost"
+  "micro_read_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_read_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

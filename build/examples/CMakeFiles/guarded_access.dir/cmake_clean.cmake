@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_access.dir/guarded_access.cpp.o"
+  "CMakeFiles/guarded_access.dir/guarded_access.cpp.o.d"
+  "guarded_access"
+  "guarded_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stall_resilience.dir/stall_resilience.cpp.o"
+  "CMakeFiles/stall_resilience.dir/stall_resilience.cpp.o.d"
+  "stall_resilience"
+  "stall_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stall_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marginptr.dir/common/cli.cpp.o"
+  "CMakeFiles/marginptr.dir/common/cli.cpp.o.d"
+  "CMakeFiles/marginptr.dir/common/thread_registry.cpp.o"
+  "CMakeFiles/marginptr.dir/common/thread_registry.cpp.o.d"
+  "libmarginptr.a"
+  "libmarginptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marginptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for marginptr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_schemes.dir/test_epoch_schemes.cpp.o"
+  "CMakeFiles/test_epoch_schemes.dir/test_epoch_schemes.cpp.o.d"
+  "test_epoch_schemes"
+  "test_epoch_schemes.pdb"
+  "test_epoch_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

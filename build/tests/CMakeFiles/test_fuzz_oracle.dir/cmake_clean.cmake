@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_oracle.dir/test_fuzz_oracle.cpp.o"
+  "CMakeFiles/test_fuzz_oracle.dir/test_fuzz_oracle.cpp.o.d"
+  "test_fuzz_oracle"
+  "test_fuzz_oracle.pdb"
+  "test_fuzz_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashset.dir/test_hashset.cpp.o"
+  "CMakeFiles/test_hashset.dir/test_hashset.cpp.o.d"
+  "test_hashset"
+  "test_hashset.pdb"
+  "test_hashset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

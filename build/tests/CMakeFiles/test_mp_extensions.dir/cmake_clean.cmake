@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_extensions.dir/test_mp_extensions.cpp.o"
+  "CMakeFiles/test_mp_extensions.dir/test_mp_extensions.cpp.o.d"
+  "test_mp_extensions"
+  "test_mp_extensions.pdb"
+  "test_mp_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_basic.dir/test_scheme_basic.cpp.o"
+  "CMakeFiles/test_scheme_basic.dir/test_scheme_basic.cpp.o.d"
+  "test_scheme_basic"
+  "test_scheme_basic.pdb"
+  "test_scheme_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tagged_ptr.dir/test_tagged_ptr.cpp.o"
+  "CMakeFiles/test_tagged_ptr.dir/test_tagged_ptr.cpp.o.d"
+  "test_tagged_ptr"
+  "test_tagged_ptr.pdb"
+  "test_tagged_ptr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tagged_ptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

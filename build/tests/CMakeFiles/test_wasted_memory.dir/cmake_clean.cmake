@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wasted_memory.dir/test_wasted_memory.cpp.o"
+  "CMakeFiles/test_wasted_memory.dir/test_wasted_memory.cpp.o.d"
+  "test_wasted_memory"
+  "test_wasted_memory.pdb"
+  "test_wasted_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wasted_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

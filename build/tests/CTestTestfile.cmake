@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_tagged_ptr[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_scheme_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_hp[1]_include.cmake")
+include("/root/repo/build/tests/test_epoch_schemes[1]_include.cmake")
+include("/root/repo/build/tests/test_mp[1]_include.cmake")
+include("/root/repo/build/tests/test_list[1]_include.cmake")
+include("/root/repo/build/tests/test_skiplist[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_wasted_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_guard[1]_include.cmake")
+include("/root/repo/build/tests/test_hashset[1]_include.cmake")
+include("/root/repo/build/tests/test_avl[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_oracle[1]_include.cmake")
