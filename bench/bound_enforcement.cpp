@@ -1,0 +1,165 @@
+// Bound enforcement: measured peak_retired vs. the theoretical per-thread
+// wasted-memory bound, per scheme, under the FaultInjector's mid-operation
+// stall — Theorem 4.2 as a benchmark.
+//
+// One thread is parked by the injector's stall hook while holding
+// protection (the paper's adversary); the remaining threads churn a
+// Michael list under a write-heavy workload with an optional retired soft
+// cap. Output per scheme: the measured high-water retired-list size, the
+// theoretical bound from Scheme::waste_bound_per_thread (inf for schemes
+// without one), and how much emergency reclamation the soft cap performed.
+//
+// Expected shape: MP and HP report peak <= bound; EBR/HE/IBR/DTA report
+// bound inf with peak growing in proportion to the churn volume.
+#include "harness.hpp"
+
+#include <cinttypes>
+#include <condition_variable>
+#include <mutex>
+
+namespace {
+
+/// Parks the stall thread at its second protection point, so it stalls
+/// *after* installing protection (see tests/test_chaos_torture.cpp).
+struct StallLatch {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int stall_tid = 0;
+  int protect_calls = 0;
+  bool parked = false;
+  bool released = false;
+
+  static void hook(void* context, int tid, mp::smr::ChaosPoint point) {
+    auto* latch = static_cast<StallLatch*>(context);
+    if (tid != latch->stall_tid || point != mp::smr::ChaosPoint::kProtect) {
+      return;
+    }
+    std::unique_lock lock(latch->mutex);
+    if (++latch->protect_calls != 2) return;
+    latch->parked = true;
+    latch->cv.notify_all();
+    latch->cv.wait(lock, [latch] { return latch->released; });
+  }
+};
+
+template <typename DS>
+void run_bound(const char* scheme_name, int threads, std::size_t size,
+               int duration_ms, std::uint64_t soft_cap) {
+  using Scheme = typename DS::Scheme;
+  StallLatch latch;
+  latch.stall_tid = threads;
+
+  mp::smr::ChaosOptions options;
+  options.seed = 42;
+  options.stall_period = 1;  // the hook filters by tid/point itself
+  options.stall_hook = &StallLatch::hook;
+  options.stall_hook_context = &latch;
+  mp::smr::FaultInjector injector(options,
+                                  static_cast<std::size_t>(threads) + 1);
+  injector.set_armed(false);
+
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(threads) + 1;
+  config.slots_per_thread = DS::kRequiredSlots;
+  config.retired_soft_cap = soft_cap;
+  config.fault_injector = &injector;
+  DS ds(config);
+  mp::bench::prefill(ds, size, 2 * size);
+  auto& scheme = ds.scheme();
+  injector.set_armed(true);
+
+  // The adversary: protect a node mid-operation, then never move again.
+  std::thread staller([&] {
+    scheme.start_op(latch.stall_tid);
+    auto* aux =
+        scheme.alloc(latch.stall_tid, std::uint64_t{1}, std::uint64_t{1});
+    scheme.set_index(aux, 1u << 24);
+    mp::smr::AtomicTaggedPtr cell(scheme.make_link(aux));
+    scheme.read(latch.stall_tid, 0, cell);  // install protection
+    scheme.read(latch.stall_tid, 0, cell);  // park in the chaos point
+    scheme.end_op(latch.stall_tid);
+    scheme.delete_unlinked(aux);
+  });
+  {
+    std::unique_lock lock(latch.mutex);
+    latch.cv.wait(lock, [&] { return latch.parked; });
+  }
+
+  const auto before = scheme.stats_snapshot();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      mp::common::Xoshiro256 rng(99 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t key = 1 + rng.next_below(2 * size);
+        if (rng.next() % 2 == 0) {
+          ds.insert(t, key, key);
+        } else {
+          ds.remove(t, key);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+
+  const auto stats = scheme.stats_snapshot() - before;
+  const std::uint64_t bound = Scheme::waste_bound_per_thread(config);
+  char bound_text[32];
+  if (bound == mp::smr::kUnboundedWaste) {
+    std::snprintf(bound_text, sizeof bound_text, "inf");
+  } else {
+    std::snprintf(bound_text, sizeof bound_text, "%" PRIu64, bound);
+  }
+  std::printf("bound,list,stalled-churn,%s,%d,%" PRIu64 ",%s,%s,%" PRIu64
+              ",%" PRIu64 "\n",
+              scheme_name, threads, stats.peak_retired, bound_text,
+              bound != mp::smr::kUnboundedWaste &&
+                      stats.peak_retired > bound
+                  ? "VIOLATED"
+                  : "ok",
+              stats.retires, stats.emergency_empties);
+  std::fflush(stdout);
+
+  // Unpark and tidy up.
+  injector.set_armed(false);
+  {
+    std::lock_guard lock(latch.mutex);
+    latch.released = true;
+  }
+  latch.cv.notify_all();
+  staller.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli(
+      "Bound enforcement: peak retired vs theoretical bound under a stall");
+  cli.add_int("threads", 4, "churn threads (plus one stalled thread)");
+  cli.add_int("size", 2000, "prefill size S");
+  cli.add_int("duration-ms", 500, "churn window while stalled");
+  cli.add_int("soft-cap", 0, "Config::retired_soft_cap (0 = disabled)");
+  cli.add_string("schemes", "EBR,IBR,HE,DTA,HP,MP", "schemes to compare");
+  cli.parse(argc, argv);
+
+  const int threads = static_cast<int>(cli.get_int("threads"));
+  const auto size = static_cast<std::size_t>(cli.get_int("size"));
+  const int duration_ms = static_cast<int>(cli.get_int("duration-ms"));
+  const auto soft_cap = static_cast<std::uint64_t>(cli.get_int("soft-cap"));
+
+  std::printf(
+      "figure,structure,workload,scheme,threads,peak_retired,bound,verdict,"
+      "retires,emergency_empties\n");
+  for (const auto& scheme :
+       mp::common::Cli::split_csv(cli.get_string("schemes"))) {
+#define MARGINPTR_RUN(S)                                                  \
+  run_bound<mp::ds::MichaelList<S>>(scheme.c_str(), threads, size,        \
+                                    duration_ms, soft_cap)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 // the stall-inducing regime the paper probes past 88 threads.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -188,6 +189,7 @@ void sweep_threads(const char* figure, const char* ds_name,
   prefill(ds, args.size, 2 * args.size);
   for (int threads : args.thread_counts) {
     double mops = 0, avg_retired = 0, fences_per_read = 0;
+    std::uint64_t peak_retired = 0, emergency_empties = 0;
     for (int run = 0; run < args.runs; ++run) {
       const RunResult result = run_workload(ds, threads, workload,
                                             2 * args.size, args.duration_ms,
@@ -195,11 +197,15 @@ void sweep_threads(const char* figure, const char* ds_name,
       mops += result.mops;
       avg_retired += result.avg_retired;
       fences_per_read += result.fences_per_read;
+      peak_retired = std::max(peak_retired, result.stats.peak_retired);
+      emergency_empties += result.stats.emergency_empties;
       ds.scheme().drain();  // quiescent between points
     }
-    std::printf("%s,%s,%s,%s,%d,%.3f,%.1f,%.4f\n", figure, ds_name,
+    std::printf("%s,%s,%s,%s,%d,%.3f,%.1f,%.4f,%llu,%llu\n", figure, ds_name,
                 workload.name, scheme_name, threads, mops / args.runs,
-                avg_retired / args.runs, fences_per_read / args.runs);
+                avg_retired / args.runs, fences_per_read / args.runs,
+                static_cast<unsigned long long>(peak_retired),
+                static_cast<unsigned long long>(emergency_empties));
     std::fflush(stdout);
   }
 }
@@ -208,7 +214,7 @@ void sweep_threads(const char* figure, const char* ds_name,
 inline void print_header() {
   std::printf(
       "figure,structure,workload,scheme,threads,mops,avg_retired,"
-      "fences_per_read\n");
+      "fences_per_read,peak_retired,emergency_empties\n");
 }
 
 /// Dispatch a template callable over a scheme named on the command line.

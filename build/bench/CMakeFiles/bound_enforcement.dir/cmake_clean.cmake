@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_enforcement.dir/bound_enforcement.cpp.o"
+  "CMakeFiles/bound_enforcement.dir/bound_enforcement.cpp.o.d"
+  "bound_enforcement"
+  "bound_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

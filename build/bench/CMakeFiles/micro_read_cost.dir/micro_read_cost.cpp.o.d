@@ -212,10 +212,20 @@ bench/CMakeFiles/micro_read_cost.dir/micro_read_cost.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/smr/smr.hpp \
+ /root/repo/src/smr/chaos.hpp /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/align.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/smr/config.hpp /root/repo/src/smr/detail/scheme_base.hpp \
- /root/repo/src/common/align.hpp /root/repo/src/smr/node.hpp \
- /root/repo/src/smr/stats.hpp /root/repo/src/smr/tagged_ptr.hpp \
- /root/repo/src/smr/dta.hpp /root/repo/src/smr/ebr.hpp \
- /root/repo/src/smr/guard.hpp /root/repo/src/smr/he.hpp \
- /root/repo/src/smr/hp.hpp /root/repo/src/smr/ibr.hpp \
- /root/repo/src/smr/leaky.hpp /root/repo/src/smr/mp.hpp
+ /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
+ /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/dta.hpp \
+ /root/repo/src/smr/ebr.hpp /root/repo/src/smr/guard.hpp \
+ /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
+ /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
+ /root/repo/src/smr/mp.hpp

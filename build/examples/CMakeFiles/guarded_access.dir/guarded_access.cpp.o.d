@@ -193,8 +193,7 @@ examples/CMakeFiles/guarded_access.dir/guarded_access.cpp.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/smr.hpp \
- /root/repo/src/smr/config.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/smr/detail/scheme_base.hpp /usr/include/c++/12/memory \
+ /root/repo/src/smr/chaos.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -210,10 +209,9 @@ examples/CMakeFiles/guarded_access.dir/guarded_access.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/align.hpp /root/repo/src/smr/node.hpp \
- /root/repo/src/smr/stats.hpp /root/repo/src/smr/dta.hpp \
- /root/repo/src/smr/ebr.hpp /root/repo/src/smr/he.hpp \
- /root/repo/src/smr/hp.hpp /usr/include/c++/12/algorithm \
+ /root/repo/src/common/align.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/common/rng.hpp /root/repo/src/smr/config.hpp \
+ /root/repo/src/smr/detail/scheme_base.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -221,5 +219,8 @@ examples/CMakeFiles/guarded_access.dir/guarded_access.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
+ /root/repo/src/smr/dta.hpp /root/repo/src/smr/ebr.hpp \
+ /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
  /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
  /root/repo/src/smr/mp.hpp

@@ -192,8 +192,7 @@ examples/CMakeFiles/kv_store.dir/kv_store.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.hpp \
  /root/repo/src/ds/natarajan_tree.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/smr/smr.hpp \
- /root/repo/src/smr/config.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/smr/detail/scheme_base.hpp /usr/include/c++/12/memory \
+ /root/repo/src/smr/chaos.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -208,12 +207,9 @@ examples/CMakeFiles/kv_store.dir/kv_store.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/align.hpp \
- /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
- /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/dta.hpp \
- /root/repo/src/smr/ebr.hpp /root/repo/src/smr/guard.hpp \
- /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/align.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/smr/config.hpp /root/repo/src/smr/detail/scheme_base.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -221,5 +217,10 @@ examples/CMakeFiles/kv_store.dir/kv_store.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
+ /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/dta.hpp \
+ /root/repo/src/smr/ebr.hpp /root/repo/src/smr/guard.hpp \
+ /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
  /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
  /root/repo/src/smr/mp.hpp

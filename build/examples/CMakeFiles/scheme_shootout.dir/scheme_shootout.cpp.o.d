@@ -118,7 +118,17 @@ examples/CMakeFiles/scheme_shootout.dir/scheme_shootout.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/examples/../bench/harness.hpp /usr/include/c++/12/atomic \
+ /root/repo/examples/../bench/harness.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h \
@@ -204,7 +214,6 @@ examples/CMakeFiles/scheme_shootout.dir/scheme_shootout.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/rng.hpp \
  /root/repo/src/ds/fraser_skiplist.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -214,24 +223,15 @@ examples/CMakeFiles/scheme_shootout.dir/scheme_shootout.cpp.o: \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/align.hpp /root/repo/src/smr/smr.hpp \
- /root/repo/src/smr/config.hpp /root/repo/src/smr/detail/scheme_base.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
- /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/dta.hpp \
- /root/repo/src/smr/ebr.hpp /root/repo/src/smr/guard.hpp \
- /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
- /root/repo/src/smr/mp.hpp /root/repo/src/ds/michael_list.hpp \
- /root/repo/src/ds/natarajan_tree.hpp
+ /root/repo/src/smr/chaos.hpp /root/repo/src/smr/config.hpp \
+ /root/repo/src/smr/detail/scheme_base.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/smr/node.hpp \
+ /root/repo/src/smr/stats.hpp /root/repo/src/smr/tagged_ptr.hpp \
+ /root/repo/src/smr/dta.hpp /root/repo/src/smr/ebr.hpp \
+ /root/repo/src/smr/guard.hpp /root/repo/src/smr/he.hpp \
+ /root/repo/src/smr/hp.hpp /root/repo/src/smr/ibr.hpp \
+ /root/repo/src/smr/leaky.hpp /root/repo/src/smr/mp.hpp \
+ /root/repo/src/ds/michael_list.hpp /root/repo/src/ds/natarajan_tree.hpp

@@ -211,19 +211,19 @@ examples/CMakeFiles/stall_resilience.dir/stall_resilience.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/align.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/smr/smr.hpp /root/repo/src/smr/config.hpp \
- /root/repo/src/smr/detail/scheme_base.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/smr/node.hpp \
- /root/repo/src/smr/stats.hpp /root/repo/src/smr/tagged_ptr.hpp \
- /root/repo/src/smr/dta.hpp /root/repo/src/smr/ebr.hpp \
- /root/repo/src/smr/guard.hpp /root/repo/src/smr/he.hpp \
- /root/repo/src/smr/hp.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/smr/smr.hpp /root/repo/src/smr/chaos.hpp \
+ /root/repo/src/smr/config.hpp /root/repo/src/smr/detail/scheme_base.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
+ /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/dta.hpp \
+ /root/repo/src/smr/ebr.hpp /root/repo/src/smr/guard.hpp \
+ /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
  /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
  /root/repo/src/smr/mp.hpp

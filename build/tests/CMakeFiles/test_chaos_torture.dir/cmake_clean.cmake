@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chaos_torture.dir/test_chaos_torture.cpp.o"
+  "CMakeFiles/test_chaos_torture.dir/test_chaos_torture.cpp.o.d"
+  "test_chaos_torture"
+  "test_chaos_torture.pdb"
+  "test_chaos_torture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chaos_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -306,14 +306,14 @@ tests/CMakeFiles/test_fuzz_oracle.dir/test_fuzz_oracle.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/barrier.hpp /root/repo/src/common/rng.hpp \
  /root/repo/tests/test_util.hpp /root/repo/src/smr/smr.hpp \
+ /root/repo/src/smr/chaos.hpp /root/repo/src/common/align.hpp \
  /root/repo/src/smr/config.hpp /root/repo/src/smr/detail/scheme_base.hpp \
- /root/repo/src/common/align.hpp /root/repo/src/smr/node.hpp \
- /root/repo/src/smr/stats.hpp /root/repo/src/smr/tagged_ptr.hpp \
- /root/repo/src/smr/dta.hpp /root/repo/src/smr/ebr.hpp \
- /root/repo/src/smr/guard.hpp /root/repo/src/smr/he.hpp \
- /root/repo/src/smr/hp.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
+ /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/dta.hpp \
+ /root/repo/src/smr/ebr.hpp /root/repo/src/smr/guard.hpp \
+ /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
  /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
  /root/repo/src/smr/mp.hpp

@@ -294,25 +294,24 @@ tests/CMakeFiles/test_mp_extensions.dir/test_mp_extensions.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/ds/michael_list.hpp /root/repo/src/smr/smr.hpp \
- /root/repo/src/smr/config.hpp /root/repo/src/smr/detail/scheme_base.hpp \
- /root/repo/src/common/align.hpp /root/repo/src/smr/node.hpp \
- /root/repo/src/smr/stats.hpp /root/repo/src/smr/tagged_ptr.hpp \
- /root/repo/src/smr/dta.hpp /root/repo/src/smr/ebr.hpp \
- /root/repo/src/smr/guard.hpp /root/repo/src/smr/he.hpp \
- /root/repo/src/smr/hp.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
- /root/repo/src/smr/mp.hpp /root/repo/tests/ds_test_util.hpp \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/smr/chaos.hpp /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/common/barrier.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/ds/fraser_skiplist.hpp \
+ /root/repo/src/common/align.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/smr/config.hpp /root/repo/src/smr/detail/scheme_base.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/smr/node.hpp /root/repo/src/smr/stats.hpp \
+ /root/repo/src/smr/tagged_ptr.hpp /root/repo/src/smr/dta.hpp \
+ /root/repo/src/smr/ebr.hpp /root/repo/src/smr/guard.hpp \
+ /root/repo/src/smr/he.hpp /root/repo/src/smr/hp.hpp \
+ /root/repo/src/smr/ibr.hpp /root/repo/src/smr/leaky.hpp \
+ /root/repo/src/smr/mp.hpp /root/repo/tests/ds_test_util.hpp \
+ /root/repo/src/common/barrier.hpp /root/repo/src/ds/fraser_skiplist.hpp \
  /root/repo/src/ds/natarajan_tree.hpp /root/repo/tests/test_util.hpp

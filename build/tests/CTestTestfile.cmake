@@ -21,3 +21,5 @@ include("/root/repo/build/tests/test_hashset[1]_include.cmake")
 include("/root/repo/build/tests/test_avl[1]_include.cmake")
 include("/root/repo/build/tests/test_mp_extensions[1]_include.cmake")
 include("/root/repo/build/tests/test_fuzz_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos_torture[1]_include.cmake")

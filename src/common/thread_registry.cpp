@@ -1,6 +1,21 @@
 #include "common/thread_registry.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace mp::common {
+
+namespace {
+// acquire()'s bounded retry schedule: a handful of yields for the common
+// "two threads swapped ids" race, then sleeps doubling up to ~1 ms. Total
+// worst-case wait is ~50 ms — long enough to ride out lease churn even on
+// a loaded machine, short enough that genuine over-subscription fails
+// promptly.
+constexpr int kAcquireAttempts = 64;
+constexpr int kYieldAttempts = 8;
+constexpr std::chrono::microseconds kMaxSleep{1024};
+}  // namespace
 
 ThreadRegistry::ThreadRegistry(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0 || capacity > kMaxThreads) {
@@ -9,13 +24,28 @@ ThreadRegistry::ThreadRegistry(std::size_t capacity) : capacity_(capacity) {
   for (auto& slot : in_use_) slot.store(false, std::memory_order_relaxed);
 }
 
-int ThreadRegistry::acquire() {
+int ThreadRegistry::try_acquire() noexcept {
   for (std::size_t i = 0; i < capacity_; ++i) {
     bool expected = false;
     if (!in_use_[i].load(std::memory_order_relaxed) &&
         in_use_[i].compare_exchange_strong(expected, true,
                                            std::memory_order_acq_rel)) {
       return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ThreadRegistry::acquire() {
+  std::chrono::microseconds sleep{1};
+  for (int attempt = 0; attempt < kAcquireAttempts; ++attempt) {
+    const int tid = try_acquire();
+    if (tid >= 0) return tid;
+    if (attempt < kYieldAttempts) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(sleep);
+      sleep = std::min(sleep * 2, kMaxSleep);
     }
   }
   throw std::runtime_error("ThreadRegistry exhausted: too many threads");

@@ -22,7 +22,13 @@ class ThreadRegistry {
   ThreadRegistry(const ThreadRegistry&) = delete;
   ThreadRegistry& operator=(const ThreadRegistry&) = delete;
 
-  /// Acquire the lowest free id. Throws std::runtime_error when full.
+  /// Acquire the lowest free id without waiting; returns -1 when full.
+  int try_acquire() noexcept;
+
+  /// Acquire the lowest free id, riding out transient exhaustion: a full
+  /// registry is retried with bounded exponential backoff (departing
+  /// threads free ids under churn) before finally throwing
+  /// std::runtime_error. Never blocks indefinitely.
   int acquire();
 
   /// Release a previously acquired id.

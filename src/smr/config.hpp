@@ -4,12 +4,28 @@
 // attempted every 30 retires; global-epoch schemes advance the epoch once
 // every 150*T allocations per thread; MP uses a 2^20 margin (the value the
 // paper selects from its Fig 7 sensitivity study).
+//
+// Construction-time validation: every scheme calls validate() (and MP
+// additionally validate_margin()) from its constructor, so an invalid
+// Config throws std::invalid_argument in all build types — these used to
+// be debug-only asserts that release builds silently ignored.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace mp::smr {
+
+class FaultInjector;  // chaos.hpp; Config only carries a non-owning pointer
+
+/// Hard ceiling on protection slots per thread (skip lists protect two
+/// nodes per level, so this is sized for tall towers).
+inline constexpr int kMaxSlotsPerThread = 64;
+
+/// Hard ceiling on max_threads, matching common::ThreadRegistry::kMaxThreads.
+inline constexpr std::size_t kMaxSchemeThreads = 512;
 
 struct Config {
   /// Maximum number of concurrently registered threads (the paper's T).
@@ -49,6 +65,22 @@ struct Config {
   };
   IndexPolicy index_policy = IndexPolicy::kMidpoint;
 
+  /// Graceful degradation: when a thread's retired list reaches this size,
+  /// retire() escalates to emergency empty() passes (with bounded
+  /// exponential backoff between futile passes, so a stalled peer cannot
+  /// turn every retire into an O(retired) scan). 0 disables the soft cap.
+  std::uint64_t retired_soft_cap = 0;
+
+  /// Ceiling on the emergency-empty backoff interval, in retire() calls.
+  /// Bounds worst-case retire() latency: at most one emergency scan per
+  /// this many retirements even when reclamation stays blocked.
+  std::uint64_t emergency_backoff_limit = 4096;
+
+  /// Deterministic fault injection (chaos.hpp). Non-owning; the injector
+  /// must outlive every scheme sharing it, and must be sized for at least
+  /// max_threads. Leave null in production.
+  FaultInjector* fault_injector = nullptr;
+
   /// Diagnostics hook: invoked (with `context`) for every node the scheme
   /// frees, before the memory is released. Used by the fuzz oracle tests;
   /// leave null in production.
@@ -58,6 +90,39 @@ struct Config {
   std::uint64_t effective_epoch_freq() const noexcept {
     return epoch_freq != 0 ? epoch_freq
                            : 150 * static_cast<std::uint64_t>(max_threads);
+  }
+
+  /// Scheme-agnostic validation, called by every scheme's constructor.
+  /// Throws std::invalid_argument (in all build types) on a Config no
+  /// scheme can run with.
+  void validate() const {
+    if (max_threads == 0 || max_threads > kMaxSchemeThreads) {
+      fail("max_threads must be in [1, " +
+           std::to_string(kMaxSchemeThreads) + "]");
+    }
+    if (slots_per_thread <= 0 || slots_per_thread > kMaxSlotsPerThread) {
+      fail("slots_per_thread must be in [1, " +
+           std::to_string(kMaxSlotsPerThread) + "]");
+    }
+    if (empty_freq <= 0) fail("empty_freq must be positive");
+    if (anchor_distance <= 0) fail("anchor_distance must be positive");
+    if (emergency_backoff_limit == 0) {
+      fail("emergency_backoff_limit must be positive");
+    }
+  }
+
+  /// MP's additional constraint (§4.3.1): a margin must cover one full
+  /// 16-bit tag range, so with the slot holding the range's lower bound,
+  /// half the margin must span 2^16 — margin >= 2^17.
+  void validate_margin() const {
+    if (margin < (1u << 17)) {
+      fail("margin must be at least 2^17 (one full tag range)");
+    }
+  }
+
+ private:
+  [[noreturn]] static void fail(const std::string& why) {
+    throw std::invalid_argument("smr::Config: " + why);
   }
 };
 

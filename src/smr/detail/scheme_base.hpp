@@ -15,13 +15,16 @@
 // operation.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
 #include "common/align.hpp"
+#include "smr/chaos.hpp"
 #include "smr/config.hpp"
 #include "smr/node.hpp"
 #include "smr/stats.hpp"
@@ -35,7 +38,7 @@ class SchemeBase {
   using node_type = Node;
 
   explicit SchemeBase(const Config& config)
-      : config_(config),
+      : config_(validated(config)),
         stats_(std::make_unique<common::Padded<ThreadStats>[]>(
             config.max_threads)),
         local_(std::make_unique<common::Padded<PerThread>[]>(
@@ -50,10 +53,22 @@ class SchemeBase {
 
   /// Allocate a node through the scheme (paper's alloc). Sets the SMR
   /// header (birth epoch, index) before handing the node to the client.
+  /// Under chaos injection this may throw std::bad_alloc *before* any
+  /// scheme or client state changes — callers see an ordinary OOM.
   template <typename... Args>
   Node* alloc(int tid, Args&&... args) {
+    FaultInjector* chaos = config_.fault_injector;
+    if (chaos != nullptr) {
+      chaos->point(tid, ChaosPoint::kAlloc);
+      if (chaos->fail_alloc(tid)) throw std::bad_alloc{};
+    }
     auto& local = *local_[tid];
     derived().on_alloc_tick(tid, ++local.alloc_counter);
+    if (chaos != nullptr) {
+      if (const std::uint32_t storm = chaos->epoch_storm(tid); storm != 0) {
+        derived().chaos_advance_epoch(storm);
+      }
+    }
     Node* node = new Node(std::forward<Args>(args)...);
     node->smr_header.birth_epoch.store(derived().epoch_now(),
                                        std::memory_order_relaxed);
@@ -66,7 +81,12 @@ class SchemeBase {
   }
 
   /// Retire a removed node (Listing 4). Buffers the node and triggers a
-  /// reclamation attempt every empty_freq retirements.
+  /// reclamation attempt every empty_freq retirements. When a soft cap is
+  /// configured and the buffered list crosses it, retire() escalates to
+  /// emergency empty() passes — with bounded exponential backoff between
+  /// futile passes, so a stalled peer degrades reclamation gracefully
+  /// instead of either growing the list unboundedly *or* turning every
+  /// retire into an O(retired) scan.
   void retire(int tid, Node* node) {
     derived().on_retire_tick(tid);
     node->smr_header.retire_epoch.store(derived().epoch_now(),
@@ -75,10 +95,38 @@ class SchemeBase {
     local.retired.push_back(node);
     auto& stats = *stats_[tid];
     stats.bump(stats.retires);
+    stats.bump_max(stats.peak_retired, local.retired.size());
+    FaultInjector* chaos = config_.fault_injector;
+    if (chaos != nullptr) chaos->point(tid, ChaosPoint::kRetire);
+    bool emptied = false;
     if (++local.retire_counter % config_.empty_freq == 0) {
-      stats.bump(stats.empties);
-      derived().empty(tid);
+      if (chaos != nullptr && chaos->delay_reclamation(tid)) {
+        // Injected delay: this scheduled pass is skipped; the soft cap (if
+        // any) below is the backstop the delay is probing.
+      } else {
+        stats.bump(stats.empties);
+        derived().empty(tid);
+        emptied = true;
+      }
     }
+    if (config_.retired_soft_cap == 0) return;
+    if (local.retired.size() < config_.retired_soft_cap) {
+      local.emergency_backoff = 1;  // healthy again: rearm fast response
+      return;
+    }
+    if (emptied || local.retire_counter < local.next_emergency) return;
+    stats.bump(stats.empties);
+    stats.bump(stats.emergency_empties);
+    derived().empty(tid);
+    if (local.retired.size() >= config_.retired_soft_cap) {
+      // The pass was futile (e.g. a stalled peer pins everything): back
+      // off exponentially, capped so retire() latency stays bounded.
+      local.emergency_backoff = std::min(local.emergency_backoff * 2,
+                                         config_.emergency_backoff_limit);
+    } else {
+      local.emergency_backoff = 1;
+    }
+    local.next_emergency = local.retire_counter + local.emergency_backoff;
   }
 
   /// Free a node that was never linked (e.g. a failed insert's spare node).
@@ -170,12 +218,42 @@ class SchemeBase {
   void on_retire_tick(int /*tid*/) noexcept {}
   std::uint32_t assign_index(int /*tid*/) noexcept { return kUseHp; }
 
+  /// Chaos hook: forcibly advance the scheme's global epoch/era by `by`
+  /// (epoch-advance storms). No-op for epoch-free schemes.
+  void chaos_advance_epoch(std::uint64_t /*by*/) noexcept {}
+
+  /// Theoretical per-thread cap on retired-but-unreclaimed nodes implied by
+  /// `config` (the wasted-memory watchdog's reference value). Default:
+  /// no finite bound; HP and MP shadow this with their real formulas.
+  static std::uint64_t waste_bound_per_thread(const Config&) noexcept {
+    return kUnboundedWaste;
+  }
+
  protected:
   struct PerThread {
     std::vector<Node*> retired;
     std::uint64_t retire_counter = 0;
     std::uint64_t alloc_counter = 0;
+    // Soft-cap graceful degradation state (see retire()).
+    std::uint64_t next_emergency = 0;
+    std::uint64_t emergency_backoff = 1;
   };
+
+  /// Construction-time gate: throws std::invalid_argument (all build
+  /// types) before any member sized from the Config is allocated.
+  static const Config& validated(const Config& config) {
+    config.validate();
+    return config;
+  }
+
+  /// Chaos point inside read(), before/between protection attempts. Every
+  /// scheme's read() calls this once on entry, so an injected stall parks
+  /// the thread mid-operation — the Theorem 4.2 adversary.
+  void chaos_protect(int tid) noexcept {
+    if (FaultInjector* chaos = config_.fault_injector; chaos != nullptr) {
+      chaos->point(tid, ChaosPoint::kProtect);
+    }
+  }
 
   Derived& derived() noexcept { return static_cast<Derived&>(*this); }
   const Derived& derived() const noexcept {

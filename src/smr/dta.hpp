@@ -68,6 +68,7 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
   }
 
   TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     auto& slot = *slots_[tid];
     stats.bump(stats.reads);
@@ -91,6 +92,10 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
 
   std::uint64_t epoch_now() const noexcept {
     return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  void chaos_advance_epoch(std::uint64_t by) noexcept {
+    global_epoch_.fetch_add(by, std::memory_order_acq_rel);
   }
 
   void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {

@@ -56,6 +56,7 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
   }
 
   TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     stats.bump(stats.reads);
     return src.load(std::memory_order_acquire);
@@ -63,6 +64,10 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
 
   std::uint64_t epoch_now() const noexcept {
     return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  void chaos_advance_epoch(std::uint64_t by) noexcept {
+    global_epoch_.fetch_add(by, std::memory_order_acq_rel);
   }
 
   void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {

@@ -57,6 +57,7 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
 
   TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
     assert(refno >= 0 && refno < this->config().slots_per_thread);
+    this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     auto& era = slots_[tid]->eras[refno];
     stats.bump(stats.reads);
@@ -92,6 +93,10 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
 
   std::uint64_t epoch_now() const noexcept {
     return global_era_.load(std::memory_order_acquire);
+  }
+
+  void chaos_advance_epoch(std::uint64_t by) noexcept {
+    global_era_.fetch_add(by, std::memory_order_acq_rel);
   }
 
   void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {

@@ -21,9 +21,7 @@
 
 namespace mp::smr {
 
-/// Hard ceiling on protection slots per thread (skip lists protect two
-/// nodes per level, so this is sized for tall towers).
-inline constexpr int kMaxSlotsPerThread = 64;
+// kMaxSlotsPerThread lives in config.hpp (Config::validate checks it).
 
 template <typename Node>
 class HP : public detail::SchemeBase<Node, HP<Node>> {
@@ -33,6 +31,16 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
   static constexpr const char* kName = "HP";
   static constexpr bool kBoundedWaste = true;
   static constexpr bool kRobust = true;
+
+  /// Per-thread wasted-memory bound: every retired node that survives an
+  /// empty() is named by one of the #HP*T hazard slots, plus up to
+  /// empty_freq nodes buffered since the last scheduled pass.
+  static std::uint64_t waste_bound_per_thread(const Config& config) noexcept {
+    return sat_add(
+        sat_mul(static_cast<std::uint64_t>(config.slots_per_thread),
+                config.max_threads),
+        static_cast<std::uint64_t>(config.empty_freq));
+  }
 
   explicit HP(const Config& config)
       : Base(config),
@@ -60,6 +68,7 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
 
   TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
     assert(refno >= 0 && refno < this->config().slots_per_thread);
+    this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     auto& slot = slots_[tid]->hazard[refno];
     stats.bump(stats.reads);

@@ -60,6 +60,7 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
   }
 
   TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     auto& slot = *slots_[tid];
     stats.bump(stats.reads);
@@ -94,6 +95,10 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
 
   std::uint64_t epoch_now() const noexcept {
     return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  void chaos_advance_epoch(std::uint64_t by) noexcept {
+    global_epoch_.fetch_add(by, std::memory_order_acq_rel);
   }
 
   void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {

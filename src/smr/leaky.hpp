@@ -30,6 +30,7 @@ class Leaky : public detail::SchemeBase<Node, Leaky<Node>> {
   void end_op(int /*tid*/) noexcept {}
 
   TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+    this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     stats.bump(stats.reads);
     return src.load(std::memory_order_acquire);

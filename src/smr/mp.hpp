@@ -43,7 +43,7 @@
 #include <vector>
 
 #include "smr/detail/scheme_base.hpp"
-#include "smr/hp.hpp"  // kMaxSlotsPerThread
+#include "smr/hp.hpp"  // the §4.3.2 fallback mirrors HP's protocol
 
 namespace mp::smr {
 
@@ -59,16 +59,34 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
   /// Margin-slot value meaning "no protection" (Listing 10's NO_MARGIN).
   static constexpr std::uint32_t kNoMargin = 0xFFFFFFFFu;
 
+  /// Theorem 4.2's per-thread bound: #HP + #MP*M*(1 + epoch_freq*T)
+  /// retired nodes can stay pinned (#HP = #MP = slots_per_thread here),
+  /// plus up to empty_freq nodes buffered since the last scheduled pass.
+  /// In §4.4 unlink-epoch mode every retire advances the epoch, so the
+  /// epoch window collapses to the margin itself: #HP + 2*#MP*M.
+  static std::uint64_t waste_bound_per_thread(const Config& config) noexcept {
+    const auto slots = static_cast<std::uint64_t>(config.slots_per_thread);
+    const std::uint64_t margin_term = sat_mul(slots, config.margin);
+    const std::uint64_t epoch_window =
+        config.epoch_advance_on_unlink
+            ? 2
+            : sat_add(1, sat_mul(config.effective_epoch_freq(),
+                                 config.max_threads));
+    return sat_add(sat_add(slots, sat_mul(margin_term, epoch_window)),
+                   static_cast<std::uint64_t>(config.empty_freq));
+  }
+
   explicit MP(const Config& config)
       : Base(config),
         margin_half_(config.margin / 2),
         slots_(std::make_unique<common::Padded<Slots>[]>(config.max_threads)),
         owner_(std::make_unique<common::Padded<Owner>[]>(config.max_threads)) {
-    assert(config.slots_per_thread <= kMaxSlotsPerThread);
-    // A margin must be able to cover one full 16-bit tag range (§4.3.1:
-    // "the margin must be larger than 2^16"; with the slot holding the
+    // §4.3.1: a margin must be able to cover one full 16-bit tag range
+    // ("the margin must be larger than 2^16"; with the slot holding the
     // range's lower bound, half the margin must cover the range width).
-    assert(config.margin >= (1u << 17) && "margin must be at least 2^17");
+    // Enforced in all build types — a release build silently running with
+    // an uncovering margin would be a correctness bug, not a perf knob.
+    config.validate_margin();
     for (std::size_t t = 0; t < config.max_threads; ++t) {
       auto& slots = *slots_[t];
       for (int i = 0; i < kMaxSlotsPerThread; ++i) {
@@ -115,6 +133,7 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
 
   TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
     assert(refno >= 0 && refno < this->config().slots_per_thread);
+    this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     auto& slots = *slots_[tid];
     auto& owner = *owner_[tid];
@@ -230,6 +249,15 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
 
   std::uint32_t assign_index(int tid) noexcept {
     auto& owner = *owner_[tid];
+    if (FaultInjector* chaos = this->config().fault_injector;
+        chaos != nullptr && chaos->force_collision(tid)) {
+      // Injected index-collision pressure: behave exactly as if the search
+      // interval had no room (§4.3.2) so the USE_HP degradation path is
+      // exercised at a chosen rate.
+      auto& stats = this->thread_stats(tid);
+      stats.bump(stats.index_collisions);
+      return kUseHp;
+    }
     const std::uint32_t lo = owner.lower_bound;
     const std::uint32_t hi = owner.upper_bound;
     if (!owner.lower_known || !owner.upper_known || lo > hi || hi - lo <= 1) {
@@ -278,6 +306,10 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     if (this->config().epoch_advance_on_unlink) {
       global_epoch_.fetch_add(1, std::memory_order_acq_rel);
     }
+  }
+
+  void chaos_advance_epoch(std::uint64_t by) noexcept {
+    global_epoch_.fetch_add(by, std::memory_order_acq_rel);
   }
 
   // ---- Reclamation (Listing 10 empty) ----

@@ -30,6 +30,7 @@
 //                                              when leaving the margin
 #pragma once
 
+#include "smr/chaos.hpp"
 #include "smr/config.hpp"
 #include "smr/detail/scheme_base.hpp"
 #include "smr/dta.hpp"

@@ -7,6 +7,7 @@
 // (monotonic counters, so a snapshot is always a valid lower bound).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
@@ -26,11 +27,21 @@ struct ThreadStats {
   std::atomic<std::uint64_t> retired_sum{0};   ///< sum of retired-list sizes…
   std::atomic<std::uint64_t> retired_samples{0}; ///< …sampled at start_op
   std::atomic<std::uint64_t> index_collisions{0}; ///< MP allocs forced to USE_HP
+  std::atomic<std::uint64_t> peak_retired{0};  ///< retired-list high-water mark
+  std::atomic<std::uint64_t> emergency_empties{0}; ///< soft-cap empty() passes
 
   void bump(std::atomic<std::uint64_t>& counter,
             std::uint64_t by = 1) noexcept {
     counter.store(counter.load(std::memory_order_relaxed) + by,
                   std::memory_order_relaxed);
+  }
+
+  /// Raise a high-water counter (single writer: the owning thread).
+  void bump_max(std::atomic<std::uint64_t>& counter,
+                std::uint64_t candidate) noexcept {
+    if (candidate > counter.load(std::memory_order_relaxed)) {
+      counter.store(candidate, std::memory_order_relaxed);
+    }
   }
 };
 
@@ -47,6 +58,10 @@ struct StatsSnapshot {
   std::uint64_t retired_sum = 0;
   std::uint64_t retired_samples = 0;
   std::uint64_t index_collisions = 0;
+  /// Highest per-thread retired-list high-water among aggregated threads
+  /// (max-merged, not summed: Theorem 4.2's bound is per thread).
+  std::uint64_t peak_retired = 0;
+  std::uint64_t emergency_empties = 0;
 
   StatsSnapshot& operator+=(const ThreadStats& t) noexcept {
     fences += t.fences.load(std::memory_order_relaxed);
@@ -60,6 +75,10 @@ struct StatsSnapshot {
     retired_sum += t.retired_sum.load(std::memory_order_relaxed);
     retired_samples += t.retired_samples.load(std::memory_order_relaxed);
     index_collisions += t.index_collisions.load(std::memory_order_relaxed);
+    peak_retired = std::max(
+        peak_retired, t.peak_retired.load(std::memory_order_relaxed));
+    emergency_empties +=
+        t.emergency_empties.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -76,6 +95,9 @@ struct StatsSnapshot {
     out.retired_sum -= rhs.retired_sum;
     out.retired_samples -= rhs.retired_samples;
     out.index_collisions -= rhs.index_collisions;
+    // High-water marks are not differentiable; a delta keeps the lhs peak
+    // (the high-water as of the later snapshot).
+    out.emergency_empties -= rhs.emergency_empties;
     return out;
   }
 

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -125,6 +127,94 @@ TEST(ThreadRegistry, ConcurrentAcquireYieldsUniqueIds) {
   for (auto& thread : threads) thread.join();
   std::sort(ids.begin(), ids.end());
   for (int i = 0; i < kThreads; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(ThreadRegistry, TryAcquireReturnsMinusOneWhenFull) {
+  ThreadRegistry registry(2);
+  EXPECT_EQ(registry.try_acquire(), 0);
+  EXPECT_EQ(registry.try_acquire(), 1);
+  EXPECT_EQ(registry.try_acquire(), -1) << "try_acquire must not wait";
+  registry.release(1);
+  EXPECT_EQ(registry.try_acquire(), 1);
+}
+
+TEST(ThreadRegistry, AcquireRidesOutTransientExhaustion) {
+  // acquire() must survive a registry that is momentarily full: another
+  // thread releases an id shortly after we start waiting, well inside the
+  // bounded retry window.
+  ThreadRegistry registry(2);
+  registry.acquire();
+  const int held = registry.acquire();
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    registry.release(held);
+  });
+  const int tid = registry.acquire();  // full right now; must not throw
+  releaser.join();
+  EXPECT_EQ(tid, held);
+}
+
+TEST(ThreadRegistry, ChurnUnderContentionGrantsUniquely) {
+  // 8 threads churn leases over 4 ids: no id may ever be granted to two
+  // holders at once, and everything must be released at the end.
+  constexpr int kCapacity = 4;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  ThreadRegistry registry(kCapacity);
+  std::atomic<int> owners[kCapacity];
+  for (auto& owner : owners) owner.store(-1);
+  std::atomic<bool> double_grant{false};
+  SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      for (int round = 0; round < kRounds; ++round) {
+        const int tid = registry.try_acquire();
+        if (tid < 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        int expected = -1;
+        if (!owners[tid].compare_exchange_strong(expected, t)) {
+          double_grant.store(true);  // someone else already holds this id
+        }
+        owners[tid].store(-1);
+        registry.release(tid);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(double_grant.load());
+  EXPECT_EQ(registry.registered(), 0u);
+}
+
+TEST(ThreadRegistry, LeaseChurnWithinCapacityNeverThrows) {
+  // More threads than ids, but each holds its lease briefly: acquire()'s
+  // retry-with-backoff absorbs the contention without std::runtime_error.
+  constexpr int kThreads = 6;
+  ThreadRegistry registry(3);
+  std::atomic<bool> threw{false};
+  SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int round = 0; round < 200; ++round) {
+        try {
+          ThreadLease lease(registry);
+          ASSERT_GE(lease.tid(), 0);
+          ASSERT_LT(lease.tid(), 3);
+        } catch (const std::runtime_error&) {
+          threw.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(threw.load())
+      << "transient contention must be absorbed by acquire()'s backoff";
+  EXPECT_EQ(registry.registered(), 0u);
 }
 
 // ---- Spin barrier ----
