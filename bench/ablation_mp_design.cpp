@@ -21,7 +21,7 @@ using List = mp::ds::MichaelList<mp::smr::MP>;
 // ---- (a) epoch advancement mode ----
 
 void epoch_mode_ablation(bool unlink_mode, int threads, std::size_t size,
-                         int duration_ms) {
+                         int duration_ms, mp::obs::BenchReport& report) {
   mp::smr::Config config;
   config.max_threads = static_cast<std::size_t>(threads) + 1;
   config.slots_per_thread = Tree::kRequiredSlots;
@@ -44,6 +44,13 @@ void epoch_mode_ablation(bool unlink_mode, int threads, std::size_t size,
               unlink_mode ? "unlink" : "alloc150T", threads, result.mops,
               result.avg_retired);
   std::fflush(stdout);
+  auto row = mp::bench::make_row(
+      "mp_ablation", "bst", "write-dom", "MP", threads, result.mops,
+      result.avg_retired, result.fences_per_read, result.stats,
+      Tree::Scheme::waste_bound_per_thread(config), &result.latency);
+  row["ablation"] = "epoch_mode";
+  row["variant"] = unlink_mode ? "unlink" : "alloc150T";
+  report.add_row(std::move(row));
   scheme.end_op(stall_tid);
   scheme.delete_unlinked(aux);
 }
@@ -51,7 +58,8 @@ void epoch_mode_ablation(bool unlink_mode, int threads, std::size_t size,
 // ---- (b) index policy ----
 
 void policy_ablation(mp::smr::Config::IndexPolicy policy, const char* name,
-                     int threads, std::size_t size, int duration_ms) {
+                     int threads, std::size_t size, int duration_ms,
+                     mp::obs::BenchReport& report) {
   mp::smr::Config config;
   config.max_threads = static_cast<std::size_t>(threads);
   config.slots_per_thread = List::kRequiredSlots;
@@ -61,12 +69,20 @@ void policy_ablation(mp::smr::Config::IndexPolicy policy, const char* name,
   const auto built = list.scheme().stats_snapshot();
   const auto result = mp::bench::run_workload(
       list, threads, mp::bench::kReadOnly, size, duration_ms);
+  const double collision_frac =
+      static_cast<double>(built.index_collisions) /
+      static_cast<double>(built.allocs);
   std::printf("mp_ablation,index_policy,%s,%d,%.3f,%.4f,%.4f\n", name,
-              threads, result.mops,
-              static_cast<double>(built.index_collisions) /
-                  static_cast<double>(built.allocs),
-              result.fences_per_read);
+              threads, result.mops, collision_frac, result.fences_per_read);
   std::fflush(stdout);
+  auto row = mp::bench::make_row(
+      "mp_ablation", "list-ascending", "read-only", "MP", threads,
+      result.mops, result.avg_retired, result.fences_per_read, result.stats,
+      List::Scheme::waste_bound_per_thread(config), &result.latency);
+  row["ablation"] = "index_policy";
+  row["variant"] = name;
+  row["collision_frac"] = collision_frac;
+  report.add_row(std::move(row));
 }
 
 }  // namespace
@@ -77,6 +93,8 @@ int main(int argc, char** argv) {
   cli.add_int("size", 20000, "prefill size for the epoch-mode ablation");
   cli.add_int("list-size", 2000, "list size for the policy ablation");
   cli.add_int("duration-ms", 250, "measurement window");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);
 
   const int threads = static_cast<int>(cli.get_int("threads"));
@@ -84,16 +102,26 @@ int main(int argc, char** argv) {
   const auto list_size = static_cast<std::size_t>(cli.get_int("list-size"));
   const int duration = static_cast<int>(cli.get_int("duration-ms"));
 
+  mp::obs::BenchReport report("ablation_mp_design",
+                              cli.get_string("json-out"));
+  {
+    auto& config = report.config();
+    config["threads"] = static_cast<std::uint64_t>(threads);
+    config["size"] = size;
+    config["list_size"] = list_size;
+    config["duration_ms"] = static_cast<std::uint64_t>(duration);
+  }
+
   std::printf("figure,ablation,variant,threads,mops,extra1,extra2\n");
   std::printf("# epoch_mode rows: extra1 = avg retired (stalled-thread "
               "write-dominated BST)\n");
-  epoch_mode_ablation(false, threads, size, duration);
-  epoch_mode_ablation(true, threads, size, duration);
+  epoch_mode_ablation(false, threads, size, duration, report);
+  epoch_mode_ablation(true, threads, size, duration, report);
   std::printf("# index_policy rows: extra1 = collision fraction "
               "(ascending list), extra2 = fences/read\n");
   policy_ablation(mp::smr::Config::IndexPolicy::kMidpoint, "midpoint",
-                  threads, list_size, duration);
+                  threads, list_size, duration, report);
   policy_ablation(mp::smr::Config::IndexPolicy::kGoldenRatio, "golden",
-                  threads, list_size, duration);
+                  threads, list_size, duration, report);
   return 0;
 }

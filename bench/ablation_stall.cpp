@@ -19,7 +19,8 @@ namespace {
 
 template <typename DS>
 void run_stall(const char* scheme_name, int threads, std::size_t size,
-               int stall_ms, int sample_every_ms) {
+               int stall_ms, int sample_every_ms,
+               mp::obs::BenchReport& report) {
   mp::smr::Config config;
   config.max_threads = static_cast<std::size_t>(threads) + 1;
   config.slots_per_thread = DS::kRequiredSlots;
@@ -78,6 +79,17 @@ void run_stall(const char* scheme_name, int threads, std::size_t size,
     std::printf("ablation,bst,stall,%s,%d,%d,%" PRIu64 "\n", scheme_name,
                 threads, elapsed, pending);
     std::fflush(stdout);
+    auto row = mp::obs::json::Value::object();
+    row["figure"] = "ablation_stall";
+    row["structure"] = "bst";
+    row["workload"] = "stall";
+    row["scheme"] = scheme_name;
+    row["threads"] = static_cast<std::uint64_t>(threads);
+    row["elapsed_ms"] = static_cast<std::uint64_t>(elapsed);
+    row["waste"] = pending;
+    row["waste_bound"] = mp::obs::waste_json(
+        DS::Scheme::waste_bound_per_thread(config), pending);
+    report.add_row(std::move(row));
   }
 
   stop.store(true);
@@ -99,6 +111,8 @@ int main(int argc, char** argv) {
   cli.add_int("stall-ms", 1000, "length of the injected stall");
   cli.add_int("sample-ms", 200, "waste sampling period");
   cli.add_string("schemes", "EBR,IBR,HE,HP,MP", "schemes to compare");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);
 
   const int threads = static_cast<int>(cli.get_int("threads"));
@@ -106,12 +120,21 @@ int main(int argc, char** argv) {
   const int stall_ms = static_cast<int>(cli.get_int("stall-ms"));
   const int sample_ms = static_cast<int>(cli.get_int("sample-ms"));
 
+  mp::obs::BenchReport report("ablation_stall", cli.get_string("json-out"));
+  {
+    auto& config = report.config();
+    config["threads"] = static_cast<std::uint64_t>(threads);
+    config["size"] = size;
+    config["stall_ms"] = static_cast<std::uint64_t>(stall_ms);
+    config["sample_ms"] = static_cast<std::uint64_t>(sample_ms);
+  }
+
   std::printf("figure,structure,workload,scheme,threads,elapsed_ms,waste\n");
   for (const auto& scheme :
        mp::common::Cli::split_csv(cli.get_string("schemes"))) {
 #define MARGINPTR_RUN(S)                                              \
   run_stall<mp::ds::NatarajanTree<S>>(scheme.c_str(), threads, size, \
-                                      stall_ms, sample_ms)
+                                      stall_ms, sample_ms, report)
     MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
   }

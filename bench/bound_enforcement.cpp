@@ -44,7 +44,8 @@ struct StallLatch {
 
 template <typename DS>
 void run_bound(const char* scheme_name, int threads, std::size_t size,
-               int duration_ms, std::uint64_t soft_cap) {
+               int duration_ms, std::uint64_t soft_cap,
+               mp::obs::BenchReport& report) {
   using Scheme = typename DS::Scheme;
   StallLatch latch;
   latch.stall_tid = threads;
@@ -122,6 +123,15 @@ void run_bound(const char* scheme_name, int threads, std::size_t size,
                   : "ok",
               stats.retires, stats.emergency_empties);
   std::fflush(stdout);
+  auto row = mp::obs::json::Value::object();
+  row["figure"] = "bound";
+  row["structure"] = "list";
+  row["workload"] = "stalled-churn";
+  row["scheme"] = scheme_name;
+  row["threads"] = static_cast<std::uint64_t>(threads);
+  row["stats"] = mp::obs::to_json(stats);
+  row["waste"] = mp::obs::waste_json(bound, stats.peak_retired);
+  report.add_row(std::move(row));
 
   // Unpark and tidy up.
   injector.set_armed(false);
@@ -143,12 +153,23 @@ int main(int argc, char** argv) {
   cli.add_int("duration-ms", 500, "churn window while stalled");
   cli.add_int("soft-cap", 0, "Config::retired_soft_cap (0 = disabled)");
   cli.add_string("schemes", "EBR,IBR,HE,DTA,HP,MP", "schemes to compare");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);
 
   const int threads = static_cast<int>(cli.get_int("threads"));
   const auto size = static_cast<std::size_t>(cli.get_int("size"));
   const int duration_ms = static_cast<int>(cli.get_int("duration-ms"));
   const auto soft_cap = static_cast<std::uint64_t>(cli.get_int("soft-cap"));
+
+  mp::obs::BenchReport report("bound_enforcement", cli.get_string("json-out"));
+  {
+    auto& config = report.config();
+    config["threads"] = static_cast<std::uint64_t>(threads);
+    config["size"] = size;
+    config["duration_ms"] = static_cast<std::uint64_t>(duration_ms);
+    config["soft_cap"] = soft_cap;
+  }
 
   std::printf(
       "figure,structure,workload,scheme,threads,peak_retired,bound,verdict,"
@@ -157,7 +178,7 @@ int main(int argc, char** argv) {
        mp::common::Cli::split_csv(cli.get_string("schemes"))) {
 #define MARGINPTR_RUN(S)                                                  \
   run_bound<mp::ds::MichaelList<S>>(scheme.c_str(), threads, size,        \
-                                    duration_ms, soft_cap)
+                                    duration_ms, soft_cap, report)
     MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
   }

@@ -16,20 +16,27 @@ struct Row {
   double mops;
   double avg_retired;
   double fences_per_read;
+  mp::smr::StatsSnapshot stats;
+  std::uint64_t waste_bound;
+  mp::bench::OpLatency latency;
 };
 
 template <typename DS>
 Row run_case(const char* name, DS& ds, int threads, std::size_t size,
-             int duration_ms) {
+             int duration_ms, const mp::smr::Config& config) {
   mp::bench::prefill(ds, size, 2 * size);
   const auto result = mp::bench::run_workload(
       ds, threads, mp::bench::kReadDominated, 2 * size, duration_ms);
-  return {name, result.mops, result.avg_retired, result.fences_per_read};
+  return {name,         result.mops,
+          result.avg_retired,
+          result.fences_per_read,
+          result.stats, DS::Scheme::waste_bound_per_thread(config),
+          result.latency};
 }
 
 template <template <typename> class S>
 void scheme_block(const char* scheme_name, int threads, std::size_t size,
-                  int duration_ms) {
+                  int duration_ms, mp::obs::BenchReport& report) {
   std::vector<Row> rows;
   {
     using List = mp::ds::MichaelList<S>;
@@ -38,7 +45,8 @@ void scheme_block(const char* scheme_name, int threads, std::size_t size,
     config.slots_per_thread = List::kRequiredSlots;
     List ds(config);
     rows.push_back(run_case("list", ds, threads,
-                            std::min<std::size_t>(size, 2000), duration_ms));
+                            std::min<std::size_t>(size, 2000), duration_ms,
+                            config));
   }
   {
     using Hash = mp::ds::MichaelHashSet<S>;
@@ -46,7 +54,8 @@ void scheme_block(const char* scheme_name, int threads, std::size_t size,
     config.max_threads = static_cast<std::size_t>(threads);
     config.slots_per_thread = Hash::kRequiredSlots;
     Hash ds(config, size / 16);
-    rows.push_back(run_case("hashset", ds, threads, size, duration_ms));
+    rows.push_back(run_case("hashset", ds, threads, size, duration_ms,
+                            config));
   }
   {
     using SL = mp::ds::FraserSkipList<S>;
@@ -54,7 +63,8 @@ void scheme_block(const char* scheme_name, int threads, std::size_t size,
     config.max_threads = static_cast<std::size_t>(threads);
     config.slots_per_thread = SL::kRequiredSlots;
     SL ds(config);
-    rows.push_back(run_case("skiplist", ds, threads, size, duration_ms));
+    rows.push_back(run_case("skiplist", ds, threads, size, duration_ms,
+                            config));
   }
   {
     using Tree = mp::ds::NatarajanTree<S>;
@@ -62,7 +72,8 @@ void scheme_block(const char* scheme_name, int threads, std::size_t size,
     config.max_threads = static_cast<std::size_t>(threads);
     config.slots_per_thread = Tree::kRequiredSlots;
     Tree ds(config);
-    rows.push_back(run_case("bst", ds, threads, size, duration_ms));
+    rows.push_back(run_case("bst", ds, threads, size, duration_ms,
+                            config));
   }
   {
     using Avl = mp::ds::CowAvlTree<S>;
@@ -70,12 +81,17 @@ void scheme_block(const char* scheme_name, int threads, std::size_t size,
     config.max_threads = static_cast<std::size_t>(threads);
     config.slots_per_thread = Avl::kRequiredSlots;
     Avl ds(config);
-    rows.push_back(run_case("cow-avl", ds, threads, size, duration_ms));
+    rows.push_back(run_case("cow-avl", ds, threads, size, duration_ms,
+                            config));
   }
   for (const auto& row : rows) {
     std::printf("overview,%s,read-dom,%s,%d,%.3f,%.1f,%.4f\n", row.structure,
                 scheme_name, threads, row.mops, row.avg_retired,
                 row.fences_per_read);
+    report.add_row(mp::bench::make_row(
+        "overview", row.structure, "read-dom", scheme_name, threads,
+        row.mops, row.avg_retired, row.fences_per_read, row.stats,
+        row.waste_bound, &row.latency));
   }
   std::fflush(stdout);
 }
@@ -89,16 +105,27 @@ int main(int argc, char** argv) {
   cli.add_int("size", 20000, "prefill size (list capped at 2000)");
   cli.add_int("duration-ms", 200, "measurement window");
   cli.add_string("schemes", "MP,HP,IBR,EBR", "schemes to compare");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);
 
   const int threads = static_cast<int>(cli.get_int("threads"));
   const auto size = static_cast<std::size_t>(cli.get_int("size"));
   const int duration = static_cast<int>(cli.get_int("duration-ms"));
 
+  mp::obs::BenchReport report("clients_overview", cli.get_string("json-out"));
+  {
+    auto& config = report.config();
+    config["threads"] = static_cast<std::uint64_t>(threads);
+    config["size"] = size;
+    config["duration_ms"] = static_cast<std::uint64_t>(duration);
+  }
+
   mp::bench::print_header();
   for (const auto& scheme :
        mp::common::Cli::split_csv(cli.get_string("schemes"))) {
-#define MARGINPTR_RUN(S) scheme_block<S>(scheme.c_str(), threads, size, duration)
+#define MARGINPTR_RUN(S) \
+  scheme_block<S>(scheme.c_str(), threads, size, duration, report)
     MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
   }

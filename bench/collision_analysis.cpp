@@ -46,15 +46,28 @@ Report analyze(DS& ds, std::size_t size, std::uint64_t key_range,
 }
 
 void print_row(const char* structure, const char* order, const char* policy,
-               std::size_t size, const Report& report) {
+               std::size_t size, const Report& report,
+               mp::obs::BenchReport& json_report) {
+  const double collision_frac = static_cast<double>(report.collisions) /
+                                static_cast<double>(report.allocs);
   std::printf("collisions,%s,%s,%s,%zu,%llu,%llu,%.4f,%.4f\n", structure,
               order, policy, size,
               static_cast<unsigned long long>(report.allocs),
               static_cast<unsigned long long>(report.collisions),
-              static_cast<double>(report.collisions) /
-                  static_cast<double>(report.allocs),
-              report.read_fallback_fraction);
+              collision_frac, report.read_fallback_fraction);
   std::fflush(stdout);
+  auto row = mp::obs::json::Value::object();
+  row["figure"] = "collisions";
+  row["structure"] = structure;
+  row["order"] = order;
+  row["policy"] = policy;
+  row["scheme"] = "MP";
+  row["size"] = size;
+  row["allocs"] = report.allocs;
+  row["collisions"] = report.collisions;
+  row["collision_frac"] = collision_frac;
+  row["read_fallback_frac"] = report.read_fallback_fraction;
+  json_report.add_row(std::move(row));
 }
 
 }  // namespace
@@ -63,10 +76,24 @@ int main(int argc, char** argv) {
   mp::common::Cli cli("MP index-collision analysis (paper §4.6)");
   cli.add_string("sizes", "1000,10000,50000", "structure sizes to analyze");
   cli.add_int("probe-ops", 20000, "read-only probes per configuration");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);
 
   const auto sizes = mp::common::Cli::split_csv_int(cli.get_string("sizes"));
   const int probe_ops = static_cast<int>(cli.get_int("probe-ops"));
+
+  mp::obs::BenchReport report("collision_analysis",
+                              cli.get_string("json-out"));
+  {
+    auto& config = report.config();
+    mp::obs::json::Value sizes_json = mp::obs::json::Value::array();
+    for (const auto s : sizes) {
+      sizes_json.push_back(static_cast<std::uint64_t>(s));
+    }
+    config["sizes"] = sizes_json;
+    config["probe_ops"] = static_cast<std::uint64_t>(probe_ops);
+  }
 
   std::printf(
       "figure,structure,order,policy,size,allocs,collisions,"
@@ -84,7 +111,7 @@ int main(int argc, char** argv) {
       config.slots_per_thread = SL::kRequiredSlots;
       SL sl(config);
       print_row("skiplist", "uniform", "midpoint", size,
-                analyze(sl, size, 2 * size, false, probe_ops));
+                analyze(sl, size, 2 * size, false, probe_ops), report);
     }
     {
       using Tree = mp::ds::NatarajanTree<mp::smr::MP>;
@@ -92,7 +119,7 @@ int main(int argc, char** argv) {
       config.slots_per_thread = Tree::kRequiredSlots;
       Tree tree(config);
       print_row("bst", "uniform", "midpoint", size,
-                analyze(tree, size, 2 * size, false, probe_ops));
+                analyze(tree, size, 2 * size, false, probe_ops), report);
     }
     // The list at bounded sizes (linear traversals).
     const std::size_t list_size = std::min<std::size_t>(size, 5000);
@@ -111,7 +138,8 @@ int main(int argc, char** argv) {
                                                               : "golden",
             list_size,
             analyze(list, list_size, ascending ? list_size : 2 * list_size,
-                    ascending, probe_ops));
+                    ascending, probe_ops),
+            report);
       }
     }
   }

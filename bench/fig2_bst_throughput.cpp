@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
       "Fig 2: BST throughput by scheme, workload, and thread count",
       /*default_size=*/50000, /*full_size=*/500000,
       /*default_schemes=*/"MP,IBR,HE,HP,EBR");
+  mp::obs::BenchReport report("fig2_bst_throughput", args.json_out);
+  mp::bench::fill_report_config(report, args);
   mp::bench::print_header();
   for (const mp::bench::Workload* workload :
        {&mp::bench::kReadDominated, &mp::bench::kWriteDominated,
@@ -22,7 +24,7 @@ int main(int argc, char** argv) {
 #define MARGINPTR_RUN(S)                                                \
   mp::bench::sweep_threads<mp::ds::NatarajanTree<S>>(                   \
       "fig2", "bst", scheme.c_str(), args, *workload,                   \
-      mp::ds::NatarajanTree<S>::kRequiredSlots)
+      mp::ds::NatarajanTree<S>::kRequiredSlots, &report)
       MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
     }

@@ -10,6 +10,8 @@ int main(int argc, char** argv) {
       "Fig 3: skip-list throughput by scheme, workload, and thread count",
       /*default_size=*/50000, /*full_size=*/500000,
       /*default_schemes=*/"MP,IBR,HE,HP,EBR");
+  mp::obs::BenchReport report("fig3_skiplist_throughput", args.json_out);
+  mp::bench::fill_report_config(report, args);
   mp::bench::print_header();
   for (const mp::bench::Workload* workload :
        {&mp::bench::kReadDominated, &mp::bench::kWriteDominated,
@@ -18,7 +20,7 @@ int main(int argc, char** argv) {
 #define MARGINPTR_RUN(S)                                                \
   mp::bench::sweep_threads<mp::ds::FraserSkipList<S>>(                  \
       "fig3", "skiplist", scheme.c_str(), args, *workload,              \
-      mp::ds::FraserSkipList<S>::kRequiredSlots)
+      mp::ds::FraserSkipList<S>::kRequiredSlots, &report)
       MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
     }

@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
       "Fig 4: linked-list throughput by scheme, workload, and thread count",
       /*default_size=*/2000, /*full_size=*/5000,
       /*default_schemes=*/"MP,IBR,HE,HP,EBR,DTA");
+  mp::obs::BenchReport report("fig4_list_throughput", args.json_out);
+  mp::bench::fill_report_config(report, args);
   mp::bench::print_header();
   for (const mp::bench::Workload* workload :
        {&mp::bench::kReadDominated, &mp::bench::kWriteDominated,
@@ -20,7 +22,7 @@ int main(int argc, char** argv) {
 #define MARGINPTR_RUN(S)                                          \
   mp::bench::sweep_threads<mp::ds::MichaelList<S>>(               \
       "fig4", "list", scheme.c_str(), args, *workload,            \
-      mp::ds::MichaelList<S>::kRequiredSlots)
+      mp::ds::MichaelList<S>::kRequiredSlots, &report)
       MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
     }

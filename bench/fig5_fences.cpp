@@ -10,7 +10,8 @@ namespace {
 
 template <typename DS>
 void measure(const char* ds_name, const char* scheme_name,
-             const mp::bench::BenchArgs& args) {
+             const mp::bench::BenchArgs& args,
+             mp::obs::BenchReport& report) {
   auto config = args.config(DS::kRequiredSlots);
   DS ds(config);
   mp::bench::prefill(ds, args.size, 2 * args.size);
@@ -21,6 +22,10 @@ void measure(const char* ds_name, const char* scheme_name,
               scheme_name, threads, result.mops, result.avg_retired,
               result.fences_per_read);
   std::fflush(stdout);
+  report.add_row(mp::bench::make_row(
+      "fig5", ds_name, "read-only", scheme_name, threads, result.mops,
+      result.avg_retired, result.fences_per_read, result.stats,
+      DS::Scheme::waste_bound_per_thread(config), &result.latency));
 }
 
 }  // namespace
@@ -31,6 +36,8 @@ int main(int argc, char** argv) {
       /*default_size=*/20000, /*full_size=*/500000,
       /*default_schemes=*/"MP,HP",
       /*default_threads=*/"8");
+  mp::obs::BenchReport report("fig5_fences", args.json_out);
+  mp::bench::fill_report_config(report, args);
   mp::bench::print_header();
   // The linear list is capped at the paper's 5 K regardless of --full.
   mp::bench::BenchArgs list_args = args;
@@ -38,9 +45,12 @@ int main(int argc, char** argv) {
   for (const auto& scheme : args.schemes) {
 #define MARGINPTR_RUN(S)                                                  \
   do {                                                                    \
-    measure<mp::ds::MichaelList<S>>("list", scheme.c_str(), list_args);   \
-    measure<mp::ds::FraserSkipList<S>>("skiplist", scheme.c_str(), args); \
-    measure<mp::ds::NatarajanTree<S>>("bst", scheme.c_str(), args);       \
+    measure<mp::ds::MichaelList<S>>("list", scheme.c_str(), list_args,    \
+                                    report);                              \
+    measure<mp::ds::FraserSkipList<S>>("skiplist", scheme.c_str(), args,  \
+                                       report);                           \
+    measure<mp::ds::NatarajanTree<S>>("bst", scheme.c_str(), args,        \
+                                      report);                            \
   } while (0)
     MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
       /*default_size=*/20000, /*full_size=*/500000,
       /*default_schemes=*/"MP,IBR,HE,HP,EBR",
       /*default_threads=*/"2,4,8,16,32");
+  mp::obs::BenchReport report("fig6_wasted_memory", args.json_out);
+  mp::bench::fill_report_config(report, args);
   mp::bench::print_header();
   // Trees and skip lists for all schemes; the list additionally gets DTA.
   for (const auto& scheme : args.schemes) {
@@ -22,11 +24,11 @@ int main(int argc, char** argv) {
   do {                                                                   \
     mp::bench::sweep_threads<mp::ds::NatarajanTree<S>>(                  \
         "fig6", "bst", scheme.c_str(), args, mp::bench::kReadDominated,  \
-        mp::ds::NatarajanTree<S>::kRequiredSlots);                       \
+        mp::ds::NatarajanTree<S>::kRequiredSlots, &report);              \
     mp::bench::sweep_threads<mp::ds::FraserSkipList<S>>(                 \
         "fig6", "skiplist", scheme.c_str(), args,                        \
         mp::bench::kReadDominated,                                       \
-        mp::ds::FraserSkipList<S>::kRequiredSlots);                      \
+        mp::ds::FraserSkipList<S>::kRequiredSlots, &report);             \
   } while (0)
     MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
@@ -40,7 +42,8 @@ int main(int argc, char** argv) {
 #define MARGINPTR_RUN(S)                                          \
   mp::bench::sweep_threads<mp::ds::MichaelList<S>>(               \
       "fig6", "list", scheme.c_str(), list_args,                  \
-      mp::bench::kReadDominated, mp::ds::MichaelList<S>::kRequiredSlots)
+      mp::bench::kReadDominated, mp::ds::MichaelList<S>::kRequiredSlots, \
+      &report)
       MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
     }

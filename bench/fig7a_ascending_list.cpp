@@ -11,7 +11,8 @@ namespace {
 
 template <typename DS>
 void sweep_ascending(const char* scheme_name,
-                     const mp::bench::BenchArgs& args) {
+                     const mp::bench::BenchArgs& args,
+                     mp::obs::BenchReport& report) {
   auto config = args.config(DS::kRequiredSlots);
   DS ds(config);
   mp::bench::prefill_ascending(ds, args.size);
@@ -23,6 +24,11 @@ void sweep_ascending(const char* scheme_name,
                 scheme_name, threads, result.mops, result.avg_retired,
                 result.fences_per_read);
     std::fflush(stdout);
+    report.add_row(mp::bench::make_row(
+        "fig7a", "list-ascending", "read-only", scheme_name, threads,
+        result.mops, result.avg_retired, result.fences_per_read,
+        result.stats, DS::Scheme::waste_bound_per_thread(config),
+        &result.latency));
   }
 }
 
@@ -34,10 +40,12 @@ int main(int argc, char** argv) {
       "Fig 7a: ascending-insert list (all-collision worst case), MP vs HP",
       /*default_size=*/2000, /*full_size=*/5000,
       /*default_schemes=*/"MP,HP");
+  mp::obs::BenchReport report("fig7a_ascending_list", args.json_out);
+  mp::bench::fill_report_config(report, args);
   mp::bench::print_header();
   for (const auto& scheme : args.schemes) {
 #define MARGINPTR_RUN(S) \
-  sweep_ascending<mp::ds::MichaelList<S>>(scheme.c_str(), args)
+  sweep_ascending<mp::ds::MichaelList<S>>(scheme.c_str(), args, report)
     MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
   }

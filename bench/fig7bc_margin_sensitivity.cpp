@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   cli.add_string("margins", "17,18,19,20,21,22,23,24,25,26",
                  "log2 margin sizes to sweep");
   cli.add_bool("full", "paper-scale parameters");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);
 
   std::size_t size = static_cast<std::size_t>(cli.get_int("size"));
@@ -27,6 +29,24 @@ int main(int argc, char** argv) {
       mp::common::Cli::split_csv_int(cli.get_string("threads"));
   const auto margin_bits =
       mp::common::Cli::split_csv_int(cli.get_string("margins"));
+
+  mp::obs::BenchReport report("fig7bc_margin_sensitivity",
+                              cli.get_string("json-out"));
+  {
+    auto& report_config = report.config();
+    report_config["size"] = size;
+    report_config["duration_ms"] = static_cast<std::uint64_t>(duration_ms);
+    mp::obs::json::Value threads_json = mp::obs::json::Value::array();
+    for (const auto t : thread_counts) {
+      threads_json.push_back(static_cast<std::uint64_t>(t));
+    }
+    report_config["threads"] = threads_json;
+    mp::obs::json::Value margins_json = mp::obs::json::Value::array();
+    for (const auto bits : margin_bits) {
+      margins_json.push_back(static_cast<std::uint64_t>(bits));
+    }
+    report_config["log2_margins"] = margins_json;
+  }
 
   std::printf(
       "figure,structure,workload,scheme,log2_margin,threads,mops,"
@@ -52,6 +72,13 @@ int main(int argc, char** argv) {
                   static_cast<long long>(threads), result.mops,
                   result.avg_retired);
       std::fflush(stdout);
+      auto row = mp::bench::make_row(
+          "fig7bc", "bst", "write-dom", "MP", static_cast<int>(threads),
+          result.mops, result.avg_retired, result.fences_per_read,
+          result.stats, Tree::Scheme::waste_bound_per_thread(config),
+          &result.latency);
+      row["log2_margin"] = static_cast<std::uint64_t>(bits);
+      report.add_row(std::move(row));
       tree.scheme().drain();
     }
   }

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "ds/fraser_skiplist.hpp"
 #include "ds/michael_list.hpp"
 #include "ds/natarajan_tree.hpp"
+#include "obs/report.hpp"
 #include "smr/smr.hpp"
 
 namespace mp::bench {
@@ -39,12 +41,34 @@ inline constexpr Workload kReadDominated{5, 5, "read-dom"};
 inline constexpr Workload kWriteDominated{50, 50, "write-dom"};
 inline constexpr Workload kReadOnly{0, 0, "read-only"};
 
+/// Per-operation-type latency histograms (merged across worker threads).
+struct OpLatency {
+  obs::LatencyHistogram contains;
+  obs::LatencyHistogram insert;
+  obs::LatencyHistogram remove;
+
+  void merge(const OpLatency& other) noexcept {
+    contains.merge(other.contains);
+    insert.merge(other.insert);
+    remove.merge(other.remove);
+  }
+
+  obs::json::Value to_json() const {
+    obs::json::Value out = obs::json::Value::object();
+    out["contains"] = obs::to_json(contains);
+    out["insert"] = obs::to_json(insert);
+    out["remove"] = obs::to_json(remove);
+    return out;
+  }
+};
+
 struct RunResult {
   double mops = 0;             ///< aggregate throughput, million ops/s
   double avg_retired = 0;      ///< mean retired-list size at op start (Fig 6)
   double fences_per_read = 0;  ///< Fig 5 numerator/denominator
   std::uint64_t ops = 0;
   smr::StatsSnapshot stats;    ///< delta over the timed phase
+  OpLatency latency;           ///< per-op-type latency, ns
 };
 
 /// Insert uniformly random keys from [1, key_range] until `target` distinct
@@ -79,26 +103,45 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
   common::SpinBarrier barrier(static_cast<std::size_t>(threads) + 1);
   const smr::StatsSnapshot before = ds.scheme().stats_snapshot();
 
+  std::mutex latency_mutex;
+  OpLatency latency;
+
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
       std::uint64_t ops = 0;
+      OpLatency local;  // single-writer; merged under the mutex after stop
       barrier.arrive_and_wait();
+      // Chained timestamps: each op's end is the next op's start, so
+      // latency capture costs one clock read per op (~20 ns on Linux
+      // vDSO), not two.
+      auto prev = std::chrono::steady_clock::now();
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t key = 1 + rng.next_below(key_range);
         const auto coin = static_cast<int>(rng.next() % 100);
+        obs::LatencyHistogram* hist;
         if (coin < workload.insert_pct) {
           ds.insert(t, key, key);
+          hist = &local.insert;
         } else if (coin < workload.insert_pct + workload.remove_pct) {
           ds.remove(t, key);
+          hist = &local.remove;
         } else {
           ds.contains(t, key);
+          hist = &local.contains;
         }
+        const auto now = std::chrono::steady_clock::now();
+        hist->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - prev)
+                .count()));
+        prev = now;
         ++ops;
       }
       total_ops.fetch_add(ops, std::memory_order_relaxed);
+      std::lock_guard lock(latency_mutex);
+      latency.merge(local);
     });
   }
 
@@ -121,6 +164,7 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
           ? 0
           : static_cast<double>(result.stats.fences) /
                 static_cast<double>(result.stats.reads);
+  result.latency = latency;
   return result;
 }
 
@@ -133,6 +177,7 @@ struct BenchArgs {
   std::uint32_t margin = 1u << 20;
   int runs = 1;
   std::size_t max_threads = 0;    ///< scheme slot capacity
+  std::string json_out;           ///< report path ("" = BENCH_<name>.json)
 
   static BenchArgs parse(int argc, char** argv, const char* description,
                          std::size_t default_size,
@@ -148,6 +193,9 @@ struct BenchArgs {
     cli.add_int("runs", 1, "repetitions per data point (averaged)");
     cli.add_int("margin", 1 << 20, "MP margin size");
     cli.add_bool("full", "paper-scale parameters (large size, 1s windows)");
+    cli.add_string("json-out", "",
+                   "JSON report path (default: BENCH_<bench>.json in the "
+                   "working directory)");
     cli.parse(argc, argv);
 
     BenchArgs args;
@@ -159,6 +207,7 @@ struct BenchArgs {
     args.duration_ms = static_cast<int>(cli.get_int("duration-ms"));
     args.margin = static_cast<std::uint32_t>(cli.get_int("margin"));
     args.runs = static_cast<int>(cli.get_int("runs"));
+    args.json_out = cli.get_string("json-out");
     if (cli.get_bool("full")) {
       args.size = full_size;
       args.duration_ms = 1000;
@@ -178,18 +227,66 @@ struct BenchArgs {
   }
 };
 
+/// Fill a report's "config" object from the common CLI arguments.
+inline void fill_report_config(obs::BenchReport& report,
+                               const BenchArgs& args) {
+  auto& config = report.config();
+  config["size"] = args.size;
+  config["duration_ms"] = static_cast<std::uint64_t>(args.duration_ms);
+  config["runs"] = static_cast<std::uint64_t>(args.runs);
+  config["margin"] = static_cast<std::uint64_t>(args.margin);
+  obs::json::Value threads = obs::json::Value::array();
+  for (const int t : args.thread_counts) {
+    threads.push_back(static_cast<std::uint64_t>(t));
+  }
+  config["threads"] = threads;
+  obs::json::Value schemes = obs::json::Value::array();
+  for (const auto& s : args.schemes) schemes.push_back(s);
+  config["schemes"] = schemes;
+}
+
+/// One report row in the shape shared by the figure benches: the CSV
+/// columns plus the full stats/waste/latency sections.
+inline obs::json::Value make_row(const char* figure, const char* structure,
+                                 const char* workload, const char* scheme,
+                                 int threads, double mops, double avg_retired,
+                                 double fences_per_read,
+                                 const smr::StatsSnapshot& stats,
+                                 std::uint64_t waste_bound,
+                                 const OpLatency* latency) {
+  obs::json::Value row = obs::json::Value::object();
+  row["figure"] = figure;
+  row["structure"] = structure;
+  row["workload"] = workload;
+  row["scheme"] = scheme;
+  row["threads"] = static_cast<std::uint64_t>(threads);
+  row["mops"] = mops;
+  row["avg_retired"] = avg_retired;
+  row["fences_per_read"] = fences_per_read;
+  row["stats"] = obs::to_json(stats);
+  row["waste"] = obs::waste_json(waste_bound, stats.peak_retired);
+  if (latency != nullptr) row["latency_ns"] = latency->to_json();
+  return row;
+}
+
 /// One data point of a throughput figure: fresh-ish structure (drained
-/// between thread counts), averaged over `runs` repetitions.
+/// between thread counts), averaged over `runs` repetitions. When `report`
+/// is non-null every data point also lands there as a JSON row (stats
+/// summed across the runs, latency histograms merged).
 template <typename DS>
 void sweep_threads(const char* figure, const char* ds_name,
                    const char* scheme_name, const BenchArgs& args,
-                   const Workload& workload, int required_slots) {
+                   const Workload& workload, int required_slots,
+                   obs::BenchReport* report = nullptr) {
   auto config = args.config(required_slots);
   DS ds(config);
   prefill(ds, args.size, 2 * args.size);
+  const std::uint64_t waste_bound =
+      DS::Scheme::waste_bound_per_thread(config);
   for (int threads : args.thread_counts) {
     double mops = 0, avg_retired = 0, fences_per_read = 0;
-    std::uint64_t peak_retired = 0, emergency_empties = 0;
+    smr::StatsSnapshot stats_sum;
+    OpLatency latency;
     for (int run = 0; run < args.runs; ++run) {
       const RunResult result = run_workload(ds, threads, workload,
                                             2 * args.size, args.duration_ms,
@@ -197,16 +294,23 @@ void sweep_threads(const char* figure, const char* ds_name,
       mops += result.mops;
       avg_retired += result.avg_retired;
       fences_per_read += result.fences_per_read;
-      peak_retired = std::max(peak_retired, result.stats.peak_retired);
-      emergency_empties += result.stats.emergency_empties;
+      stats_sum += result.stats;
+      latency.merge(result.latency);
       ds.scheme().drain();  // quiescent between points
     }
     std::printf("%s,%s,%s,%s,%d,%.3f,%.1f,%.4f,%llu,%llu\n", figure, ds_name,
                 workload.name, scheme_name, threads, mops / args.runs,
                 avg_retired / args.runs, fences_per_read / args.runs,
-                static_cast<unsigned long long>(peak_retired),
-                static_cast<unsigned long long>(emergency_empties));
+                static_cast<unsigned long long>(stats_sum.peak_retired),
+                static_cast<unsigned long long>(stats_sum.emergency_empties));
     std::fflush(stdout);
+    if (report != nullptr) {
+      report->add_row(make_row(figure, ds_name, workload.name, scheme_name,
+                               threads, mops / args.runs,
+                               avg_retired / args.runs,
+                               fences_per_read / args.runs, stats_sum,
+                               waste_bound, &latency));
+    }
   }
 }
 

@@ -3,9 +3,17 @@
 //   * "walk": sequential reads over many distinct nodes (a traversal),
 //     where MP's margin fast path and HP's per-node fences diverge;
 //   * "repeat": re-reading one node (a CAS retry loop), cheap everywhere.
+//
+// JSON output: unlike the figure benches (which use obs::BenchReport),
+// this binary defaults to google-benchmark's native JSON reporter —
+// --benchmark_out=BENCH_micro_read_cost.json — so its report keeps the
+// upstream schema (context + benchmarks[]). Pass your own --benchmark_out
+// to override.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "smr/smr.hpp"
@@ -81,3 +89,27 @@ READ_COST_BENCH(MP)
 READ_COST_BENCH(DTA)
 
 }  // namespace
+
+// benchmark_main with a default JSON report destination injected when the
+// caller didn't pick one.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_read_cost.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

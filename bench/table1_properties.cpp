@@ -30,7 +30,7 @@ constexpr Row kRows[] = {
 
 template <typename DS>
 void measured_row(const char* scheme_name, int threads, std::size_t size,
-                  int duration_ms) {
+                  int duration_ms, mp::obs::BenchReport& report) {
   mp::smr::Config config;
   config.max_threads = static_cast<std::size_t>(threads);
   config.slots_per_thread = DS::kRequiredSlots;
@@ -41,6 +41,10 @@ void measured_row(const char* scheme_name, int threads, std::size_t size,
   std::printf("%-6s | %9.3f | %12.1f | %9.4f\n", scheme_name, result.mops,
               result.avg_retired, result.fences_per_read);
   std::fflush(stdout);
+  report.add_row(mp::bench::make_row(
+      "table1", "bst", "read-dom", scheme_name, threads, result.mops,
+      result.avg_retired, result.fences_per_read, result.stats,
+      DS::Scheme::waste_bound_per_thread(config), &result.latency));
 }
 
 }  // namespace
@@ -50,7 +54,11 @@ int main(int argc, char** argv) {
   cli.add_int("threads", 8, "threads for the measured columns");
   cli.add_int("size", 20000, "prefill size for the measured columns");
   cli.add_int("duration-ms", 250, "measurement window");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);
+
+  mp::obs::BenchReport report("table1_properties", cli.get_string("json-out"));
 
   std::printf("Table 1 — qualitative properties (from the paper):\n");
   std::printf("%-6s | %-36s | %-30s | %-24s | %s\n", "Scheme",
@@ -73,6 +81,13 @@ int main(int argc, char** argv) {
   const auto size = static_cast<std::size_t>(cli.get_int("size"));
   const int duration = static_cast<int>(cli.get_int("duration-ms"));
 
+  {
+    auto& config = report.config();
+    config["threads"] = static_cast<std::uint64_t>(threads);
+    config["size"] = size;
+    config["duration_ms"] = static_cast<std::uint64_t>(duration);
+  }
+
   std::printf(
       "\nMeasured on this machine (BST, read-dominated, %d threads, "
       "S=%zu):\n",
@@ -83,7 +98,7 @@ int main(int argc, char** argv) {
     const std::string name(scheme);
 #define MARGINPTR_RUN(S)                                               \
   measured_row<mp::ds::NatarajanTree<S>>(name.c_str(), threads, size, \
-                                         duration)
+                                         duration, report)
     MARGINPTR_DISPATCH_SCHEME(name, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
   }

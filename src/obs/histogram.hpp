@@ -1,0 +1,117 @@
+// Log-bucketed latency histogram for the benchmark driver.
+//
+// Design constraints (ISSUE: observability layer):
+//   * record() is allocation-free and lock-free — a fixed array of plain
+//     uint64 counters, owned by exactly one recording thread. No atomics:
+//     single-writer histograms are merged after the owning thread joins.
+//   * mergeable: merge() adds bucket counts, so per-thread histograms
+//     combine into a run-wide one without losing quantile fidelity.
+//   * bounded relative error: buckets are log2 major ranges split into
+//     2^kSubBits linear sub-buckets (HdrHistogram's layout), so any
+//     recorded value maps to a bucket whose width is at most 1/2^kSubBits
+//     of its magnitude — quantiles are exact to ~6.25% with kSubBits = 4.
+//
+// Values are unitless uint64; the bench driver records nanoseconds.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace mp::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;  ///< 16 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Values 0..2*kSubBuckets-1 are exact; each further octave adds
+  /// kSubBuckets buckets, up to 2^63.
+  static constexpr int kBuckets = ((64 - kSubBits) << kSubBits) + kSubBuckets;
+
+  LatencyHistogram() noexcept { reset(); }
+
+  void reset() noexcept {
+    std::memset(counts_, 0, sizeof counts_);
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+  /// Record one value. Single-writer; no allocation, no locking, no atomics.
+  void record(std::uint64_t value) noexcept {
+    ++counts_[bucket_for(value)];
+    ++count_;
+    sum_ += value;
+    max_ = std::max(max_, value);
+  }
+
+  /// Fold another histogram into this one (after its writer has quiesced).
+  void merge(const LatencyHistogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1]: the representative (midpoint) of the
+  /// first bucket whose cumulative count reaches ceil(q * count). The exact
+  /// max is reported for q high enough to land in the last occupied bucket.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        // In the last occupied bucket the exact max is known — report it,
+        // so quantile(1.0) == max() rather than the bucket midpoint.
+        if (seen == count_) return max_;
+        return std::min(representative(i), max_);
+      }
+    }
+    return max_;
+  }
+
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p90() const noexcept { return quantile(0.90); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+  std::uint64_t p999() const noexcept { return quantile(0.999); }
+
+  /// Bucket index for a value (exposed for the oracle tests).
+  static int bucket_for(std::uint64_t value) noexcept {
+    const int msb = 63 - std::countl_zero(value | 1);
+    if (msb < kSubBits + 1) return static_cast<int>(value);  // exact range
+    const int shift = msb - kSubBits;
+    return ((shift + 1) << kSubBits) +
+           static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  }
+
+  /// Midpoint of bucket `index`'s value range.
+  static std::uint64_t representative(int index) noexcept {
+    if (index < 2 * kSubBuckets) return static_cast<std::uint64_t>(index);
+    const int shift = (index >> kSubBits) - 1;
+    const std::uint64_t base =
+        (static_cast<std::uint64_t>(kSubBuckets + (index & (kSubBuckets - 1))))
+        << shift;
+    return base + ((std::uint64_t{1} << shift) >> 1);
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets];
+  std::uint64_t count_;
+  std::uint64_t sum_;
+  std::uint64_t max_;
+};
+
+}  // namespace mp::obs

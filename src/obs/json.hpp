@@ -1,0 +1,411 @@
+// Minimal JSON document model for the observability layer.
+//
+// The benchmark report emitter (obs/report.hpp) builds documents with the
+// Value DOM and serializes them with dump(); the report-schema validator
+// and the golden-file tests read them back with parse(). This is a
+// deliberately small implementation — objects, arrays, strings, booleans,
+// null, and numbers (unsigned integers kept exact, everything else as
+// double) — not a general-purpose JSON library. No external dependencies,
+// per the repo's no-new-deps rule.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mp::obs::json {
+
+class Value;
+
+using Object = std::vector<std::pair<std::string, Value>>;  // insertion order
+using Array = std::vector<Value>;
+
+/// A JSON document node. Numbers written as std::uint64_t round-trip
+/// exactly (counters can exceed 2^53, where double would silently round).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kUint, kDouble, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  // One template covers every integer width (int, size_t, uint64_t, ...);
+  // distinct non-template overloads would collide on LP64 where size_t and
+  // uint64_t are the same type. Negative values fall back to double.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Value(T v) : type_(Type::kUint), uint_(static_cast<std::uint64_t>(v)) {
+    if constexpr (std::is_signed_v<T>) {
+      if (v < 0) {
+        type_ = Type::kDouble;
+        double_ = static_cast<double>(v);
+        uint_ = 0;
+      }
+    }
+  }
+  Value(double d) : type_(Type::kDouble), double_(d) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Value object() { return Value(Object{}); }
+  static Value array() { return Value(Array{}); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept {
+    return type_ == Type::kUint || type_ == Type::kDouble;
+  }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const { return require(Type::kBool), bool_; }
+  std::uint64_t as_uint() const { return require(Type::kUint), uint_; }
+  double as_double() const {
+    if (type_ == Type::kUint) return static_cast<double>(uint_);
+    return require(Type::kDouble), double_;
+  }
+  const std::string& as_string() const {
+    return require(Type::kString), string_;
+  }
+  const Array& as_array() const { return require(Type::kArray), array_; }
+  Array& as_array() { return require(Type::kArray), array_; }
+  const Object& as_object() const { return require(Type::kObject), object_; }
+  Object& as_object() { return require(Type::kObject), object_; }
+
+  /// Object member access; inserts a null member when absent (like a map).
+  Value& operator[](const std::string& key) {
+    require(Type::kObject);
+    for (auto& [k, v] : object_) {
+      if (k == key) return v;
+    }
+    object_.emplace_back(key, Value());
+    return object_.back().second;
+  }
+
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const noexcept {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  void push_back(Value v) {
+    require(Type::kArray);
+    array_.push_back(std::move(v));
+  }
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+  }
+
+ private:
+  void require(Type t) const {
+    if (type_ != t) throw std::logic_error("json::Value: wrong type access");
+  }
+
+  static void write_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const std::string pad(indent > 0 ? indent * (depth + 1) : 0, ' ');
+    const std::string close_pad(indent > 0 ? indent * depth : 0, ' ');
+    const char* nl = indent > 0 ? "\n" : "";
+    switch (type_) {
+      case Type::kNull: out += "null"; break;
+      case Type::kBool: out += bool_ ? "true" : "false"; break;
+      case Type::kUint: {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(uint_));
+        out += buf;
+        break;
+      }
+      case Type::kDouble: {
+        if (std::isnan(double_) || std::isinf(double_)) {
+          out += "null";  // JSON has no NaN/Inf
+          break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.9g", double_);
+        out += buf;
+        break;
+      }
+      case Type::kString: write_escaped(out, string_); break;
+      case Type::kArray: {
+        if (array_.empty()) {
+          out += "[]";
+          break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+          out += pad;
+          array_[i].write(out, indent, depth + 1);
+          if (i + 1 < array_.size()) out += ',';
+          out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Type::kObject: {
+        if (object_.empty()) {
+          out += "{}";
+          break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+          out += pad;
+          write_escaped(out, object_[i].first);
+          out += indent > 0 ? ": " : ":";
+          object_[i].second.write(out, indent, depth + 1);
+          if (i + 1 < object_.size()) out += ',';
+          out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+  }
+
+  Type type_;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : cur_(begin), end_(end) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (cur_ != end_) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error: " + why);
+  }
+
+  void skip_ws() {
+    while (cur_ != end_ && (*cur_ == ' ' || *cur_ == '\t' || *cur_ == '\n' ||
+                            *cur_ == '\r')) {
+      ++cur_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (cur_ == end_) fail("unexpected end of input");
+    return *cur_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++cur_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const char* p = cur_;
+    while (*lit != '\0') {
+      if (p == end_ || *p != *lit) return false;
+      ++p;
+      ++lit;
+    }
+    cur_ = p;
+    return true;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    if (peek() == '}') {
+      ++cur_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++cur_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    if (peek() == ']') {
+      ++cur_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++cur_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value(std::move(arr));
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (cur_ == end_) fail("unterminated string");
+      char c = *cur_++;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (cur_ == end_) fail("unterminated escape");
+      c = *cur_++;
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end_ - cur_ < 4) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *cur_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Encode as UTF-8 (no surrogate-pair handling: the emitter only
+          // escapes control characters, which are all < 0x20).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const char* start = cur_;
+    bool negative = false, fractional = false;
+    if (cur_ != end_ && *cur_ == '-') {
+      negative = true;
+      ++cur_;
+    }
+    while (cur_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*cur_)) || *cur_ == '.' ||
+            *cur_ == 'e' || *cur_ == 'E' || *cur_ == '+' || *cur_ == '-')) {
+      if (*cur_ == '.' || *cur_ == 'e' || *cur_ == 'E') fractional = true;
+      ++cur_;
+    }
+    if (cur_ == start || (negative && cur_ == start + 1)) fail("bad number");
+    const std::string text(start, cur_);
+    if (!negative && !fractional) {
+      errno = 0;
+      char* endp = nullptr;
+      const unsigned long long u = std::strtoull(text.c_str(), &endp, 10);
+      if (errno == 0 && endp != nullptr && *endp == '\0') {
+        return Value(static_cast<std::uint64_t>(u));
+      }
+    }
+    return Value(std::strtod(text.c_str(), nullptr));
+  }
+
+  const char* cur_;
+  const char* end_;
+};
+
+}  // namespace detail
+
+inline Value parse(const std::string& text) {
+  detail::Parser parser(text.data(), text.data() + text.size());
+  return parser.parse_document();
+}
+
+}  // namespace mp::obs::json

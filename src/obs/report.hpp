@@ -1,0 +1,251 @@
+// Machine-readable benchmark reports: the BENCH_<name>.json emitter.
+//
+// Every bench binary builds one BenchReport and writes it alongside its
+// text output, so the repo has a parseable perf trajectory instead of
+// free-form stdout. Schema (validated by validate_report and the ctest
+// golden check; see DESIGN.md §5):
+//
+//   {
+//     "schema":  "marginptr-bench-report",
+//     "version": 1,
+//     "bench":   "<binary name>",
+//     "config":  { free-form run parameters },
+//     "rows": [
+//       {
+//         "figure": "...", "scheme": "...",          // required
+//         "structure", "workload", "threads", ...,   // bench-specific
+//         "stats":      { the full StatsSnapshot },  // optional
+//         "waste":      { "bound": n|null, "peak_retired": n,
+//                         "bounded": b, "within_bound": b|null },
+//         "latency_ns": { "<op>": {count,mean,max,p50,p90,p99,p999}, ... }
+//       }, ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "smr/chaos.hpp"  // kUnboundedWaste
+#include "smr/config.hpp"
+#include "smr/stats.hpp"
+
+namespace mp::obs {
+
+inline constexpr const char* kReportSchema = "marginptr-bench-report";
+inline constexpr std::uint64_t kReportVersion = 1;
+
+inline json::Value to_json(const smr::StatsSnapshot& s) {
+  json::Value out = json::Value::object();
+  out["fences"] = s.fences;
+  out["reads"] = s.reads;
+  out["slow_protects"] = s.slow_protects;
+  out["hp_fallbacks"] = s.hp_fallbacks;
+  out["allocs"] = s.allocs;
+  out["retires"] = s.retires;
+  out["reclaims"] = s.reclaims;
+  out["drained"] = s.drained;
+  out["empties"] = s.empties;
+  out["retired_sum"] = s.retired_sum;
+  out["retired_samples"] = s.retired_samples;
+  out["index_collisions"] = s.index_collisions;
+  out["peak_retired"] = s.peak_retired;
+  out["emergency_empties"] = s.emergency_empties;
+  return out;
+}
+
+inline json::Value to_json(const LatencyHistogram& h) {
+  json::Value out = json::Value::object();
+  out["count"] = h.count();
+  out["mean"] = h.mean();
+  out["max"] = h.max();
+  out["p50"] = h.p50();
+  out["p90"] = h.p90();
+  out["p99"] = h.p99();
+  out["p999"] = h.p999();
+  return out;
+}
+
+inline json::Value to_json(const smr::Config& c) {
+  json::Value out = json::Value::object();
+  out["max_threads"] = c.max_threads;
+  out["slots_per_thread"] = static_cast<std::uint64_t>(c.slots_per_thread);
+  out["empty_freq"] = static_cast<std::uint64_t>(c.empty_freq);
+  out["epoch_freq"] = c.effective_epoch_freq();
+  out["margin"] = static_cast<std::uint64_t>(c.margin);
+  out["anchor_distance"] = static_cast<std::uint64_t>(c.anchor_distance);
+  out["epoch_advance_on_unlink"] = c.epoch_advance_on_unlink;
+  out["retired_soft_cap"] = c.retired_soft_cap;
+  return out;
+}
+
+/// Waste-bound status: the scheme's theoretical per-thread cap next to the
+/// measured high-water mark. `bound` is JSON null for unbounded schemes.
+inline json::Value waste_json(std::uint64_t bound_per_thread,
+                              std::uint64_t peak_retired) {
+  json::Value out = json::Value::object();
+  const bool bounded = bound_per_thread != smr::kUnboundedWaste;
+  out["bounded"] = bounded;
+  out["bound"] = bounded ? json::Value(bound_per_thread) : json::Value(nullptr);
+  out["peak_retired"] = peak_retired;
+  out["within_bound"] = bounded ? json::Value(peak_retired <= bound_per_thread)
+                                : json::Value(nullptr);
+  return out;
+}
+
+/// Accumulates rows and writes BENCH_<name>.json. write() is idempotent and
+/// also runs from the destructor, so a bench that returns from main without
+/// an explicit write still emits its report.
+class BenchReport {
+ public:
+  /// `path` empty selects the default: BENCH_<bench_name>.json in the
+  /// current working directory.
+  explicit BenchReport(std::string bench_name, std::string path = "")
+      : bench_name_(std::move(bench_name)),
+        path_(path.empty() ? "BENCH_" + bench_name_ + ".json"
+                           : std::move(path)),
+        config_(json::Value::object()),
+        rows_(json::Value::array()) {}
+
+  ~BenchReport() { write(); }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// The free-form run-parameter object ("config" in the schema).
+  json::Value& config() noexcept { return config_; }
+
+  void add_row(json::Value row) {
+    rows_.push_back(std::move(row));
+    written_ = false;
+  }
+
+  json::Value document() const {
+    json::Value root = json::Value::object();
+    root["schema"] = kReportSchema;
+    root["version"] = kReportVersion;
+    root["bench"] = bench_name_;
+    root["config"] = config_;
+    root["rows"] = rows_;
+    return root;
+  }
+
+  /// Serialize to `path()`. Returns false (and warns on stderr) on I/O
+  /// failure; benches still produce their text output either way.
+  bool write() {
+    if (written_) return true;
+    const std::string text = document().dump(2);
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+        std::fputc('\n', file) != EOF;
+    std::fclose(file);
+    if (!ok) {
+      std::fprintf(stderr, "warning: short write to %s\n", path_.c_str());
+      return false;
+    }
+    written_ = true;
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  json::Value config_;
+  json::Value rows_;
+  bool written_ = false;
+};
+
+namespace detail {
+
+inline bool check(bool ok, const std::string& why, std::string& error) {
+  if (!ok && error.empty()) error = why;
+  return ok;
+}
+
+}  // namespace detail
+
+/// Validate a parsed document against the report schema. Returns an empty
+/// string when valid, else a description of the first violation.
+inline std::string validate_report(const json::Value& root) {
+  std::string error;
+  if (!detail::check(root.is_object(), "root is not an object", error)) {
+    return error;
+  }
+  const json::Value* schema = root.find("schema");
+  detail::check(schema != nullptr && schema->is_string() &&
+                    schema->as_string() == kReportSchema,
+                "schema tag missing or wrong", error);
+  const json::Value* version = root.find("version");
+  detail::check(version != nullptr && version->is_number() &&
+                    version->as_uint() == kReportVersion,
+                "version missing or unsupported", error);
+  const json::Value* bench = root.find("bench");
+  detail::check(bench != nullptr && bench->is_string() &&
+                    !bench->as_string().empty(),
+                "bench name missing", error);
+  const json::Value* config = root.find("config");
+  detail::check(config != nullptr && config->is_object(),
+                "config missing or not an object", error);
+  const json::Value* rows = root.find("rows");
+  if (!detail::check(rows != nullptr && rows->is_array(),
+                     "rows missing or not an array", error)) {
+    return error;
+  }
+  for (const json::Value& row : rows->as_array()) {
+    if (!detail::check(row.is_object(), "row is not an object", error)) break;
+    const json::Value* figure = row.find("figure");
+    detail::check(figure != nullptr && figure->is_string(),
+                  "row missing string 'figure'", error);
+    const json::Value* scheme = row.find("scheme");
+    detail::check(scheme != nullptr && scheme->is_string(),
+                  "row missing string 'scheme'", error);
+    if (const json::Value* stats = row.find("stats"); stats != nullptr) {
+      detail::check(stats->is_object(), "row stats is not an object", error);
+      for (const char* key :
+           {"fences", "reads", "allocs", "retires", "reclaims", "drained",
+            "empties", "peak_retired", "emergency_empties"}) {
+        const json::Value* field = stats->find(key);
+        detail::check(field != nullptr && field->is_number(),
+                      std::string("stats missing counter '") + key + "'",
+                      error);
+      }
+    }
+    if (const json::Value* waste = row.find("waste"); waste != nullptr) {
+      detail::check(waste->is_object() && waste->find("bounded") != nullptr &&
+                        waste->find("peak_retired") != nullptr &&
+                        waste->find("bound") != nullptr,
+                    "row waste object incomplete", error);
+    }
+    if (const json::Value* latency = row.find("latency_ns");
+        latency != nullptr) {
+      if (!detail::check(latency->is_object(),
+                         "latency_ns is not an object", error)) {
+        break;
+      }
+      for (const auto& [op, hist] : latency->as_object()) {
+        for (const char* key : {"count", "mean", "max", "p50", "p90", "p99",
+                                "p999"}) {
+          const json::Value* field = hist.find(key);
+          detail::check(field != nullptr && field->is_number(),
+                        "latency histogram for '" + op + "' missing '" +
+                            key + "'",
+                        error);
+        }
+      }
+    }
+    if (!error.empty()) break;
+  }
+  return error;
+}
+
+}  // namespace mp::obs

@@ -16,6 +16,10 @@
 #include <stdexcept>
 #include <string>
 
+namespace mp::obs {
+class Tracer;  // obs/trace.hpp; Config only carries a non-owning pointer
+}
+
 namespace mp::smr {
 
 class FaultInjector;  // chaos.hpp; Config only carries a non-owning pointer
@@ -80,6 +84,13 @@ struct Config {
   /// must outlive every scheme sharing it, and must be sized for at least
   /// max_threads. Leave null in production.
   FaultInjector* fault_injector = nullptr;
+
+  /// Reclamation event tracing (obs/trace.hpp): retire / empty / reclaim /
+  /// emergency-empty / epoch-advance events land in per-thread ring
+  /// buffers. Non-owning; must outlive the scheme and be sized for at
+  /// least max_threads. Null (the default) keeps the hot path to a single
+  /// predictable branch per hook site; read() paths are never touched.
+  obs::Tracer* tracer = nullptr;
 
   /// Diagnostics hook: invoked (with `context`) for every node the scheme
   /// frees, before the memory is released. Used by the fuzz oracle tests;

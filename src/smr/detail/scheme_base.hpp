@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "obs/trace.hpp"
 #include "smr/chaos.hpp"
 #include "smr/config.hpp"
 #include "smr/node.hpp"
@@ -67,6 +68,8 @@ class SchemeBase {
     if (chaos != nullptr) {
       if (const std::uint32_t storm = chaos->epoch_storm(tid); storm != 0) {
         derived().chaos_advance_epoch(storm);
+        trace_event(tid, obs::TraceEvent::kEpochAdvance,
+                    derived().epoch_now());
       }
     }
     Node* node = new Node(std::forward<Args>(args)...);
@@ -96,6 +99,7 @@ class SchemeBase {
     auto& stats = *stats_[tid];
     stats.bump(stats.retires);
     stats.bump_max(stats.peak_retired, local.retired.size());
+    trace_event(tid, obs::TraceEvent::kRetire, local.retired.size());
     FaultInjector* chaos = config_.fault_injector;
     if (chaos != nullptr) chaos->point(tid, ChaosPoint::kRetire);
     bool emptied = false;
@@ -105,6 +109,7 @@ class SchemeBase {
         // any) below is the backstop the delay is probing.
       } else {
         stats.bump(stats.empties);
+        trace_event(tid, obs::TraceEvent::kEmpty, local.retired.size());
         derived().empty(tid);
         emptied = true;
       }
@@ -117,6 +122,7 @@ class SchemeBase {
     if (emptied || local.retire_counter < local.next_emergency) return;
     stats.bump(stats.empties);
     stats.bump(stats.emergency_empties);
+    trace_event(tid, obs::TraceEvent::kEmergencyEmpty, local.retired.size());
     derived().empty(tid);
     if (local.retired.size() >= config_.retired_soft_cap) {
       // The pass was futile (e.g. a stalled peer pins everything): back
@@ -180,18 +186,38 @@ class SchemeBase {
     for (std::size_t i = 0; i < config_.max_threads; ++i) {
       snapshot += *stats_[i];
     }
+    snapshot.drained = drained_.load(std::memory_order_relaxed);
     return snapshot;
+  }
+
+  /// Nodes freed by drain() so far (teardown / between bench phases).
+  std::uint64_t total_drained() const noexcept {
+    return drained_.load(std::memory_order_relaxed);
   }
 
   /// Unconditionally free every buffered retired node. Only callable when
   /// no thread is inside an operation (typical use: teardown, or between
-  /// benchmark phases).
+  /// benchmark phases). Frees are attributed to the scheme-wide `drained`
+  /// counter, NOT to the per-thread `reclaims` records: those are written
+  /// with relaxed load+store under a single-writer contract (ThreadStats::
+  /// bump), and drain runs on one thread across every tid's retired list —
+  /// bumping foreign records here both raced with their owners and skewed
+  /// the reclaim counts Fig 6 is derived from.
   void drain() noexcept {
+    std::uint64_t freed = 0;
     for (std::size_t i = 0; i < config_.max_threads; ++i) {
       auto& local = *local_[i];
-      for (Node* node : local.retired) free_node(static_cast<int>(i), node);
+      for (Node* node : local.retired) {
+        if (config_.free_hook != nullptr) {
+          config_.free_hook(config_.free_hook_context, node);
+        }
+        delete node;
+        ++freed;
+      }
       local.retired.clear();
     }
+    drained_.fetch_add(freed, std::memory_order_relaxed);
+    freed_.fetch_add(freed, std::memory_order_relaxed);
   }
 
   // MP's optional interface (paper §4.1); no-ops for every other scheme so
@@ -264,10 +290,22 @@ class SchemeBase {
     auto& stats = *stats_[tid];
     stats.bump(stats.reclaims);
     freed_.fetch_add(1, std::memory_order_relaxed);
+    trace_event(tid, obs::TraceEvent::kReclaim,
+                reinterpret_cast<std::uintptr_t>(node));
     if (config_.free_hook != nullptr) {
       config_.free_hook(config_.free_hook_context, node);
     }
     delete node;
+  }
+
+  /// Tracer hook: one null-check when tracing is disabled. Called from
+  /// retire/empty/free_node here and the derived schemes' epoch ticks;
+  /// never from any read() path.
+  void trace_event(int tid, obs::TraceEvent event,
+                   std::uint64_t arg = 0) noexcept {
+    if (obs::Tracer* tracer = config_.tracer; tracer != nullptr) {
+      tracer->record(tid, event, arg);
+    }
   }
 
   /// Record the retired-list size at an operation start (Fig 6's metric).
@@ -284,6 +322,7 @@ class SchemeBase {
   std::unique_ptr<common::Padded<PerThread>[]> local_;
   std::atomic<std::uint64_t> allocated_{0};
   std::atomic<std::uint64_t> freed_{0};
+  std::atomic<std::uint64_t> drained_{0};
 };
 
 /// RAII operation guard: start_op on construction, end_op on destruction.

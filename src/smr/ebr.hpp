@@ -70,9 +70,11 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
     global_epoch_.fetch_add(by, std::memory_order_acq_rel);
   }
 
-  void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {
+  void on_alloc_tick(int tid, std::uint64_t count) noexcept {
     if (count % this->config().effective_epoch_freq() == 0) {
-      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint64_t next =
+          global_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      this->trace_event(tid, obs::TraceEvent::kEpochAdvance, next);
     }
   }
 

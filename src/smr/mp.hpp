@@ -293,18 +293,22 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     return global_epoch_.load(std::memory_order_acquire);
   }
 
-  void on_alloc_tick(int /*tid*/, std::uint64_t count) noexcept {
+  void on_alloc_tick(int tid, std::uint64_t count) noexcept {
     if (this->config().epoch_advance_on_unlink) return;  // §4.4 mode
     if (count % this->config().effective_epoch_freq() == 0) {
-      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint64_t next =
+          global_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      this->trace_event(tid, obs::TraceEvent::kEpochAdvance, next);
     }
   }
 
-  void on_retire_tick(int /*tid*/) noexcept {
+  void on_retire_tick(int tid) noexcept {
     // §4.4 future-work variant: advancing the epoch on every unlink
     // improves the wasted-memory bound to #HP + O(#MP * M) per thread.
     if (this->config().epoch_advance_on_unlink) {
-      global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint64_t next =
+          global_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      this->trace_event(tid, obs::TraceEvent::kEpochAdvance, next);
     }
   }
 

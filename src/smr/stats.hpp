@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 #include "common/align.hpp"
@@ -62,6 +63,11 @@ struct StatsSnapshot {
   /// (max-merged, not summed: Theorem 4.2's bound is per thread).
   std::uint64_t peak_retired = 0;
   std::uint64_t emergency_empties = 0;
+  /// Nodes freed by drain() (teardown / between bench phases). Kept apart
+  /// from `reclaims`: drain runs on one thread over every thread's retired
+  /// list, so bumping the per-thread reclaim counters would violate their
+  /// single-writer contract.
+  std::uint64_t drained = 0;
 
   StatsSnapshot& operator+=(const ThreadStats& t) noexcept {
     fences += t.fences.load(std::memory_order_relaxed);
@@ -82,22 +88,52 @@ struct StatsSnapshot {
     return *this;
   }
 
+  /// Merge another aggregate (e.g. accumulating per-run deltas).
+  StatsSnapshot& operator+=(const StatsSnapshot& rhs) noexcept {
+    fences += rhs.fences;
+    reads += rhs.reads;
+    slow_protects += rhs.slow_protects;
+    hp_fallbacks += rhs.hp_fallbacks;
+    allocs += rhs.allocs;
+    retires += rhs.retires;
+    reclaims += rhs.reclaims;
+    empties += rhs.empties;
+    retired_sum += rhs.retired_sum;
+    retired_samples += rhs.retired_samples;
+    index_collisions += rhs.index_collisions;
+    peak_retired = std::max(peak_retired, rhs.peak_retired);
+    emergency_empties += rhs.emergency_empties;
+    drained += rhs.drained;
+    return *this;
+  }
+
+  /// Delta between two snapshots. Counters are monotonic, so when rhs is an
+  /// earlier snapshot of the same scheme every field of rhs is a prefix of
+  /// *this; subtracting snapshots that don't satisfy that (different scheme
+  /// instances, swapped operands) used to wrap the uint64_t fields into
+  /// garbage near 2^64. Each field now saturates at 0, and debug builds
+  /// assert the prefix invariant so misuse is caught at the source.
   StatsSnapshot operator-(const StatsSnapshot& rhs) const noexcept {
+    const auto sat_sub = [](std::uint64_t a, std::uint64_t b) noexcept {
+      assert(a >= b && "StatsSnapshot subtraction: rhs is not a prefix");
+      return a >= b ? a - b : 0;
+    };
     StatsSnapshot out = *this;
-    out.fences -= rhs.fences;
-    out.reads -= rhs.reads;
-    out.slow_protects -= rhs.slow_protects;
-    out.hp_fallbacks -= rhs.hp_fallbacks;
-    out.allocs -= rhs.allocs;
-    out.retires -= rhs.retires;
-    out.reclaims -= rhs.reclaims;
-    out.empties -= rhs.empties;
-    out.retired_sum -= rhs.retired_sum;
-    out.retired_samples -= rhs.retired_samples;
-    out.index_collisions -= rhs.index_collisions;
+    out.fences = sat_sub(fences, rhs.fences);
+    out.reads = sat_sub(reads, rhs.reads);
+    out.slow_protects = sat_sub(slow_protects, rhs.slow_protects);
+    out.hp_fallbacks = sat_sub(hp_fallbacks, rhs.hp_fallbacks);
+    out.allocs = sat_sub(allocs, rhs.allocs);
+    out.retires = sat_sub(retires, rhs.retires);
+    out.reclaims = sat_sub(reclaims, rhs.reclaims);
+    out.empties = sat_sub(empties, rhs.empties);
+    out.retired_sum = sat_sub(retired_sum, rhs.retired_sum);
+    out.retired_samples = sat_sub(retired_samples, rhs.retired_samples);
+    out.index_collisions = sat_sub(index_collisions, rhs.index_collisions);
     // High-water marks are not differentiable; a delta keeps the lhs peak
     // (the high-water as of the later snapshot).
-    out.emergency_empties -= rhs.emergency_empties;
+    out.emergency_empties = sat_sub(emergency_empties, rhs.emergency_empties);
+    out.drained = sat_sub(drained, rhs.drained);
     return out;
   }
 

@@ -1,0 +1,129 @@
+// LatencyHistogram: quantiles checked against a sorted-vector oracle, the
+// bucket mapping's bounded-relative-error guarantee, and merge exactness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/histogram.hpp"
+
+namespace {
+
+using mp::obs::LatencyHistogram;
+
+std::uint64_t oracle_quantile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(q * static_cast<double>(values.size()) + 0.5));
+  return values[std::min(rank, values.size()) - 1];
+}
+
+/// Histogram quantiles carry bucket-width error: at most 1/2^kSubBits of
+/// the value's magnitude, plus the exact range near zero.
+void expect_close(std::uint64_t actual, std::uint64_t expected) {
+  const double tolerance =
+      2.0 + static_cast<double>(expected) / LatencyHistogram::kSubBuckets;
+  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(expected),
+              tolerance)
+      << "quantile outside the bucket-width error bound";
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 2 * LatencyHistogram::kSubBuckets; ++v) {
+    // The exact range: every value has its own bucket.
+    EXPECT_EQ(LatencyHistogram::representative(LatencyHistogram::bucket_for(v)),
+              v);
+  }
+  h.record(3);
+  h.record(7);
+  h.record(7);
+  h.record(31);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.p50(), 7u);
+  EXPECT_DOUBLE_EQ(h.mean(), (3 + 7 + 7 + 31) / 4.0);
+}
+
+TEST(LatencyHistogramTest, BucketMappingIsMonotonicAndBounded) {
+  // Representative(bucket_for(v)) must stay within one sub-bucket width of
+  // v for every magnitude, and bucket indices must be monotone in v.
+  int last_bucket = -1;
+  for (int bit = 0; bit < 63; ++bit) {
+    for (const std::uint64_t v :
+         {(std::uint64_t{1} << bit), (std::uint64_t{1} << bit) + 1,
+          (std::uint64_t{1} << bit) * 2 - 1}) {
+      const int bucket = LatencyHistogram::bucket_for(v);
+      ASSERT_GE(bucket, last_bucket - 1) << "non-monotonic at v=" << v;
+      last_bucket = std::max(last_bucket, bucket);
+      ASSERT_LT(bucket, LatencyHistogram::kBuckets);
+      const double rep =
+          static_cast<double>(LatencyHistogram::representative(bucket));
+      const double width =
+          std::max(1.0, static_cast<double>(v) / LatencyHistogram::kSubBuckets);
+      ASSERT_NEAR(rep, static_cast<double>(v), width)
+          << "representative too far from v=" << v;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchSortedVectorOracle) {
+  mp::common::Xoshiro256 rng(12345);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  // A latency-like mixture: a tight body plus a long tail.
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t v = 200 + rng.next_below(400);        // body ~[200,600)
+    if (rng.next() % 100 == 0) v = 5000 + rng.next_below(100000);  // tail
+    values.push_back(v);
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_EQ(h.max(), *std::max_element(values.begin(), values.end()));
+  for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+    expect_close(h.quantile(q), oracle_quantile(values, q));
+  }
+  // quantile(1.0) reports the exact max, not a bucket midpoint.
+  EXPECT_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, MergeEqualsRecordingEverythingInOne) {
+  mp::common::Xoshiro256 rng(777);
+  LatencyHistogram parts[4];
+  LatencyHistogram whole;
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t v = rng.next_below(1 << 20);
+    parts[i % 4].record(v);
+    whole.record(v);
+  }
+  LatencyHistogram merged;
+  for (const auto& part : parts) merged.merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(12345);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// JSON layer and bench-report schema:
+//   * json::Value writer/parser round-trip, including string escaping and
+//     exact uint64 numbers beyond 2^53;
+//   * validate_report over in-process BenchReport documents;
+//   * golden-file check: spawn a real bench binary (fig5_fences) with tiny
+//     parameters and validate the BENCH_*.json it writes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace {
+
+using mp::obs::BenchReport;
+using mp::obs::validate_report;
+namespace json = mp::obs::json;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(JsonTest, RoundTripPreservesStructureAndExactIntegers) {
+  json::Value doc = json::Value::object();
+  doc["u64"] = std::uint64_t{9223372036854775809ull};  // > 2^53 and > 2^63-1
+  doc["pi"] = 3.25;
+  doc["yes"] = true;
+  doc["nothing"] = nullptr;
+  doc["name"] = "marginptr";
+  json::Value arr = json::Value::array();
+  arr.push_back(std::uint64_t{1});
+  arr.push_back("two");
+  doc["list"] = arr;
+
+  for (const int indent : {0, 2}) {
+    const json::Value parsed = json::parse(doc.dump(indent));
+    EXPECT_EQ(parsed.find("u64")->as_uint(), 9223372036854775809ull)
+        << "uint64 must round-trip exactly, not via double";
+    EXPECT_DOUBLE_EQ(parsed.find("pi")->as_double(), 3.25);
+    EXPECT_TRUE(parsed.find("yes")->as_bool());
+    EXPECT_TRUE(parsed.find("nothing")->is_null());
+    EXPECT_EQ(parsed.find("name")->as_string(), "marginptr");
+    const auto& list = parsed.find("list")->as_array();
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[0].as_uint(), 1u);
+    EXPECT_EQ(list[1].as_string(), "two");
+  }
+}
+
+TEST(JsonTest, StringEscapingRoundTrips) {
+  json::Value doc = json::Value::object();
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t bell\x07";
+  doc["s"] = nasty;
+  const std::string text = doc.dump();
+  EXPECT_NE(text.find("\\\""), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_NE(text.find("\\u0007"), std::string::npos);
+  EXPECT_EQ(json::parse(text).find("s")->as_string(), nasty);
+}
+
+TEST(JsonTest, ParserRejectsGarbage) {
+  EXPECT_THROW(json::parse("{\"unterminated\": "), std::runtime_error);
+  EXPECT_THROW(json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::parse("nulll"), std::runtime_error);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  json::Value doc = json::Value::object();
+  doc["z"] = 1;
+  doc["a"] = 2;
+  const std::string text = doc.dump();
+  EXPECT_LT(text.find("\"z\""), text.find("\"a\""));
+}
+
+TEST(ReportTest, EmptyReportValidates) {
+  BenchReport report("unit_test", "/dev/null");
+  EXPECT_EQ(validate_report(report.document()), "");
+}
+
+TEST(ReportTest, FullRowValidates) {
+  BenchReport report("unit_test", "/dev/null");
+  report.config()["size"] = 100;
+
+  mp::smr::StatsSnapshot stats;
+  stats.retires = 7;
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";
+  row["scheme"] = "MP";
+  row["stats"] = mp::obs::to_json(stats);
+  row["waste"] = mp::obs::waste_json(1234, stats.peak_retired);
+  mp::obs::LatencyHistogram hist;
+  hist.record(100);
+  json::Value latency = json::Value::object();
+  latency["contains"] = mp::obs::to_json(hist);
+  row["latency_ns"] = latency;
+  report.add_row(std::move(row));
+
+  const json::Value doc = report.document();
+  EXPECT_EQ(validate_report(doc), "");
+  // And the serialized form parses back to a valid document.
+  EXPECT_EQ(validate_report(json::parse(doc.dump(2))), "");
+}
+
+TEST(ReportTest, ValidatorFlagsMissingFields) {
+  BenchReport report("unit_test", "/dev/null");
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";  // no "scheme"
+  report.add_row(std::move(row));
+  EXPECT_NE(validate_report(report.document()), "");
+
+  json::Value not_a_report = json::Value::object();
+  not_a_report["schema"] = "something-else";
+  EXPECT_NE(validate_report(not_a_report), "");
+  EXPECT_NE(validate_report(json::Value::array()), "");
+}
+
+TEST(ReportTest, UnboundedWasteSerializesAsNullBound) {
+  const json::Value waste = mp::obs::waste_json(mp::smr::kUnboundedWaste, 42);
+  EXPECT_FALSE(waste.find("bounded")->as_bool());
+  EXPECT_TRUE(waste.find("bound")->is_null());
+  EXPECT_TRUE(waste.find("within_bound")->is_null());
+  const json::Value bounded = mp::obs::waste_json(100, 42);
+  EXPECT_TRUE(bounded.find("bounded")->as_bool());
+  EXPECT_EQ(bounded.find("bound")->as_uint(), 100u);
+  EXPECT_TRUE(bounded.find("within_bound")->as_bool());
+}
+
+TEST(ReportTest, WriteEmitsParseableFile) {
+  const std::string path = ::testing::TempDir() + "report_write_test.json";
+  {
+    BenchReport report("unit_test", path);
+    json::Value row = json::Value::object();
+    row["figure"] = "fig0";
+    row["scheme"] = "HP";
+    report.add_row(std::move(row));
+    EXPECT_TRUE(report.write());
+  }  // destructor write is idempotent
+  const json::Value doc = json::parse(slurp(path));
+  EXPECT_EQ(validate_report(doc), "");
+  EXPECT_EQ(doc.find("bench")->as_string(), "unit_test");
+  std::remove(path.c_str());
+}
+
+#ifdef MARGINPTR_FIG5_BIN
+// Golden-file check: a real bench binary, tiny parameters, validated JSON.
+TEST(ReportTest, GoldenFig5ReportValidates) {
+  const std::string path = ::testing::TempDir() + "golden_fig5.json";
+  const std::string command = std::string(MARGINPTR_FIG5_BIN) +
+                              " --size=64 --duration-ms=20 --threads=2"
+                              " --schemes=MP,HP --json-out=" +
+                              path + " > /dev/null";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty()) << "bench did not write " << path;
+  const json::Value doc = json::parse(text);
+  EXPECT_EQ(validate_report(doc), "");
+  EXPECT_EQ(doc.find("bench")->as_string(), "fig5_fences");
+  // fig5 runs 3 structures x 2 schemes.
+  const auto& rows = doc.find("rows")->as_array();
+  EXPECT_EQ(rows.size(), 6u);
+  for (const json::Value& row : rows) {
+    EXPECT_EQ(row.find("figure")->as_string(), "fig5");
+    ASSERT_NE(row.find("latency_ns"), nullptr);
+    const json::Value* contains = row.find("latency_ns")->find("contains");
+    ASSERT_NE(contains, nullptr);
+    EXPECT_GT(contains->find("count")->as_uint(), 0u)
+        << "read-only workload must record contains latencies";
+  }
+}
+#endif  // MARGINPTR_FIG5_BIN
+
+}  // namespace

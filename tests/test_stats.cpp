@@ -1,0 +1,121 @@
+// Regression tests for the stats bugfixes in this PR:
+//   * StatsSnapshot::operator- saturates at 0 instead of wrapping uint64
+//     (debug builds additionally assert the prefix invariant);
+//   * SchemeBase::drain() attributes frees to the scheme-wide `drained`
+//     counter instead of bumping foreign threads' single-writer `reclaims`.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace {
+
+using mp::smr::Config;
+using mp::smr::StatsSnapshot;
+using mp::test::TestNode;
+
+StatsSnapshot make_snapshot(std::uint64_t value) {
+  StatsSnapshot s;
+  s.fences = value;
+  s.reads = value;
+  s.allocs = value;
+  s.retires = value;
+  s.reclaims = value;
+  s.drained = value;
+  s.empties = value;
+  s.retired_sum = value;
+  s.retired_samples = value;
+  s.peak_retired = value;
+  s.emergency_empties = value;
+  return s;
+}
+
+TEST(StatsSnapshotTest, DeltaOfPrefixIsExact) {
+  const StatsSnapshot later = make_snapshot(10);
+  const StatsSnapshot earlier = make_snapshot(4);
+  const StatsSnapshot delta = later - earlier;
+  EXPECT_EQ(delta.fences, 6u);
+  EXPECT_EQ(delta.reads, 6u);
+  EXPECT_EQ(delta.retires, 6u);
+  EXPECT_EQ(delta.reclaims, 6u);
+  EXPECT_EQ(delta.drained, 6u);
+  // High-water marks are not differentiable: the delta keeps the lhs peak.
+  EXPECT_EQ(delta.peak_retired, 10u);
+}
+
+#ifdef NDEBUG
+TEST(StatsSnapshotTest, NonPrefixDeltaSaturatesAtZero) {
+  // The regression: subtracting a *later* snapshot from an earlier one
+  // used to wrap to ~2^64. Release builds must saturate at 0.
+  const StatsSnapshot earlier = make_snapshot(3);
+  const StatsSnapshot later = make_snapshot(7);
+  const StatsSnapshot delta = earlier - later;
+  EXPECT_EQ(delta.fences, 0u);
+  EXPECT_EQ(delta.reads, 0u);
+  EXPECT_EQ(delta.retires, 0u);
+  EXPECT_EQ(delta.reclaims, 0u);
+  EXPECT_EQ(delta.drained, 0u);
+  EXPECT_EQ(delta.emergency_empties, 0u);
+}
+#else
+TEST(StatsSnapshotDeathTest, NonPrefixDeltaAssertsInDebug) {
+  const StatsSnapshot earlier = make_snapshot(3);
+  const StatsSnapshot later = make_snapshot(7);
+  EXPECT_DEATH((void)(earlier - later), "not a prefix");
+}
+#endif
+
+TEST(StatsSnapshotTest, AccumulateSumsCountersAndMaxMergesPeak) {
+  StatsSnapshot sum = make_snapshot(5);
+  StatsSnapshot more = make_snapshot(2);
+  more.peak_retired = 9;
+  sum += more;
+  EXPECT_EQ(sum.retires, 7u);
+  EXPECT_EQ(sum.drained, 7u);
+  EXPECT_EQ(sum.peak_retired, 9u);  // max-merged, not summed
+}
+
+TEST(DrainAttributionTest, DrainDoesNotTouchPerThreadReclaims) {
+  Config config;
+  config.max_threads = 3;
+  config.slots_per_thread = 4;
+  config.empty_freq = 1 << 20;  // no scheduled empty(): everything buffers
+  mp::smr::EBR<TestNode> scheme(config);
+
+  constexpr int kPerThread = 8;
+  for (int tid = 0; tid < 3; ++tid) {
+    for (int i = 0; i < kPerThread; ++i) {
+      scheme.retire(tid, scheme.alloc(tid, std::uint64_t(i)));
+    }
+  }
+  const StatsSnapshot before = scheme.stats_snapshot();
+  EXPECT_EQ(before.retires, 3u * kPerThread);
+  EXPECT_EQ(before.reclaims, 0u);
+  EXPECT_EQ(before.drained, 0u);
+
+  scheme.drain();
+
+  const StatsSnapshot after = scheme.stats_snapshot();
+  // The regression: drain() used to bump `reclaims` on ThreadStats records
+  // it does not own. Drained frees must land on the dedicated counter.
+  EXPECT_EQ(after.reclaims, 0u);
+  EXPECT_EQ(after.drained, 3u * kPerThread);
+  EXPECT_EQ(scheme.total_drained(), 3u * kPerThread);
+  EXPECT_EQ(scheme.total_freed(), scheme.total_allocated());
+  EXPECT_EQ(scheme.outstanding(), 0u);
+  // Conservation: every retired node is accounted exactly once.
+  EXPECT_EQ(after.retires, after.reclaims + after.drained);
+}
+
+TEST(DrainAttributionTest, DrainIsIdempotent) {
+  Config config;
+  config.max_threads = 2;
+  config.slots_per_thread = 4;
+  config.empty_freq = 1 << 20;
+  mp::smr::HP<TestNode> scheme(config);
+  scheme.retire(0, scheme.alloc(0, std::uint64_t{1}));
+  scheme.drain();
+  scheme.drain();
+  EXPECT_EQ(scheme.total_drained(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Reclamation tracer: ring semantics (overwrite-oldest, dropped counts)
+// and end-to-end event capture through a scheme with a Tracer attached.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using mp::obs::TraceEvent;
+using mp::obs::Tracer;
+using mp::smr::Config;
+using mp::test::TestNode;
+
+std::size_t count_events(const std::vector<mp::obs::TraceRecord>& records,
+                         TraceEvent event) {
+  return static_cast<std::size_t>(
+      std::count_if(records.begin(), records.end(),
+                    [event](const auto& r) { return r.event == event; }));
+}
+
+TEST(TracerTest, RecordsInOrderWithSequenceNumbers) {
+  Tracer tracer(/*max_threads=*/2, /*capacity=*/16);
+  EXPECT_EQ(tracer.capacity(), 16u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    tracer.record(1, TraceEvent::kRetire, i);
+  }
+  EXPECT_EQ(tracer.recorded(1), 5u);
+  EXPECT_EQ(tracer.dropped(1), 0u);
+  EXPECT_EQ(tracer.recorded(0), 0u);
+  const auto records = tracer.drained(1);
+  ASSERT_EQ(records.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].arg, i);
+    EXPECT_EQ(records[i].seq, i);
+    EXPECT_EQ(records[i].tid, 1u);
+    EXPECT_EQ(records[i].event, TraceEvent::kRetire);
+  }
+}
+
+TEST(TracerTest, FullRingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(1, /*capacity=*/16);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    tracer.record(0, TraceEvent::kReclaim, i);
+  }
+  EXPECT_EQ(tracer.recorded(0), 40u);
+  EXPECT_EQ(tracer.dropped(0), 40u - 16u);
+  const auto records = tracer.drained(0);
+  ASSERT_EQ(records.size(), 16u);
+  // Survivors are the newest 16, oldest first.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].arg, 24u + i);
+  }
+}
+
+TEST(TracerTest, CapacityRoundsUpToPowerOfTwo) {
+  Tracer tracer(1, /*capacity=*/100);
+  EXPECT_EQ(tracer.capacity(), 128u);
+  Tracer tiny(1, /*capacity=*/1);
+  EXPECT_EQ(tiny.capacity(), 16u);  // floor
+}
+
+TEST(TracerTest, SnapshotMergesThreadsByTime) {
+  Tracer tracer(3, 64);
+  tracer.record(0, TraceEvent::kRetire, 1);
+  tracer.record(2, TraceEvent::kEmpty, 2);
+  tracer.record(1, TraceEvent::kReclaim, 3);
+  const auto all = tracer.snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.time_ns < b.time_ns;
+                             }));
+}
+
+TEST(TracerTest, EventNamesAreStable) {
+  EXPECT_STREQ(trace_event_name(TraceEvent::kRetire), "retire");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kEmpty), "empty");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kEmergencyEmpty),
+               "emergency_empty");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kReclaim), "reclaim");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kEpochAdvance), "epoch_advance");
+}
+
+TEST(SchemeTracingTest, RetireEmptyAndReclaimAreTraced) {
+  Tracer tracer(2, 1024);
+  Config config;
+  config.max_threads = 2;
+  config.slots_per_thread = 4;
+  config.empty_freq = 4;
+  config.epoch_freq = 2;  // advance every 2 allocs so reclamation can run
+  config.tracer = &tracer;
+  {
+    mp::smr::EBR<TestNode> scheme(config);
+    for (int i = 0; i < 32; ++i) {
+      scheme.start_op(0);
+      TestNode* node = scheme.alloc(0, std::uint64_t(i));
+      scheme.end_op(0);
+      scheme.retire(0, node);
+    }
+    const auto records = tracer.drained(0);
+    EXPECT_EQ(count_events(records, TraceEvent::kRetire), 32u);
+    // empty_freq = 4: a scheduled empty() pass every 4th retire.
+    EXPECT_EQ(count_events(records, TraceEvent::kEmpty), 8u);
+    // Nobody holds protection, so passes reclaim; each free is traced.
+    EXPECT_GT(count_events(records, TraceEvent::kReclaim), 0u);
+    // EBR advances its epoch every epoch_freq allocations.
+    const auto all = tracer.snapshot();
+    EXPECT_EQ(count_events(all, TraceEvent::kEpochAdvance),
+              32 / config.effective_epoch_freq());
+  }
+}
+
+TEST(SchemeTracingTest, RetireTraceArgIsRetiredListSize) {
+  Tracer tracer(1, 64);
+  Config config;
+  config.max_threads = 1;
+  config.slots_per_thread = 4;
+  config.empty_freq = 1 << 20;  // never empty: list sizes grow 1, 2, 3, ...
+  config.tracer = &tracer;
+  mp::smr::HP<TestNode> scheme(config);
+  for (int i = 0; i < 5; ++i) {
+    scheme.retire(0, scheme.alloc(0, std::uint64_t(i)));
+  }
+  const auto records = tracer.drained(0);
+  std::uint64_t expected_size = 0;
+  for (const auto& record : records) {
+    if (record.event != TraceEvent::kRetire) continue;
+    EXPECT_EQ(record.arg, ++expected_size);
+  }
+  EXPECT_EQ(expected_size, 5u);
+}
+
+TEST(SchemeTracingTest, NullTracerIsIgnored) {
+  Config config;
+  config.max_threads = 1;
+  config.slots_per_thread = 4;
+  ASSERT_EQ(config.tracer, nullptr);
+  mp::smr::MP<TestNode> scheme(config);
+  scheme.retire(0, scheme.alloc(0, std::uint64_t{1}));  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
