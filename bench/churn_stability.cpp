@@ -1,0 +1,153 @@
+// Churn stability: does wasted memory stay flat when threads keep dying?
+//
+// The paper models T immortal threads; this bench measures the repo's
+// thread-lifecycle extension (DESIGN.md §6) instead. Workers run a
+// write-heavy workload in churn mode: every --churn completed ops a worker
+// detaches (its protection state is cleared and its retired list handed to
+// the orphan pool) and re-registers as a fresh worker. The run is split
+// into checkpoint windows; after each window we sample the scheme's
+// retired backlog (every thread's buffered list plus the orphan pool) at a
+// quiescent point.
+//
+// Expected shape: with adoption working, the backlog reaches a steady state
+// — it does NOT grow with the cumulative number of departures, because each
+// orphaned batch is adopted and reclaimed by a surviving worker. The final
+// verdict row compares the backlog over the run's second half against its
+// first half: "steady" means no monotonic growth, "GROWING" flags a leak.
+#include "harness.hpp"
+
+#include <cinttypes>
+
+namespace {
+
+struct WindowSample {
+  std::uint64_t departures = 0;  ///< cumulative
+  std::uint64_t backlog = 0;     ///< retired lists + orphan pool, quiescent
+  std::uint64_t orphaned = 0;    ///< cumulative
+  std::uint64_t adopted = 0;     ///< cumulative
+};
+
+template <typename DS>
+void run_churn(const char* scheme_name, int threads, std::size_t size,
+               int windows, int window_ms, std::uint64_t churn,
+               mp::obs::BenchReport& report) {
+  using Scheme = typename DS::Scheme;
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(threads);
+  config.slots_per_thread = DS::kRequiredSlots;
+  DS ds(config);
+  mp::bench::prefill(ds, size, 2 * size);
+  auto& scheme = ds.scheme();
+
+  const auto before = scheme.stats_snapshot();
+  std::vector<WindowSample> samples;
+  std::uint64_t departures = 0;
+  std::uint64_t ops = 0;
+  for (int w = 0; w < windows; ++w) {
+    const auto result = mp::bench::run_workload(
+        ds, threads, mp::bench::kWriteDominated, 2 * size, window_ms,
+        42 + static_cast<std::uint64_t>(w), churn);
+    departures += result.departures;
+    ops += result.ops;
+    const auto stats = scheme.stats_snapshot() - before;
+    WindowSample sample;
+    sample.departures = departures;
+    sample.backlog = scheme.retired_backlog();
+    sample.orphaned = stats.orphaned;
+    sample.adopted = stats.adopted;
+    samples.push_back(sample);
+    std::printf("churn,list,write-dom,%s,%d,%d,%" PRIu64 ",%" PRIu64
+                ",%" PRIu64 ",%" PRIu64 "\n",
+                scheme_name, threads, w, sample.departures, sample.backlog,
+                sample.orphaned, sample.adopted);
+    std::fflush(stdout);
+  }
+
+  // Steady-state verdict: the backlog over the second half of the run must
+  // not outgrow the first half. Averages rather than endpoints, so one
+  // unlucky final sample (a window that ended right before a scheduled
+  // empty) cannot flip the verdict; the 1.5x + slack tolerance absorbs
+  // scheduling noise while still catching departure-proportional growth,
+  // which multiplies the backlog by windows/2 over the second half.
+  const std::size_t half = samples.size() / 2;
+  double first = 0, second = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i < half ? first : second) += static_cast<double>(samples[i].backlog);
+  }
+  first /= static_cast<double>(half);
+  second /= static_cast<double>(samples.size() - half);
+  const double slack =
+      static_cast<double>(config.empty_freq) * threads;
+  const bool steady = second <= first * 1.5 + slack;
+
+  const auto stats = scheme.stats_snapshot() - before;
+  std::printf("churn-verdict,list,write-dom,%s,%d,%.1f,%.1f,%" PRIu64
+              ",%s\n",
+              scheme_name, threads, first, second, departures,
+              steady ? "steady" : "GROWING");
+  std::fflush(stdout);
+
+  auto row = mp::obs::json::Value::object();
+  row["figure"] = "churn";
+  row["structure"] = "list";
+  row["workload"] = "write-dom";
+  row["scheme"] = scheme_name;
+  row["threads"] = static_cast<std::uint64_t>(threads);
+  row["ops"] = ops;
+  row["departures"] = departures;
+  row["backlog_first_half"] = first;
+  row["backlog_second_half"] = second;
+  row["steady"] = steady;
+  row["stats"] = mp::obs::to_json(stats);
+  row["waste"] = mp::obs::waste_json(Scheme::waste_bound_per_thread(config),
+                                     stats.peak_retired);
+  auto backlog_series = mp::obs::json::Value::array();
+  for (const auto& sample : samples) backlog_series.push_back(sample.backlog);
+  row["backlog_series"] = backlog_series;
+  report.add_row(std::move(row));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli(
+      "Churn stability: retired backlog under thread departure/adoption");
+  cli.add_int("threads", 4, "concurrent workers");
+  cli.add_int("size", 2000, "prefill size S");
+  cli.add_int("windows", 8, "checkpoint windows per scheme");
+  cli.add_int("window-ms", 150, "measurement window length");
+  cli.add_int("churn", 2000, "ops per worker between departures");
+  cli.add_string("schemes", "EBR,IBR,HE,DTA,HP,MP", "schemes to compare");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_<bench>.json)");
+  cli.parse(argc, argv);
+
+  const int threads = static_cast<int>(cli.get_int("threads"));
+  const auto size = static_cast<std::size_t>(cli.get_int("size"));
+  const int windows = static_cast<int>(cli.get_int("windows"));
+  const int window_ms = static_cast<int>(cli.get_int("window-ms"));
+  const auto churn = static_cast<std::uint64_t>(cli.get_int("churn"));
+
+  mp::obs::BenchReport report("churn_stability", cli.get_string("json-out"));
+  {
+    auto& config = report.config();
+    config["threads"] = static_cast<std::uint64_t>(threads);
+    config["size"] = size;
+    config["windows"] = static_cast<std::uint64_t>(windows);
+    config["window_ms"] = static_cast<std::uint64_t>(window_ms);
+    config["churn"] = churn;
+  }
+
+  std::printf(
+      "figure,structure,workload,scheme,threads,window,departures,backlog,"
+      "orphaned,adopted\n");
+  for (const auto& scheme :
+       mp::common::Cli::split_csv(cli.get_string("schemes"))) {
+#define MARGINPTR_RUN(S)                                                  \
+  run_churn<mp::ds::MichaelList<S>>(scheme.c_str(), threads, size,        \
+                                    windows, window_ms, churn, report)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+  }
+  return 0;
+}

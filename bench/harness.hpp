@@ -14,13 +14,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/barrier.hpp"
 #include "common/cli.hpp"
+#include "common/thread_registry.hpp"
 #include "common/rng.hpp"
 #include "ds/fraser_skiplist.hpp"
 #include "ds/michael_list.hpp"
@@ -67,6 +70,7 @@ struct RunResult {
   double avg_retired = 0;      ///< mean retired-list size at op start (Fig 6)
   double fences_per_read = 0;  ///< Fig 5 numerator/denominator
   std::uint64_t ops = 0;
+  std::uint64_t departures = 0;  ///< churn mode: detach/re-register cycles
   smr::StatsSnapshot stats;    ///< delta over the timed phase
   OpLatency latency;           ///< per-op-type latency, ns
 };
@@ -94,14 +98,33 @@ void prefill_ascending(DS& ds, std::size_t count) {
 
 /// Run one timed measurement: `threads` workers do random ops for
 /// `duration_ms`, reporting deltas of the scheme's counters.
+///
+/// Churn mode (`churn` > 0, DESIGN.md §6): instead of using its worker
+/// index as a fixed tid, each worker leases ids from a ThreadRegistry whose
+/// detach hook forwards to Scheme::detach. Every `churn` completed ops the
+/// worker departs (detach clears its protection state and orphans its
+/// retired list) and immediately re-registers as a fresh worker — the
+/// worker-pool-churn lifecycle the orphan pool exists for.
 template <typename DS>
 RunResult run_workload(DS& ds, int threads, const Workload& workload,
                        std::uint64_t key_range, int duration_ms,
-                       std::uint64_t seed = 42) {
+                       std::uint64_t seed = 42, std::uint64_t churn = 0) {
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> total_ops{0};
+  std::atomic<std::uint64_t> total_departures{0};
   common::SpinBarrier barrier(static_cast<std::size_t>(threads) + 1);
   const smr::StatsSnapshot before = ds.scheme().stats_snapshot();
+
+  std::unique_ptr<common::ThreadRegistry> registry;
+  if (churn > 0) {
+    registry = std::make_unique<common::ThreadRegistry>(
+        ds.scheme().config().max_threads);
+    registry->set_detach_hook(
+        [](void* context, int tid) {
+          static_cast<typename DS::Scheme*>(context)->detach(tid);
+        },
+        &ds.scheme());
+  }
 
   std::mutex latency_mutex;
   OpLatency latency;
@@ -112,6 +135,13 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
     workers.emplace_back([&, t] {
       common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
       std::uint64_t ops = 0;
+      std::uint64_t departures = 0;
+      std::optional<common::ThreadLease> lease;
+      int tid = t;
+      if (registry != nullptr) {
+        lease.emplace(*registry);
+        tid = lease->tid();
+      }
       OpLatency local;  // single-writer; merged under the mutex after stop
       barrier.arrive_and_wait();
       // Chained timestamps: each op's end is the next op's start, so
@@ -123,13 +153,13 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
         const auto coin = static_cast<int>(rng.next() % 100);
         obs::LatencyHistogram* hist;
         if (coin < workload.insert_pct) {
-          ds.insert(t, key, key);
+          ds.insert(tid, key, key);
           hist = &local.insert;
         } else if (coin < workload.insert_pct + workload.remove_pct) {
-          ds.remove(t, key);
+          ds.remove(tid, key);
           hist = &local.remove;
         } else {
-          ds.contains(t, key);
+          ds.contains(tid, key);
           hist = &local.contains;
         }
         const auto now = std::chrono::steady_clock::now();
@@ -138,8 +168,19 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
                 .count()));
         prev = now;
         ++ops;
+        if (churn != 0 && ops % churn == 0) {
+          // Depart (runs the detach hook: protection cleared, retired list
+          // orphaned) and come back as a fresh worker. detach-then-assign
+          // keeps the transient id footprint at one per worker, so churn
+          // works even at threads == max_threads.
+          lease->detach();
+          *lease = common::ThreadLease(*registry);
+          tid = lease->tid();
+          ++departures;
+        }
       }
       total_ops.fetch_add(ops, std::memory_order_relaxed);
+      total_departures.fetch_add(departures, std::memory_order_relaxed);
       std::lock_guard lock(latency_mutex);
       latency.merge(local);
     });
@@ -154,6 +195,7 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
 
   RunResult result;
   result.ops = total_ops.load();
+  result.departures = total_departures.load();
   const double seconds =
       std::chrono::duration<double>(end - start).count();
   result.mops = static_cast<double>(result.ops) / seconds / 1e6;
@@ -177,6 +219,7 @@ struct BenchArgs {
   std::uint32_t margin = 1u << 20;
   int runs = 1;
   std::size_t max_threads = 0;    ///< scheme slot capacity
+  std::uint64_t churn = 0;        ///< ops per worker between departures (0=off)
   std::string json_out;           ///< report path ("" = BENCH_<name>.json)
 
   static BenchArgs parse(int argc, char** argv, const char* description,
@@ -192,6 +235,9 @@ struct BenchArgs {
     cli.add_int("duration-ms", 250, "measurement window per data point");
     cli.add_int("runs", 1, "repetitions per data point (averaged)");
     cli.add_int("margin", 1 << 20, "MP margin size");
+    cli.add_int("churn", 0,
+                "thread churn: each worker detaches and re-registers every N "
+                "ops (0 = immortal workers)");
     cli.add_bool("full", "paper-scale parameters (large size, 1s windows)");
     cli.add_string("json-out", "",
                    "JSON report path (default: BENCH_<bench>.json in the "
@@ -206,6 +252,7 @@ struct BenchArgs {
     args.size = static_cast<std::size_t>(cli.get_int("size"));
     args.duration_ms = static_cast<int>(cli.get_int("duration-ms"));
     args.margin = static_cast<std::uint32_t>(cli.get_int("margin"));
+    args.churn = static_cast<std::uint64_t>(cli.get_int("churn"));
     args.runs = static_cast<int>(cli.get_int("runs"));
     args.json_out = cli.get_string("json-out");
     if (cli.get_bool("full")) {
@@ -235,6 +282,7 @@ inline void fill_report_config(obs::BenchReport& report,
   config["duration_ms"] = static_cast<std::uint64_t>(args.duration_ms);
   config["runs"] = static_cast<std::uint64_t>(args.runs);
   config["margin"] = static_cast<std::uint64_t>(args.margin);
+  config["churn"] = args.churn;
   obs::json::Value threads = obs::json::Value::array();
   for (const int t : args.thread_counts) {
     threads.push_back(static_cast<std::uint64_t>(t));
@@ -290,7 +338,7 @@ void sweep_threads(const char* figure, const char* ds_name,
     for (int run = 0; run < args.runs; ++run) {
       const RunResult result = run_workload(ds, threads, workload,
                                             2 * args.size, args.duration_ms,
-                                            42 + run);
+                                            42 + run, args.churn);
       mops += result.mops;
       avg_retired += result.avg_retired;
       fences_per_read += result.fences_per_read;

@@ -53,6 +53,10 @@ int ThreadRegistry::acquire() {
 
 void ThreadRegistry::release(int tid) noexcept {
   if (tid >= 0 && static_cast<std::size_t>(tid) < capacity_) {
+    // The hook runs while the id is still marked in-use: no successor can
+    // acquire it until the release store below, so the departing thread's
+    // scheme state is flushed race-free.
+    if (detach_hook_ != nullptr) detach_hook_(detach_context_, tid);
     in_use_[tid].store(false, std::memory_order_release);
   }
 }

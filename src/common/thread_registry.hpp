@@ -6,6 +6,12 @@
 // registration and returns it on deregistration, so long-running programs
 // that churn threads never exhaust the id space as long as no more than
 // `capacity` threads are registered at once.
+//
+// Departure integration (DESIGN.md §6): a detach hook installed with
+// set_detach_hook() runs inside release(), *before* the id is marked free.
+// Wiring it to Scheme::detach makes every RAII lease departure-safe: the
+// departing thread's protection state is cleared and its retired list
+// orphaned before any successor can lease the same id.
 #pragma once
 
 #include <atomic>
@@ -31,8 +37,21 @@ class ThreadRegistry {
   /// std::runtime_error. Never blocks indefinitely.
   int acquire();
 
-  /// Release a previously acquired id.
+  /// Release a previously acquired id. Runs the detach hook (if any)
+  /// before the id becomes acquirable again.
   void release(int tid) noexcept;
+
+  /// Install a departure callback invoked from release(tid) while the id is
+  /// still held (no successor can be racing on it). Typical use: forward to
+  /// Scheme::detach so lease teardown flushes SMR state automatically. The
+  /// hook must not throw and must not call back into this registry. Install
+  /// before threads start churning; the pointer itself is not synchronized
+  /// against concurrent release() calls.
+  void set_detach_hook(void (*hook)(void* context, int tid),
+                       void* context) noexcept {
+    detach_hook_ = hook;
+    detach_context_ = context;
+  }
 
   std::size_t capacity() const noexcept { return capacity_; }
 
@@ -41,24 +60,42 @@ class ThreadRegistry {
 
  private:
   std::size_t capacity_;
+  void (*detach_hook_)(void* context, int tid) = nullptr;
+  void* detach_context_ = nullptr;
   std::atomic<bool> in_use_[kMaxThreads];
 };
 
-/// RAII lease of a thread id.
+/// RAII lease of a thread id. Movable; a moved-from or detached lease is
+/// empty (tid() == -1) and safe to destroy or reassign.
 class ThreadLease {
  public:
   explicit ThreadLease(ThreadRegistry& registry)
       : registry_(&registry), tid_(registry.acquire()) {}
-  ~ThreadLease() {
-    if (tid_ >= 0) registry_->release(tid_);
-  }
+  ~ThreadLease() { detach(); }
   ThreadLease(ThreadLease&& other) noexcept
       : registry_(other.registry_), tid_(other.tid_) {
     other.tid_ = -1;
   }
+  ThreadLease& operator=(ThreadLease&& other) noexcept {
+    if (this != &other) {
+      detach();
+      registry_ = other.registry_;
+      tid_ = other.tid_;
+      other.tid_ = -1;
+    }
+    return *this;
+  }
   ThreadLease(const ThreadLease&) = delete;
   ThreadLease& operator=(const ThreadLease&) = delete;
-  ThreadLease& operator=(ThreadLease&&) = delete;
+
+  /// Release the id early (before destruction): runs the registry's detach
+  /// hook and frees the id. Idempotent; the lease is empty afterwards.
+  void detach() noexcept {
+    if (tid_ >= 0) {
+      registry_->release(tid_);
+      tid_ = -1;
+    }
+  }
 
   int tid() const noexcept { return tid_; }
 

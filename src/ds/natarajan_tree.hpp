@@ -132,8 +132,16 @@ class NatarajanTree {
       // The seek's bounds are the key's pred/succ indices: the new leaf
       // gets the midpoint; the router shares its equal-keyed child's index.
       Node* new_leaf = smr_.alloc(tid, key, value);
-      Node* router = smr_.alloc(
-          tid, key > leaf->key ? key : leaf->key, Value{0});
+      Node* router;
+      try {
+        router = smr_.alloc(tid, key > leaf->key ? key : leaf->key,
+                            Value{0});
+      } catch (...) {
+        // An OOM on the second alloc must not strand the first: the leaf
+        // was never linked, so it can be freed directly.
+        smr_.delete_unlinked(new_leaf);
+        throw;
+      }
       smr_.copy_index(router, key > leaf->key ? new_leaf : leaf);
       if (key < leaf->key) {
         router->left.store(smr_.make_link(new_leaf));

@@ -7,7 +7,7 @@
 //
 //   {
 //     "schema":  "marginptr-bench-report",
-//     "version": 1,
+//     "version": 2,
 //     "bench":   "<binary name>",
 //     "config":  { free-form run parameters },
 //     "rows": [
@@ -36,7 +36,10 @@
 namespace mp::obs {
 
 inline constexpr const char* kReportSchema = "marginptr-bench-report";
-inline constexpr std::uint64_t kReportVersion = 1;
+/// v2 added the thread-lifecycle counters (orphaned/adopted) to "stats".
+/// validate_report still accepts v1 documents (they predate churn mode).
+inline constexpr std::uint64_t kReportVersion = 2;
+inline constexpr std::uint64_t kMinReportVersion = 1;
 
 inline json::Value to_json(const smr::StatsSnapshot& s) {
   json::Value out = json::Value::object();
@@ -54,6 +57,8 @@ inline json::Value to_json(const smr::StatsSnapshot& s) {
   out["index_collisions"] = s.index_collisions;
   out["peak_retired"] = s.peak_retired;
   out["emergency_empties"] = s.emergency_empties;
+  out["orphaned"] = s.orphaned;
+  out["adopted"] = s.adopted;
   return out;
 }
 
@@ -187,8 +192,11 @@ inline std::string validate_report(const json::Value& root) {
                 "schema tag missing or wrong", error);
   const json::Value* version = root.find("version");
   detail::check(version != nullptr && version->is_number() &&
-                    version->as_uint() == kReportVersion,
+                    version->as_uint() >= kMinReportVersion &&
+                    version->as_uint() <= kReportVersion,
                 "version missing or unsupported", error);
+  const bool v2 = version != nullptr && version->is_number() &&
+                  version->as_uint() >= 2;
   const json::Value* bench = root.find("bench");
   detail::check(bench != nullptr && bench->is_string() &&
                     !bench->as_string().empty(),
@@ -218,6 +226,14 @@ inline std::string validate_report(const json::Value& root) {
         detail::check(field != nullptr && field->is_number(),
                       std::string("stats missing counter '") + key + "'",
                       error);
+      }
+      if (v2) {
+        for (const char* key : {"orphaned", "adopted"}) {
+          const json::Value* field = stats->find(key);
+          detail::check(field != nullptr && field->is_number(),
+                        std::string("stats missing counter '") + key + "'",
+                        error);
+        }
       }
     }
     if (const json::Value* waste = row.find("waste"); waste != nullptr) {

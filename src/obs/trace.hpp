@@ -33,6 +33,8 @@ enum class TraceEvent : std::uint8_t {
   kEmergencyEmpty,   ///< soft-cap emergency pass; arg = retired-list size
   kReclaim,          ///< node freed by empty(); arg = node address
   kEpochAdvance,     ///< global epoch/era advanced; arg = new epoch value
+  kDetach,           ///< thread departed; arg = retired nodes handed over
+  kAdopt,            ///< orphan batches adopted; arg = nodes taken over
 };
 
 inline const char* trace_event_name(TraceEvent e) noexcept {
@@ -42,6 +44,8 @@ inline const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kEmergencyEmpty: return "emergency_empty";
     case TraceEvent::kReclaim: return "reclaim";
     case TraceEvent::kEpochAdvance: return "epoch_advance";
+    case TraceEvent::kDetach: return "detach";
+    case TraceEvent::kAdopt: return "adopt";
   }
   return "?";
 }

@@ -58,6 +58,7 @@ enum class ChaosPoint : unsigned {
   kProtect = 0,  ///< inside read(), the paper's stall-sensitive spot
   kAlloc,        ///< inside alloc(), before the node exists
   kRetire,       ///< inside retire(), before any reclamation attempt
+  kDetach,       ///< between operations: should this thread depart now?
 };
 
 /// Static fault-injection schedule parameters. A period of 0 disables the
@@ -87,6 +88,13 @@ struct ChaosOptions {
   /// MP index-collision pressure: assign_index is forced to return USE_HP.
   std::uint64_t collision_period = 0;
 
+  /// Thread-death churn: should_die(tid) fires with probability 1/period
+  /// per query. The harness queries it between operations (never inside a
+  /// guard) and, on a hit, detaches the thread's scheme state and registry
+  /// lease, then re-registers a "fresh" worker — modeling worker-pool churn
+  /// and crash-and-replace lifecycles.
+  std::uint64_t thread_death_period = 0;
+
   /// Cooperative stall: when set, a scheduled stall calls this instead of
   /// yield-spinning, so a test can park one thread on a latch indefinitely
   /// (the Theorem 4.2 adversary). Must not throw.
@@ -105,6 +113,7 @@ class FaultInjector {
     std::uint64_t delayed_empties = 0;
     std::uint64_t epoch_storms = 0;
     std::uint64_t forced_collisions = 0;
+    std::uint64_t thread_deaths = 0;
 
     Counters& operator+=(const Counters& rhs) noexcept {
       stalls += rhs.stalls;
@@ -112,6 +121,7 @@ class FaultInjector {
       delayed_empties += rhs.delayed_empties;
       epoch_storms += rhs.epoch_storms;
       forced_collisions += rhs.forced_collisions;
+      thread_deaths += rhs.thread_deaths;
       return *this;
     }
   };
@@ -207,6 +217,20 @@ class FaultInjector {
       return false;
     }
     ++lane.counters.forced_collisions;
+    return true;
+  }
+
+  /// Should the calling thread "die" now (detach and be replaced)? Must be
+  /// queried between operations only — dying inside a guard would detach a
+  /// tid that is not quiescent. The draw comes from the thread's own lane,
+  /// so death schedules replay exactly like every other fault.
+  bool should_die(int tid) noexcept {
+    if (!armed()) return false;
+    auto& lane = *lanes_[tid];
+    if (!decide(lane, options_.thread_death_period, ChaosPoint::kDetach, 5)) {
+      return false;
+    }
+    ++lane.counters.thread_deaths;
     return true;
   }
 

@@ -13,6 +13,14 @@
 // Lifetime rules (paper §2): retire() is only passed removed nodes, at most
 // once; drain()/the destructor may only run when no thread is inside an
 // operation.
+//
+// Thread lifecycle (DESIGN.md §6): the paper models T immortal threads; this
+// base adds a detach(tid) protocol for departing ones. detach clears the
+// thread's protection state (per-scheme on_detach hook) so a departed thread
+// never again blocks anyone's empty(), and hands its retired list to a
+// lock-free orphan pool that surviving threads adopt during their own
+// reclamation passes. Adopted frees land in the adopter's `reclaims`; the
+// handover itself is tracked by the `orphaned`/`adopted` stats pair.
 #pragma once
 
 #include <algorithm>
@@ -54,8 +62,10 @@ class SchemeBase {
 
   /// Allocate a node through the scheme (paper's alloc). Sets the SMR
   /// header (birth epoch, index) before handing the node to the client.
-  /// Under chaos injection this may throw std::bad_alloc *before* any
-  /// scheme or client state changes — callers see an ordinary OOM.
+  /// Both failure paths — chaos-injected std::bad_alloc and a genuine
+  /// OOM/throwing node constructor — unwind *before* any scheme state
+  /// changes (no epoch tick, no counter bump), so callers see an ordinary
+  /// side-effect-free OOM either way.
   template <typename... Args>
   Node* alloc(int tid, Args&&... args) {
     FaultInjector* chaos = config_.fault_injector;
@@ -63,6 +73,11 @@ class SchemeBase {
       chaos->point(tid, ChaosPoint::kAlloc);
       if (chaos->fail_alloc(tid)) throw std::bad_alloc{};
     }
+    // `new` runs before the epoch tick: ticking first would advance the
+    // scheme's epoch for a node that never existed when `new` throws.
+    // Birth is stamped after the tick either way, so success-path behavior
+    // (a node born in the post-tick epoch) is unchanged.
+    Node* node = new Node(std::forward<Args>(args)...);
     auto& local = *local_[tid];
     derived().on_alloc_tick(tid, ++local.alloc_counter);
     if (chaos != nullptr) {
@@ -72,7 +87,6 @@ class SchemeBase {
                     derived().epoch_now());
       }
     }
-    Node* node = new Node(std::forward<Args>(args)...);
     node->smr_header.birth_epoch.store(derived().epoch_now(),
                                        std::memory_order_relaxed);
     node->smr_header.index.store(derived().assign_index(tid),
@@ -108,6 +122,7 @@ class SchemeBase {
         // Injected delay: this scheduled pass is skipped; the soft cap (if
         // any) below is the backstop the delay is probing.
       } else {
+        adopt_orphans(tid);
         stats.bump(stats.empties);
         trace_event(tid, obs::TraceEvent::kEmpty, local.retired.size());
         derived().empty(tid);
@@ -120,6 +135,7 @@ class SchemeBase {
       return;
     }
     if (emptied || local.retire_counter < local.next_emergency) return;
+    adopt_orphans(tid);
     stats.bump(stats.empties);
     stats.bump(stats.emergency_empties);
     trace_event(tid, obs::TraceEvent::kEmergencyEmpty, local.retired.size());
@@ -136,10 +152,96 @@ class SchemeBase {
   }
 
   /// Free a node that was never linked (e.g. a failed insert's spare node).
-  /// No other thread can reference it, so it is freed immediately.
+  /// No other thread can reference it, so it is freed immediately. The
+  /// free_hook fires here too: unlinked frees must be visible to the waste
+  /// watchdog and client-side destructor hooks, same as free_node()/drain().
   void delete_unlinked(Node* node) noexcept {
+    if (config_.free_hook != nullptr) {
+      config_.free_hook(config_.free_hook_context, node);
+    }
     freed_.fetch_add(1, std::memory_order_relaxed);
     delete node;
+  }
+
+  // ---- Thread lifecycle (DESIGN.md §6) ----
+
+  /// Depart thread `tid`: clear its protection state so it never again
+  /// blocks a reclaimer (per-scheme on_detach hook), then hand its retired
+  /// list to the orphan pool for adoption by surviving threads.
+  ///
+  /// Preconditions: the departing thread is not inside an operation (its
+  /// last guard has exited), and `tid` is not granted to a new thread until
+  /// detach() returns. Callable by the departing thread itself or — for a
+  /// thread that died — by whoever reaps it (e.g. a ThreadRegistry detach
+  /// hook), as long as the tid is quiescent.
+  ///
+  /// May throw std::bad_alloc (the batch node) under genuine OOM; the
+  /// retired list then simply stays with the tid, to be inherited by its
+  /// next leaseholder or drained at teardown — never leaked.
+  void detach(int tid) {
+    derived().on_detach(tid);
+    auto& local = *local_[tid];
+    // Rearm the soft-cap degradation state: the id's next leaseholder
+    // starts with a fresh emergency-backoff schedule.
+    local.next_emergency = 0;
+    local.emergency_backoff = 1;
+    trace_event(tid, obs::TraceEvent::kDetach, local.retired.size());
+    if (local.retired.empty()) return;
+    auto* batch = new OrphanBatch;
+    batch->nodes.swap(local.retired);
+    auto& stats = *stats_[tid];
+    stats.bump(stats.orphaned, batch->nodes.size());
+    orphan_count_.fetch_add(batch->nodes.size(), std::memory_order_relaxed);
+    // Treiber push. The release CAS publishes the batch contents (and the
+    // retire-epoch stamps written before it) to the adopter's acquire
+    // exchange; ABA is impossible because adoption pops the whole stack.
+    OrphanBatch* head = orphans_.load(std::memory_order_relaxed);
+    do {
+      batch->next = head;
+    } while (!orphans_.compare_exchange_weak(head, batch,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+
+  /// Adopt every batch currently in the orphan pool into `tid`'s retired
+  /// list, so the next empty() pass scans (and can reclaim) them. A single
+  /// exchange detaches the whole stack — wait-free for the adopter, and
+  /// no two adopters can ever receive the same batch. Runs automatically
+  /// before scheduled and emergency empty() passes.
+  void adopt_orphans(int tid) {
+    OrphanBatch* batch = orphans_.exchange(nullptr, std::memory_order_acquire);
+    if (batch == nullptr) return;
+    auto& local = *local_[tid];
+    auto& stats = *stats_[tid];
+    std::size_t adopted = 0;
+    while (batch != nullptr) {
+      adopted += batch->nodes.size();
+      local.retired.insert(local.retired.end(), batch->nodes.begin(),
+                           batch->nodes.end());
+      OrphanBatch* next = batch->next;
+      delete batch;
+      batch = next;
+    }
+    orphan_count_.fetch_sub(adopted, std::memory_order_relaxed);
+    stats.bump(stats.adopted, adopted);
+    stats.bump_max(stats.peak_retired, local.retired.size());
+    trace_event(tid, obs::TraceEvent::kAdopt, adopted);
+  }
+
+  /// Nodes parked in the orphan pool, awaiting adoption.
+  std::uint64_t orphan_count() const noexcept {
+    return orphan_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Total retired-but-unreclaimed backlog: every thread's buffered list
+  /// plus the orphan pool. Exact when quiescent; a monitoring-grade
+  /// approximation while threads run (sizes are read racily).
+  std::uint64_t retired_backlog() const noexcept {
+    std::uint64_t total = orphan_count();
+    for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      total += local_[i]->retired.size();
+    }
+    return total;
   }
 
   /// Encode a link word for a node (or null), per §4.3.1.
@@ -216,6 +318,24 @@ class SchemeBase {
       }
       local.retired.clear();
     }
+    // The orphan pool is part of the backlog too: without this, batches
+    // stranded between a detach() and the next adoption would leak at
+    // teardown and break `retires == reclaims + drained` post-drain.
+    OrphanBatch* batch = orphans_.exchange(nullptr, std::memory_order_acquire);
+    while (batch != nullptr) {
+      for (Node* node : batch->nodes) {
+        if (config_.free_hook != nullptr) {
+          config_.free_hook(config_.free_hook_context, node);
+        }
+        delete node;
+        ++freed;
+      }
+      orphan_count_.fetch_sub(batch->nodes.size(),
+                              std::memory_order_relaxed);
+      OrphanBatch* next = batch->next;
+      delete batch;
+      batch = next;
+    }
     drained_.fetch_add(freed, std::memory_order_relaxed);
     freed_.fetch_add(freed, std::memory_order_relaxed);
   }
@@ -248,6 +368,12 @@ class SchemeBase {
   /// (epoch-advance storms). No-op for epoch-free schemes.
   void chaos_advance_epoch(std::uint64_t /*by*/) noexcept {}
 
+  /// Lifecycle hook: clear `tid`'s protection state (hazard slots, era/epoch
+  /// reservations, margin intervals) so the departed thread never again pins
+  /// anyone's garbage. Default: nothing to clear (Leaky). Every real scheme
+  /// shadows this.
+  void on_detach(int /*tid*/) noexcept {}
+
   /// Theoretical per-thread cap on retired-but-unreclaimed nodes implied by
   /// `config` (the wasted-memory watchdog's reference value). Default:
   /// no finite bound; HP and MP shadow this with their real formulas.
@@ -256,6 +382,13 @@ class SchemeBase {
   }
 
  protected:
+  /// One departed thread's retired list, handed over wholesale. Linked into
+  /// a Treiber stack; adopters detach the entire stack with one exchange.
+  struct OrphanBatch {
+    std::vector<Node*> nodes;
+    OrphanBatch* next = nullptr;
+  };
+
   struct PerThread {
     std::vector<Node*> retired;
     std::uint64_t retire_counter = 0;
@@ -323,6 +456,10 @@ class SchemeBase {
   std::atomic<std::uint64_t> allocated_{0};
   std::atomic<std::uint64_t> freed_{0};
   std::atomic<std::uint64_t> drained_{0};
+  /// Orphan pool head (Treiber stack of departed threads' retired lists).
+  std::atomic<OrphanBatch*> orphans_{nullptr};
+  /// Nodes currently parked in the pool (relaxed; monitoring only).
+  std::atomic<std::uint64_t> orphan_count_{0};
 };
 
 /// RAII operation guard: start_op on construction, end_op on destruction.

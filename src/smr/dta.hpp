@@ -90,6 +90,17 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
     }
   }
 
+  /// Thread departure: clear the anchor and mark the epoch slot idle, so a
+  /// thread that died mid-traversal stops holding back the EBR horizon
+  /// (the exact stall pathology the header comment describes — detach is
+  /// the one recovery DTA gets without list-specific freezing).
+  void on_detach(int tid) noexcept {
+    auto& slot = *slots_[tid];
+    slot.anchor.store(nullptr, std::memory_order_relaxed);
+    slot.announced.store(kIdle, std::memory_order_release);
+    slot.hops = 0;
+  }
+
   std::uint64_t epoch_now() const noexcept {
     return global_epoch_.load(std::memory_order_acquire);
   }

@@ -55,6 +55,12 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
     slots_[tid]->announced.store(kIdle, std::memory_order_release);
   }
 
+  /// Thread departure: mark the slot idle so a thread that died with an
+  /// announced epoch stops holding back everyone's horizon.
+  void on_detach(int tid) noexcept {
+    slots_[tid]->announced.store(kIdle, std::memory_order_release);
+  }
+
   TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
     this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);

@@ -91,6 +91,15 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
     counted_fence(this->thread_stats(tid));
   }
 
+  /// Thread departure: release every era reservation so a thread that died
+  /// mid-operation stops pinning all nodes whose lifetime contains its era.
+  void on_detach(int tid) noexcept {
+    auto& slots = *slots_[tid];
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      slots.eras[i].store(kNoEra, std::memory_order_release);
+    }
+  }
+
   std::uint64_t epoch_now() const noexcept {
     return global_era_.load(std::memory_order_acquire);
   }

@@ -95,6 +95,17 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
     counted_fence(this->thread_stats(tid));
   }
 
+  /// Thread departure: clear every hazard slot so nothing the dead thread
+  /// announced keeps surviving empty() passes. Release stores, not the
+  /// end_op fence: detach runs once per departure (cold), and the release
+  /// ordering pairs with empty()'s acquire snapshot of the slots.
+  void on_detach(int tid) noexcept {
+    auto& slots = *slots_[tid];
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      slots.hazard[i].store(nullptr, std::memory_order_release);
+    }
+  }
+
   void empty(int tid) {
     auto& scratch = *scratch_[tid];
     scratch.hazards.clear();

@@ -93,6 +93,16 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
     }
   }
 
+  /// Thread departure: drop the interval reservation. `cached_upper` is
+  /// owner-local state; resetting it here is safe because detach requires
+  /// the tid to be quiescent (no owner running).
+  void on_detach(int tid) noexcept {
+    auto& slot = *slots_[tid];
+    slot.lower.store(kIdle, std::memory_order_relaxed);
+    slot.upper.store(kIdle, std::memory_order_release);
+    slot.cached_upper = kIdle;
+  }
+
   std::uint64_t epoch_now() const noexcept {
     return global_epoch_.load(std::memory_order_acquire);
   }

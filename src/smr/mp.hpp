@@ -215,6 +215,21 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     counted_fence(this->thread_stats(tid));
   }
 
+  /// Thread departure: clear every margin and hazard slot and zero the
+  /// announced epoch. A dead thread's margin pins up to #MP*M*(epochs)
+  /// nodes forever — the worst wasted-memory leak any scheme here has —
+  /// so this is MP's most important lifecycle duty. The epoch slot is
+  /// owner-written elsewhere; detach may write it because the tid is
+  /// quiescent (detach's precondition).
+  void on_detach(int tid) noexcept {
+    auto& slots = *slots_[tid];
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      slots.margins[i].store(kNoMargin, std::memory_order_release);
+      slots.hazards[i].store(nullptr, std::memory_order_release);
+    }
+    slots.epoch.store(0, std::memory_order_release);
+  }
+
   // ---- Index creation (Listing 5 / 10 alloc path) ----
 
   // Endpoint tracking is per-endpoint and *recoverable* (deviation 4): an

@@ -30,6 +30,8 @@ struct ThreadStats {
   std::atomic<std::uint64_t> index_collisions{0}; ///< MP allocs forced to USE_HP
   std::atomic<std::uint64_t> peak_retired{0};  ///< retired-list high-water mark
   std::atomic<std::uint64_t> emergency_empties{0}; ///< soft-cap empty() passes
+  std::atomic<std::uint64_t> orphaned{0};      ///< nodes handed over at detach()
+  std::atomic<std::uint64_t> adopted{0};       ///< orphan nodes taken over
 
   void bump(std::atomic<std::uint64_t>& counter,
             std::uint64_t by = 1) noexcept {
@@ -63,6 +65,14 @@ struct StatsSnapshot {
   /// (max-merged, not summed: Theorem 4.2's bound is per thread).
   std::uint64_t peak_retired = 0;
   std::uint64_t emergency_empties = 0;
+  /// Thread-lifecycle pair: nodes a departing thread handed to the orphan
+  /// pool at detach(), and orphan nodes surviving threads took over. The
+  /// allocation identity extends to
+  ///   retires == reclaims + drained + pending,
+  /// where pending counts both local retired lists and the orphan pool
+  /// (orphaned - adopted nodes still awaiting adoption).
+  std::uint64_t orphaned = 0;
+  std::uint64_t adopted = 0;
   /// Nodes freed by drain() (teardown / between bench phases). Kept apart
   /// from `reclaims`: drain runs on one thread over every thread's retired
   /// list, so bumping the per-thread reclaim counters would violate their
@@ -85,6 +95,8 @@ struct StatsSnapshot {
         peak_retired, t.peak_retired.load(std::memory_order_relaxed));
     emergency_empties +=
         t.emergency_empties.load(std::memory_order_relaxed);
+    orphaned += t.orphaned.load(std::memory_order_relaxed);
+    adopted += t.adopted.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -103,6 +115,8 @@ struct StatsSnapshot {
     index_collisions += rhs.index_collisions;
     peak_retired = std::max(peak_retired, rhs.peak_retired);
     emergency_empties += rhs.emergency_empties;
+    orphaned += rhs.orphaned;
+    adopted += rhs.adopted;
     drained += rhs.drained;
     return *this;
   }
@@ -133,6 +147,8 @@ struct StatsSnapshot {
     // High-water marks are not differentiable; a delta keeps the lhs peak
     // (the high-water as of the later snapshot).
     out.emergency_empties = sat_sub(emergency_empties, rhs.emergency_empties);
+    out.orphaned = sat_sub(orphaned, rhs.orphaned);
+    out.adopted = sat_sub(adopted, rhs.adopted);
     out.drained = sat_sub(drained, rhs.drained);
     return out;
   }

@@ -4,9 +4,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/barrier.hpp"
@@ -186,6 +188,88 @@ TEST(ThreadRegistry, ChurnUnderContentionGrantsUniquely) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_FALSE(double_grant.load());
+  EXPECT_EQ(registry.registered(), 0u);
+}
+
+TEST(ThreadRegistry, LeaseDetachReleasesEarlyAndIsIdempotent) {
+  ThreadRegistry registry(4);
+  ThreadLease lease(registry);
+  EXPECT_EQ(lease.tid(), 0);
+  lease.detach();
+  EXPECT_EQ(lease.tid(), -1);
+  EXPECT_EQ(registry.registered(), 0u);
+  lease.detach();  // second detach (and the destructor later) are no-ops
+  EXPECT_EQ(registry.registered(), 0u);
+}
+
+TEST(ThreadRegistry, LeaseMoveAssignmentReleasesTheOldId) {
+  ThreadRegistry registry(4);
+  ThreadLease a(registry);
+  ThreadLease b(registry);
+  EXPECT_EQ(registry.registered(), 2u);
+  a = std::move(b);  // a's old id goes back; b's id transfers to a
+  EXPECT_EQ(a.tid(), 1);
+  EXPECT_EQ(b.tid(), -1);
+  EXPECT_EQ(registry.registered(), 1u);
+  a = ThreadLease(registry);  // detach-then-acquire churn idiom
+  EXPECT_EQ(registry.registered(), 1u);
+  EXPECT_GE(a.tid(), 0);
+}
+
+TEST(ThreadRegistry, DetachHookRunsWhileIdStillHeld) {
+  // The hook must observe the id as still in-use: a successor acquiring
+  // the same id concurrently would otherwise race the departing thread's
+  // scheme-state flush.
+  struct HookProbe {
+    ThreadRegistry* registry = nullptr;
+    int tid = -1;
+    std::size_t registered_at_hook = 0;
+    int calls = 0;
+  };
+  ThreadRegistry registry(4);
+  HookProbe probe;
+  probe.registry = &registry;
+  registry.set_detach_hook(
+      [](void* context, int tid) {
+        auto* p = static_cast<HookProbe*>(context);
+        ++p->calls;
+        p->tid = tid;
+        p->registered_at_hook = p->registry->registered();
+      },
+      &probe);
+  {
+    ThreadLease lease(registry);
+    EXPECT_EQ(probe.calls, 0);
+  }
+  EXPECT_EQ(probe.calls, 1);
+  EXPECT_EQ(probe.tid, 0);
+  EXPECT_EQ(probe.registered_at_hook, 1u)
+      << "the hook must run before the id is marked free";
+  EXPECT_EQ(registry.registered(), 0u);
+}
+
+TEST(ThreadRegistry, DetachHookFiresOncePerReleaseUnderChurn) {
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 500;
+  ThreadRegistry registry(3);
+  std::atomic<std::uint64_t> hook_calls{0};
+  registry.set_detach_hook(
+      [](void* context, int) {
+        static_cast<std::atomic<std::uint64_t>*>(context)->fetch_add(1);
+      },
+      &hook_calls);
+  SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int round = 0; round < kRounds; ++round) {
+        ThreadLease lease(registry);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hook_calls.load(), static_cast<std::uint64_t>(kThreads) * kRounds);
   EXPECT_EQ(registry.registered(), 0u);
 }
 

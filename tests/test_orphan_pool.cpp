@@ -1,0 +1,158 @@
+// Orphan-pool unit tests (DESIGN.md §6): detach() hands a departing
+// thread's retired list to a lock-free pool; adopt_orphans() lets a
+// survivor take the whole pool in one exchange. Everything here sticks to
+// fence-free scheme paths (EBR alloc/retire/detach/adopt/drain, no
+// start_op/read) so the binary also runs under TSan, which cannot model
+// the standalone fences in the protection fast paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace {
+
+using mp::smr::Config;
+using mp::test::TestNode;
+
+using Scheme = mp::smr::EBR<TestNode>;
+
+Config pool_config(std::size_t threads, int empty_freq = 1 << 20) {
+  Config config;
+  config.max_threads = threads;
+  config.slots_per_thread = 1;
+  config.empty_freq = empty_freq;
+  return config;
+}
+
+/// Retire `count` fresh nodes on `tid` without ever protecting them.
+void churn_retire(Scheme& scheme, int tid, int count) {
+  for (int i = 0; i < count; ++i) {
+    scheme.retire(tid, scheme.alloc(tid, static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(OrphanPool, DetachWithEmptyRetiredListIsANoop) {
+  Scheme scheme(pool_config(2));
+  scheme.detach(0);
+  EXPECT_EQ(scheme.orphan_count(), 0u);
+  EXPECT_EQ(scheme.stats_snapshot().orphaned, 0u);
+}
+
+TEST(OrphanPool, DetachMovesRetiredListIntoPool) {
+  Scheme scheme(pool_config(2));
+  churn_retire(scheme, 0, 16);
+  ASSERT_EQ(scheme.retired_count(0), 16u);
+  scheme.detach(0);
+  EXPECT_EQ(scheme.retired_count(0), 0u);
+  EXPECT_EQ(scheme.orphan_count(), 16u);
+  EXPECT_EQ(scheme.retired_backlog(), 16u);
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.orphaned, 16u);
+  EXPECT_EQ(stats.adopted, 0u);
+}
+
+TEST(OrphanPool, AdoptTakesWholePoolIntoAdoptersList) {
+  Scheme scheme(pool_config(2));
+  churn_retire(scheme, 0, 16);
+  scheme.detach(0);
+  churn_retire(scheme, 0, 5);  // a second departure stacks a second batch
+  scheme.detach(0);
+  ASSERT_EQ(scheme.orphan_count(), 21u);
+  scheme.adopt_orphans(1);
+  EXPECT_EQ(scheme.orphan_count(), 0u);
+  EXPECT_EQ(scheme.retired_count(1), 21u);
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.orphaned, 21u);
+  EXPECT_EQ(stats.adopted, 21u);
+  // With no thread inside an operation, one empty() reclaims everything.
+  scheme.empty(1);
+  EXPECT_EQ(scheme.retired_count(1), 0u);
+  EXPECT_EQ(scheme.stats_snapshot().reclaims, 21u);
+}
+
+TEST(OrphanPool, ScheduledEmptyAdoptsAutomatically) {
+  Scheme scheme(pool_config(2, /*empty_freq=*/8));
+  churn_retire(scheme, 0, 5);  // below empty_freq: stays buffered
+  scheme.detach(0);
+  ASSERT_EQ(scheme.orphan_count(), 5u);
+  // Thread 1's scheduled empty() pass must adopt the pool before scanning.
+  churn_retire(scheme, 1, 8);
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.adopted, 5u);
+  EXPECT_EQ(scheme.orphan_count(), 0u);
+  EXPECT_EQ(stats.retires, stats.reclaims + scheme.retired_count(1));
+}
+
+TEST(OrphanPool, DrainReclaimsPooledBatches) {
+  Scheme scheme(pool_config(2));
+  churn_retire(scheme, 0, 12);
+  scheme.detach(0);
+  churn_retire(scheme, 1, 3);  // and a live thread's buffered list
+  scheme.drain();
+  EXPECT_EQ(scheme.orphan_count(), 0u);
+  EXPECT_EQ(scheme.outstanding(), 0u);
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
+  EXPECT_EQ(stats.drained, 15u);
+}
+
+TEST(OrphanPool, DetachedIdAccumulatesAcrossReuse) {
+  Scheme scheme(pool_config(2));
+  for (int life = 0; life < 4; ++life) {
+    churn_retire(scheme, 0, 2);
+    scheme.detach(0);  // each leaseholder departs with its own batch
+  }
+  EXPECT_EQ(scheme.orphan_count(), 8u);
+  EXPECT_EQ(scheme.stats_snapshot().orphaned, 8u);
+  scheme.drain();
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+}
+
+// The TSan target: concurrent departures racing concurrent adopters must
+// neither lose nor duplicate a node. Every path below is adoption-layer
+// only (no protection fast path), so the atomics are fully TSan-modeled.
+TEST(OrphanPool, ConcurrentDetachAndAdoptIsLossless) {
+  constexpr int kChurners = 4;
+  constexpr int kAdopters = 2;
+  constexpr int kLives = 64;
+  constexpr int kBatch = 4;
+  Scheme scheme(pool_config(kChurners + kAdopters));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kChurners; ++t) {
+    threads.emplace_back([&scheme, t] {
+      for (int life = 0; life < kLives; ++life) {
+        churn_retire(scheme, t, kBatch);
+        scheme.detach(t);
+      }
+    });
+  }
+  for (int t = kChurners; t < kChurners + kAdopters; ++t) {
+    threads.emplace_back([&scheme, &stop, t] {
+      while (!stop.load(std::memory_order_acquire)) {
+        scheme.adopt_orphans(t);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int t = 0; t < kChurners; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  for (int t = kChurners; t < kChurners + kAdopters; ++t) threads[t].join();
+
+  constexpr std::uint64_t kTotal = kChurners * kLives * kBatch;
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.orphaned, kTotal);
+  EXPECT_EQ(stats.adopted + scheme.orphan_count(), kTotal);
+  scheme.drain();
+  EXPECT_EQ(scheme.orphan_count(), 0u);
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+  const auto after = scheme.stats_snapshot();
+  EXPECT_EQ(after.retires, after.reclaims + after.drained);
+}
+
+}  // namespace

@@ -110,6 +110,57 @@ TEST(ReportTest, FullRowValidates) {
   EXPECT_EQ(validate_report(json::parse(doc.dump(2))), "");
 }
 
+TEST(ReportTest, VersionOneDocumentsStillValidate) {
+  // v1 reports predate the thread-lifecycle counters: their stats objects
+  // carry no orphaned/adopted, and the validator must keep accepting them
+  // so the perf trajectory stays parseable across the schema bump.
+  json::Value stats = json::Value::object();
+  for (const char* key : {"fences", "reads", "allocs", "retires", "reclaims",
+                          "drained", "empties", "peak_retired",
+                          "emergency_empties"}) {
+    stats[key] = 1;
+  }
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";
+  row["scheme"] = "MP";
+  row["stats"] = stats;
+  json::Value rows = json::Value::array();
+  rows.push_back(row);
+  json::Value doc = json::Value::object();
+  doc["schema"] = mp::obs::kReportSchema;
+  doc["version"] = std::uint64_t{1};
+  doc["bench"] = "legacy";
+  doc["config"] = json::Value::object();
+  doc["rows"] = rows;
+  EXPECT_EQ(validate_report(doc), "");
+
+  // The same stats object under version 2 must be rejected: current
+  // emitters always include the lifecycle counters.
+  doc["version"] = mp::obs::kReportVersion;
+  EXPECT_NE(validate_report(doc), "");
+
+  // And versions beyond the writer's are unsupported.
+  doc["version"] = mp::obs::kReportVersion + 1;
+  EXPECT_NE(validate_report(doc), "");
+}
+
+TEST(ReportTest, CurrentReportsCarryLifecycleCounters) {
+  BenchReport report("unit_test", "/dev/null");
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";
+  row["scheme"] = "EBR";
+  row["stats"] = mp::obs::to_json(mp::smr::StatsSnapshot{});
+  report.add_row(std::move(row));
+  const json::Value doc = report.document();
+  EXPECT_EQ(doc.find("version")->as_uint(), mp::obs::kReportVersion);
+  const json::Value* stats =
+      doc.find("rows")->as_array()[0].find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_NE(stats->find("orphaned"), nullptr);
+  EXPECT_NE(stats->find("adopted"), nullptr);
+  EXPECT_EQ(validate_report(doc), "");
+}
+
 TEST(ReportTest, ValidatorFlagsMissingFields) {
   BenchReport report("unit_test", "/dev/null");
   json::Value row = json::Value::object();
