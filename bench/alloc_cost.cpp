@@ -1,0 +1,134 @@
+// A/B microbench for the node pool (DESIGN.md §7): the raw cost of one
+// allocate+retire cycle through a scheme, pool-on vs pool-off, at each
+// thread count. This is the path every insert/remove pays before any list
+// traversal, so it isolates what fig2–fig4 can only show blended: how much
+// of "SMR throughput" is really the system allocator.
+//
+// Unlike the figure benches this is fixed-work, not fixed-time: every
+// thread runs exactly `--size` alloc+retire cycles per arm, so the two
+// arms do identical work and ns/cycle is directly comparable. Both arms
+// always run (--pool is ignored here); each lands as one report row with
+// row["pool"] = "on"/"off", and a RATIO row per thread count summarizes
+// pool-off cost over pool-on cost (>1 means the pool is winning).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "harness.hpp"
+
+namespace {
+
+/// Stand-in for a small data-structure node (a Michael-list node's shape:
+/// SMR header + key/value + one link word).
+struct BenchNode : mp::smr::NodeBase {
+  std::uint64_t key;
+  std::uint64_t value;
+  std::uint64_t link = 0;
+  BenchNode(std::uint64_t k, std::uint64_t v) : key(k), value(v) {}
+};
+
+struct ArmResult {
+  double ns_per_cycle = 0;
+  double mcycles_per_sec = 0;
+  mp::smr::StatsSnapshot stats;
+};
+
+template <typename Scheme>
+ArmResult run_arm(const mp::smr::Config& config, int threads,
+                  std::uint64_t cycles_per_thread) {
+  Scheme scheme(config);
+  mp::common::SpinBarrier barrier(static_cast<std::size_t>(threads) + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&scheme, &barrier, t, cycles_per_thread] {
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < cycles_per_thread; ++i) {
+        BenchNode* node = scheme.alloc(t, i, i);
+        scheme.retire(t, node);
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& worker : workers) worker.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ArmResult result;
+  const double ns = std::chrono::duration<double, std::nano>(end - start).count();
+  const double total_cycles =
+      static_cast<double>(cycles_per_thread) * threads;
+  // Per-thread cost: each thread ran cycles_per_thread cycles in ~ns.
+  result.ns_per_cycle = ns / static_cast<double>(cycles_per_thread);
+  result.mcycles_per_sec = total_cycles / ns * 1e3;
+  scheme.drain();
+  result.stats = scheme.stats_snapshot();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = mp::bench::BenchArgs::parse(
+      argc, argv,
+      "alloc_cost: allocate+retire cycle cost, pool-on vs pool-off (both "
+      "arms always run; --size is cycles per thread)",
+      /*default_size=*/200000, /*full_size=*/2000000,
+      /*default_schemes=*/"EBR,HP,MP");
+  mp::obs::BenchReport report("alloc_cost", args.json_out);
+  mp::bench::fill_report_config(report, args);
+  std::printf(
+      "figure,scheme,threads,pool,ns_per_cycle,mcycles_per_sec,"
+      "pool_hit_rate\n");
+  for (const auto& scheme_name : args.schemes) {
+    for (int threads : args.thread_counts) {
+      ArmResult arm[2];  // [0] = pool off, [1] = pool on
+      for (int pool = 0; pool < 2; ++pool) {
+        auto config = args.config(/*required_slots=*/1);
+        config.pool_enabled = pool != 0;
+#define MARGINPTR_RUN(S)                                                  \
+  arm[pool] = run_arm<S<BenchNode>>(                                      \
+      config, threads, static_cast<std::uint64_t>(args.size))
+        MARGINPTR_DISPATCH_SCHEME(scheme_name, MARGINPTR_RUN);
+#undef MARGINPTR_RUN
+        const auto& stats = arm[pool].stats;
+        const double hit_rate =
+            stats.allocs == 0
+                ? 0
+                : static_cast<double>(stats.pool_hits) /
+                      static_cast<double>(stats.allocs);
+        std::printf("alloc_cost,%s,%d,%s,%.2f,%.3f,%.3f\n",
+                    scheme_name.c_str(), threads, pool ? "on" : "off",
+                    arm[pool].ns_per_cycle, arm[pool].mcycles_per_sec,
+                    hit_rate);
+        std::fflush(stdout);
+        mp::obs::json::Value row = mp::obs::json::Value::object();
+        row["figure"] = "alloc_cost";
+        row["scheme"] = scheme_name;
+        row["threads"] = static_cast<std::uint64_t>(threads);
+        row["pool"] = pool ? "on" : "off";
+        row["ns_per_cycle"] = arm[pool].ns_per_cycle;
+        row["mcycles_per_sec"] = arm[pool].mcycles_per_sec;
+        row["stats"] = mp::obs::to_json(stats);
+        report.add_row(std::move(row));
+      }
+      const double ratio = arm[1].ns_per_cycle == 0
+                               ? 0
+                               : arm[0].ns_per_cycle / arm[1].ns_per_cycle;
+      std::printf("alloc_cost,%s,%d,RATIO,%.2f,,\n", scheme_name.c_str(),
+                  threads, ratio);
+      std::fflush(stdout);
+      mp::obs::json::Value row = mp::obs::json::Value::object();
+      row["figure"] = "alloc_cost";
+      row["scheme"] = scheme_name;
+      row["threads"] = static_cast<std::uint64_t>(threads);
+      row["pool"] = "ratio";
+      row["off_over_on"] = ratio;
+      report.add_row(std::move(row));
+    }
+  }
+  return 0;
+}

@@ -220,6 +220,7 @@ struct BenchArgs {
   int runs = 1;
   std::size_t max_threads = 0;    ///< scheme slot capacity
   std::uint64_t churn = 0;        ///< ops per worker between departures (0=off)
+  bool pool = true;               ///< node-pool arm (--pool on|off)
   std::string json_out;           ///< report path ("" = BENCH_<name>.json)
 
   static BenchArgs parse(int argc, char** argv, const char* description,
@@ -238,6 +239,9 @@ struct BenchArgs {
     cli.add_int("churn", 0,
                 "thread churn: each worker detaches and re-registers every N "
                 "ops (0 = immortal workers)");
+    cli.add_string("pool", "on",
+                   "node-pool allocation arm: on (per-thread magazines + "
+                   "global depot) or off (system allocator)");
     cli.add_bool("full", "paper-scale parameters (large size, 1s windows)");
     cli.add_string("json-out", "",
                    "JSON report path (default: BENCH_<bench>.json in the "
@@ -253,6 +257,13 @@ struct BenchArgs {
     args.duration_ms = static_cast<int>(cli.get_int("duration-ms"));
     args.margin = static_cast<std::uint32_t>(cli.get_int("margin"));
     args.churn = static_cast<std::uint64_t>(cli.get_int("churn"));
+    const std::string pool = cli.get_string("pool");
+    if (pool != "on" && pool != "off") {
+      std::fprintf(stderr, "--pool must be 'on' or 'off' (got '%s')\n",
+                   pool.c_str());
+      std::exit(2);
+    }
+    args.pool = pool == "on";
     args.runs = static_cast<int>(cli.get_int("runs"));
     args.json_out = cli.get_string("json-out");
     if (cli.get_bool("full")) {
@@ -270,6 +281,7 @@ struct BenchArgs {
     config.max_threads = max_threads;
     config.slots_per_thread = required_slots;
     config.margin = margin;
+    config.pool_enabled = pool;
     return config;
   }
 };
@@ -283,6 +295,10 @@ inline void fill_report_config(obs::BenchReport& report,
   config["runs"] = static_cast<std::uint64_t>(args.runs);
   config["margin"] = static_cast<std::uint64_t>(args.margin);
   config["churn"] = args.churn;
+  config["pool"] = args.pool ? "on" : "off";
+  // The arm that actually ran: ASan builds force the pool off.
+  config["pool_effective"] =
+      (args.pool && !smr::kPoolForcedOff) ? "on" : "off";
   obs::json::Value threads = obs::json::Value::array();
   for (const int t : args.thread_counts) {
     threads.push_back(static_cast<std::uint64_t>(t));

@@ -116,7 +116,7 @@ class FraserSkipList {
     // Link at level 0 — the insert's linearization point.
     while (true) {
       if (find(tid, key, result)) {
-        if (node != nullptr) smr_.delete_unlinked(node);
+        if (node != nullptr) smr_.delete_unlinked(tid, node);
         return false;
       }
       if (node != nullptr) {
@@ -124,7 +124,7 @@ class FraserSkipList {
         // node's index (computed from the previous find's bounds) may no
         // longer sit between its neighbors — reallocate for a fresh
         // midpoint, preserving MP's index order/uniqueness invariant.
-        smr_.delete_unlinked(node);
+        smr_.delete_unlinked(tid, node);
       }
       // Bounds from this find are the key's true pred/succ (Listing 5).
       node = smr_.alloc(tid, key, value, height);

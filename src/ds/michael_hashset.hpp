@@ -107,7 +107,7 @@ class MichaelHashSet {
                                                   smr_.make_link(node))) {
         return true;
       }
-      smr_.delete_unlinked(node);
+      smr_.delete_unlinked(tid, node);
     }
   }
 

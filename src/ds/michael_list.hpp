@@ -108,7 +108,7 @@ class MichaelList {
         return true;
       }
       // Lost the race; the node was never published.
-      smr_.delete_unlinked(node);
+      smr_.delete_unlinked(tid, node);
     }
   }
 

@@ -139,7 +139,7 @@ class NatarajanTree {
       } catch (...) {
         // An OOM on the second alloc must not strand the first: the leaf
         // was never linked, so it can be freed directly.
-        smr_.delete_unlinked(new_leaf);
+        smr_.delete_unlinked(tid, new_leaf);
         throw;
       }
       smr_.copy_index(router, key > leaf->key ? new_leaf : leaf);
@@ -156,8 +156,8 @@ class NatarajanTree {
                                                 smr_.make_link(router))) {
         return true;
       }
-      smr_.delete_unlinked(new_leaf);
-      smr_.delete_unlinked(router);
+      smr_.delete_unlinked(tid, new_leaf);
+      smr_.delete_unlinked(tid, router);
       // Help an in-progress deletion of this leaf before retrying.
       const TaggedPtr word = parent_field->load(std::memory_order_acquire);
       if (word.template ptr<Node>() == leaf && word.mark() != 0) {

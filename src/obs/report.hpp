@@ -7,7 +7,7 @@
 //
 //   {
 //     "schema":  "marginptr-bench-report",
-//     "version": 2,
+//     "version": 3,
 //     "bench":   "<binary name>",
 //     "config":  { free-form run parameters },
 //     "rows": [
@@ -36,9 +36,11 @@
 namespace mp::obs {
 
 inline constexpr const char* kReportSchema = "marginptr-bench-report";
-/// v2 added the thread-lifecycle counters (orphaned/adopted) to "stats".
-/// validate_report still accepts v1 documents (they predate churn mode).
-inline constexpr std::uint64_t kReportVersion = 2;
+/// v2 added the thread-lifecycle counters (orphaned/adopted) to "stats";
+/// v3 added the node-pool counters (pool_hits/pool_misses/depot_exchanges,
+/// plus unlinked_frees) and the config "pool" arm. validate_report still
+/// accepts v1 and v2 documents (they predate churn mode / the pool).
+inline constexpr std::uint64_t kReportVersion = 3;
 inline constexpr std::uint64_t kMinReportVersion = 1;
 
 inline json::Value to_json(const smr::StatsSnapshot& s) {
@@ -59,6 +61,10 @@ inline json::Value to_json(const smr::StatsSnapshot& s) {
   out["emergency_empties"] = s.emergency_empties;
   out["orphaned"] = s.orphaned;
   out["adopted"] = s.adopted;
+  out["pool_hits"] = s.pool_hits;
+  out["pool_misses"] = s.pool_misses;
+  out["depot_exchanges"] = s.depot_exchanges;
+  out["unlinked_frees"] = s.unlinked_frees;
   return out;
 }
 
@@ -84,6 +90,9 @@ inline json::Value to_json(const smr::Config& c) {
   out["anchor_distance"] = static_cast<std::uint64_t>(c.anchor_distance);
   out["epoch_advance_on_unlink"] = c.epoch_advance_on_unlink;
   out["retired_soft_cap"] = c.retired_soft_cap;
+  out["pool_enabled"] = c.pool_enabled;
+  out["pool_effective"] = c.pool_effective();
+  out["pool_magazine_cap"] = c.pool_magazine_cap;
   return out;
 }
 
@@ -197,6 +206,8 @@ inline std::string validate_report(const json::Value& root) {
                 "version missing or unsupported", error);
   const bool v2 = version != nullptr && version->is_number() &&
                   version->as_uint() >= 2;
+  const bool v3 = version != nullptr && version->is_number() &&
+                  version->as_uint() >= 3;
   const json::Value* bench = root.find("bench");
   detail::check(bench != nullptr && bench->is_string() &&
                     !bench->as_string().empty(),
@@ -229,6 +240,15 @@ inline std::string validate_report(const json::Value& root) {
       }
       if (v2) {
         for (const char* key : {"orphaned", "adopted"}) {
+          const json::Value* field = stats->find(key);
+          detail::check(field != nullptr && field->is_number(),
+                        std::string("stats missing counter '") + key + "'",
+                        error);
+        }
+      }
+      if (v3) {
+        for (const char* key : {"pool_hits", "pool_misses", "depot_exchanges",
+                                "unlinked_frees"}) {
           const json::Value* field = stats->find(key);
           detail::check(field != nullptr && field->is_number(),
                         std::string("stats missing counter '") + key + "'",

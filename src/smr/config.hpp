@@ -24,6 +24,24 @@ namespace mp::smr {
 
 class FaultInjector;  // chaos.hpp; Config only carries a non-owning pointer
 
+// AddressSanitizer detection (GCC defines __SANITIZE_ADDRESS__, clang
+// reports it through __has_feature). Under ASan the node pool is forced
+// off: recycled blocks would never return to the allocator, so ASan's
+// poisoning could no longer catch use-after-free on pooled nodes.
+#if defined(__SANITIZE_ADDRESS__)
+#define MARGINPTR_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MARGINPTR_ASAN_ACTIVE 1
+#endif
+#endif
+#ifndef MARGINPTR_ASAN_ACTIVE
+#define MARGINPTR_ASAN_ACTIVE 0
+#endif
+
+/// True when this build forces Config::pool_enabled off (ASan builds).
+inline constexpr bool kPoolForcedOff = MARGINPTR_ASAN_ACTIVE != 0;
+
 /// Hard ceiling on protection slots per thread (skip lists protect two
 /// nodes per level, so this is sized for tall towers).
 inline constexpr int kMaxSlotsPerThread = 64;
@@ -80,6 +98,24 @@ struct Config {
   /// this many retirements even when reclamation stays blocked.
   std::uint64_t emergency_backoff_limit = 4096;
 
+  /// Node-pool allocation (pool.hpp): alloc() placement-news into recycled
+  /// node-sized blocks from a per-thread magazine backed by a lock-free
+  /// global depot, instead of round-tripping every node through the system
+  /// allocator. Forced off under ASan regardless of this flag (see
+  /// kPoolForcedOff) so poisoning still catches use-after-free; query
+  /// pool_effective() for the value a scheme will actually run with.
+  bool pool_enabled = true;
+
+  /// Capacity of each thread's magazine (free blocks buffered locally
+  /// before a whole magazine is exchanged with the global depot).
+  std::size_t pool_magazine_cap = 64;
+
+  /// The pool arm this build actually runs: pool_enabled, minus the ASan
+  /// force-off.
+  bool pool_effective() const noexcept {
+    return pool_enabled && !kPoolForcedOff;
+  }
+
   /// Deterministic fault injection (chaos.hpp). Non-owning; the injector
   /// must outlive every scheme sharing it, and must be sized for at least
   /// max_threads. Leave null in production.
@@ -119,6 +155,9 @@ struct Config {
     if (anchor_distance <= 0) fail("anchor_distance must be positive");
     if (emergency_backoff_limit == 0) {
       fail("emergency_backoff_limit must be positive");
+    }
+    if (pool_magazine_cap == 0 || pool_magazine_cap > (1u << 20)) {
+      fail("pool_magazine_cap must be in [1, 2^20]");
     }
   }
 

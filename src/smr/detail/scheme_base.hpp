@@ -36,6 +36,7 @@
 #include "smr/chaos.hpp"
 #include "smr/config.hpp"
 #include "smr/node.hpp"
+#include "smr/pool.hpp"
 #include "smr/stats.hpp"
 #include "smr/tagged_ptr.hpp"
 
@@ -51,7 +52,16 @@ class SchemeBase {
         stats_(std::make_unique<common::Padded<ThreadStats>[]>(
             config.max_threads)),
         local_(std::make_unique<common::Padded<PerThread>[]>(
-            config.max_threads)) {}
+            config.max_threads)),
+        pool_(config_) {
+    // Steady-state retire() must never reallocate mid-run: a scheduled
+    // empty() fires every empty_freq retires, so that is the list's
+    // working size (soft-cap overshoot grows it once, then sticks).
+    for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      local_[i]->retired.reserve(
+          static_cast<std::size_t>(config_.empty_freq) + 1);
+    }
+  }
 
   SchemeBase(const SchemeBase&) = delete;
   SchemeBase& operator=(const SchemeBase&) = delete;
@@ -64,8 +74,10 @@ class SchemeBase {
   /// header (birth epoch, index) before handing the node to the client.
   /// Both failure paths — chaos-injected std::bad_alloc and a genuine
   /// OOM/throwing node constructor — unwind *before* any scheme state
-  /// changes (no epoch tick, no counter bump), so callers see an ordinary
-  /// side-effect-free OOM either way.
+  /// changes (no epoch tick, no alloc-counter bump, no block consumed: a
+  /// pooled block taken for a throwing constructor goes straight back to
+  /// the magazine), so callers see an ordinary side-effect-free OOM either
+  /// way. The chaos fail_alloc point fires before block acquisition.
   template <typename... Args>
   Node* alloc(int tid, Args&&... args) {
     FaultInjector* chaos = config_.fault_injector;
@@ -73,11 +85,11 @@ class SchemeBase {
       chaos->point(tid, ChaosPoint::kAlloc);
       if (chaos->fail_alloc(tid)) throw std::bad_alloc{};
     }
-    // `new` runs before the epoch tick: ticking first would advance the
-    // scheme's epoch for a node that never existed when `new` throws.
-    // Birth is stamped after the tick either way, so success-path behavior
-    // (a node born in the post-tick epoch) is unchanged.
-    Node* node = new Node(std::forward<Args>(args)...);
+    // Construction runs before the epoch tick: ticking first would advance
+    // the scheme's epoch for a node that never existed when the allocation
+    // throws. Birth is stamped after the tick either way, so success-path
+    // behavior (a node born in the post-tick epoch) is unchanged.
+    Node* node = construct(tid, std::forward<Args>(args)...);
     auto& local = *local_[tid];
     derived().on_alloc_tick(tid, ++local.alloc_counter);
     if (chaos != nullptr) {
@@ -93,7 +105,6 @@ class SchemeBase {
                                  std::memory_order_relaxed);
     auto& stats = *stats_[tid];
     stats.bump(stats.allocs);
-    allocated_.fetch_add(1, std::memory_order_relaxed);
     return node;
   }
 
@@ -110,6 +121,7 @@ class SchemeBase {
                                         std::memory_order_relaxed);
     auto& local = *local_[tid];
     local.retired.push_back(node);
+    sync_retired(tid);
     auto& stats = *stats_[tid];
     stats.bump(stats.retires);
     stats.bump_max(stats.peak_retired, local.retired.size());
@@ -152,15 +164,29 @@ class SchemeBase {
   }
 
   /// Free a node that was never linked (e.g. a failed insert's spare node).
-  /// No other thread can reference it, so it is freed immediately. The
-  /// free_hook fires here too: unlinked frees must be visible to the waste
-  /// watchdog and client-side destructor hooks, same as free_node()/drain().
+  /// No other thread can reference it, so it is freed immediately, and the
+  /// block returns to `tid`'s magazine when the pool is on. The free_hook
+  /// fires here too: unlinked frees must be visible to the waste watchdog
+  /// and client-side destructor hooks, same as free_node()/drain().
+  void delete_unlinked(int tid, Node* node) noexcept {
+    if (config_.free_hook != nullptr) {
+      config_.free_hook(config_.free_hook_context, node);
+    }
+    auto& stats = *stats_[tid];
+    stats.bump(stats.unlinked_frees);
+    destroy(tid, node);
+  }
+
+  /// Tid-less overload for callers outside any operation (data-structure
+  /// destructors, teardown helpers). Thread-safe, but cannot recycle into a
+  /// magazine — the block goes straight back to the allocator. Prefer the
+  /// tid overload on hot paths.
   void delete_unlinked(Node* node) noexcept {
     if (config_.free_hook != nullptr) {
       config_.free_hook(config_.free_hook_context, node);
     }
-    freed_.fetch_add(1, std::memory_order_relaxed);
-    delete node;
+    stray_frees_.fetch_add(1, std::memory_order_relaxed);
+    destroy_unowned(node);
   }
 
   // ---- Thread lifecycle (DESIGN.md §6) ----
@@ -186,9 +212,14 @@ class SchemeBase {
     local.next_emergency = 0;
     local.emergency_backoff = 1;
     trace_event(tid, obs::TraceEvent::kDetach, local.retired.size());
+    // Departing threads also surrender their buffered free blocks: a
+    // half-full magazine would otherwise idle until the tid's next
+    // leaseholder while other threads hit the allocator.
+    pool_.flush(tid, *stats_[tid]);
     if (local.retired.empty()) return;
     auto* batch = new OrphanBatch;
     batch->nodes.swap(local.retired);
+    sync_retired(tid);
     auto& stats = *stats_[tid];
     stats.bump(stats.orphaned, batch->nodes.size());
     orphan_count_.fetch_add(batch->nodes.size(), std::memory_order_relaxed);
@@ -222,6 +253,7 @@ class SchemeBase {
       delete batch;
       batch = next;
     }
+    sync_retired(tid);
     orphan_count_.fetch_sub(adopted, std::memory_order_relaxed);
     stats.bump(stats.adopted, adopted);
     stats.bump_max(stats.peak_retired, local.retired.size());
@@ -235,11 +267,14 @@ class SchemeBase {
 
   /// Total retired-but-unreclaimed backlog: every thread's buffered list
   /// plus the orphan pool. Exact when quiescent; a monitoring-grade
-  /// approximation while threads run (sizes are read racily).
+  /// approximation while threads run. Foreign list sizes are read from the
+  /// per-thread `retired_size` mirror (a relaxed atomic each owner refreshes
+  /// after every retired-list mutation) — reading std::vector::size()
+  /// concurrently with the owner's push_back was a genuine data race.
   std::uint64_t retired_backlog() const noexcept {
     std::uint64_t total = orphan_count();
     for (std::size_t i = 0; i < config_.max_threads; ++i) {
-      total += local_[i]->retired.size();
+      total += local_[i]->retired_size.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -263,23 +298,50 @@ class SchemeBase {
                                  std::memory_order_relaxed);
   }
 
-  /// Number of nodes currently buffered in `tid`'s retired list.
+  /// Number of nodes currently buffered in `tid`'s retired list (reads the
+  /// race-free size mirror, so any thread may call it).
   std::size_t retired_count(int tid) const noexcept {
-    return local_[tid]->retired.size();
+    return local_[tid]->retired_size.load(std::memory_order_relaxed);
   }
 
   /// Nodes allocated and not yet freed (live + retired-but-unreclaimed).
+  /// Summed from the per-thread shards, so concurrent snapshots can
+  /// transiently observe frees before the matching allocs; the subtraction
+  /// saturates at 0 instead of wrapping. Exact when quiescent.
   std::uint64_t outstanding() const noexcept {
-    return allocated_.load(std::memory_order_relaxed) -
-           freed_.load(std::memory_order_relaxed);
+    const std::uint64_t allocated = total_allocated();
+    const std::uint64_t freed = total_freed();
+    return allocated >= freed ? allocated - freed : 0;
   }
 
+  /// Sum of the per-thread alloc shards (ThreadStats::allocs). The global
+  /// fetch_add this used to read was one of two shared-cacheline RMWs on
+  /// every alloc/free hot path.
   std::uint64_t total_allocated() const noexcept {
-    return allocated_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      const auto& stats = *stats_[i];
+      total += stats.allocs.load(std::memory_order_relaxed);
+    }
+    return total;
   }
+
+  /// Every free path, sharded: per-thread reclaims (free_node) and unlinked
+  /// frees, plus the two scheme-wide quiescent/compat paths.
   std::uint64_t total_freed() const noexcept {
-    return freed_.load(std::memory_order_relaxed);
+    std::uint64_t total = drained_.load(std::memory_order_relaxed) +
+                          stray_frees_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      const auto& stats = *stats_[i];
+      total += stats.reclaims.load(std::memory_order_relaxed) +
+               stats.unlinked_frees.load(std::memory_order_relaxed);
+    }
+    return total;
   }
+
+  /// The node pool (introspection: arm actually in effect, magazine and
+  /// depot occupancy).
+  const NodePool<Node>& pool() const noexcept { return pool_; }
 
   ThreadStats& thread_stats(int tid) noexcept { return *stats_[tid]; }
 
@@ -313,10 +375,11 @@ class SchemeBase {
         if (config_.free_hook != nullptr) {
           config_.free_hook(config_.free_hook_context, node);
         }
-        delete node;
+        destroy_quiescent(node);
         ++freed;
       }
       local.retired.clear();
+      sync_retired(static_cast<int>(i));
     }
     // The orphan pool is part of the backlog too: without this, batches
     // stranded between a detach() and the next adoption would leak at
@@ -327,7 +390,7 @@ class SchemeBase {
         if (config_.free_hook != nullptr) {
           config_.free_hook(config_.free_hook_context, node);
         }
-        delete node;
+        destroy_quiescent(node);
         ++freed;
       }
       orphan_count_.fetch_sub(batch->nodes.size(),
@@ -337,7 +400,6 @@ class SchemeBase {
       batch = next;
     }
     drained_.fetch_add(freed, std::memory_order_relaxed);
-    freed_.fetch_add(freed, std::memory_order_relaxed);
   }
 
   // MP's optional interface (paper §4.1); no-ops for every other scheme so
@@ -391,6 +453,10 @@ class SchemeBase {
 
   struct PerThread {
     std::vector<Node*> retired;
+    /// retired.size(), mirrored after every mutation so foreign threads
+    /// (retired_backlog, retired_count, the waste watchdog) never touch the
+    /// vector's internals concurrently with the owner's push_back.
+    std::atomic<std::size_t> retired_size{0};
     std::uint64_t retire_counter = 0;
     std::uint64_t alloc_counter = 0;
     // Soft-cap graceful degradation state (see retire()).
@@ -422,13 +488,74 @@ class SchemeBase {
   void free_node(int tid, Node* node) noexcept {
     auto& stats = *stats_[tid];
     stats.bump(stats.reclaims);
-    freed_.fetch_add(1, std::memory_order_relaxed);
     trace_event(tid, obs::TraceEvent::kReclaim,
                 reinterpret_cast<std::uintptr_t>(node));
     if (config_.free_hook != nullptr) {
       config_.free_hook(config_.free_hook_context, node);
     }
-    delete node;
+    destroy(tid, node);
+  }
+
+  // ---- Pool-aware construction / destruction ----
+  //
+  // Every node a scheme hands out or takes back funnels through these four
+  // helpers, so the pool arm is decided in exactly one place. With the pool
+  // off (config or ASan force-off) they are plain new/delete.
+
+  /// Build a node in a pooled block (alloc()'s backend). A throwing Node
+  /// constructor returns the block to the magazine and unwinds, so callers
+  /// observe a side-effect-free failure.
+  template <typename... Args>
+  Node* construct(int tid, Args&&... args) {
+    if (!pool_.enabled()) return new Node(std::forward<Args>(args)...);
+    auto& stats = *stats_[tid];
+    void* block = pool_.acquire(tid, stats);
+    try {
+      return ::new (block) Node(std::forward<Args>(args)...);
+    } catch (...) {
+      pool_.release(tid, stats, block);
+      throw;
+    }
+  }
+
+  /// Destroy a node and recycle its block into `tid`'s magazine.
+  void destroy(int tid, Node* node) noexcept {
+    if (!pool_.enabled()) {
+      delete node;
+      return;
+    }
+    node->~Node();
+    pool_.release(tid, *stats_[tid], node);
+  }
+
+  /// Destroy with no owning tid (tid-less delete_unlinked): thread-safe,
+  /// block returns to the allocator instead of racing for a magazine.
+  void destroy_unowned(Node* node) noexcept {
+    if (!pool_.enabled()) {
+      delete node;
+      return;
+    }
+    node->~Node();
+    NodePool<Node>::release_unpooled(node);
+  }
+
+  /// Destroy under drain()'s quiescence: blocks recycle through the pool's
+  /// tid-less drain magazine (drain between bench phases must not bleed the
+  /// pool dry).
+  void destroy_quiescent(Node* node) noexcept {
+    if (!pool_.enabled()) {
+      delete node;
+      return;
+    }
+    node->~Node();
+    pool_.release_quiescent(node);
+  }
+
+  /// Refresh `tid`'s retired-size mirror. Owner-thread (or quiescent) only;
+  /// schemes call this at the end of empty() after the survivor swap.
+  void sync_retired(int tid) noexcept {
+    auto& local = *local_[tid];
+    local.retired_size.store(local.retired.size(), std::memory_order_relaxed);
   }
 
   /// Tracer hook: one null-check when tracing is disabled. Called from
@@ -453,9 +580,11 @@ class SchemeBase {
   Config config_;
   std::unique_ptr<common::Padded<ThreadStats>[]> stats_;
   std::unique_ptr<common::Padded<PerThread>[]> local_;
-  std::atomic<std::uint64_t> allocated_{0};
-  std::atomic<std::uint64_t> freed_{0};
+  NodePool<Node> pool_;
   std::atomic<std::uint64_t> drained_{0};
+  /// Frees through the tid-less delete_unlinked compat path (not part of
+  /// any thread's shard).
+  std::atomic<std::uint64_t> stray_frees_{0};
   /// Orphan pool head (Treiber stack of departed threads' retired lists).
   std::atomic<OrphanBatch*> orphans_{nullptr};
   /// Nodes currently parked in the pool (relaxed; monitoring only).

@@ -126,6 +126,7 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
     auto& retired = this->local(tid).retired;
     auto& survivors = scratch_[tid]->survivors;
     survivors.clear();
+    survivors.reserve(retired.size());
     for (Node* node : retired) {
       if (node->smr_header.retire_relaxed() < horizon) {
         this->free_node(tid, node);
@@ -134,6 +135,7 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
       }
     }
     retired.swap(survivors);
+    this->sync_retired(tid);
   }
 
  private:

@@ -94,6 +94,7 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
     auto& retired = this->local(tid).retired;
     auto& survivors = scratch_[tid]->survivors;
     survivors.clear();
+    survivors.reserve(retired.size());
     for (Node* node : retired) {
       if (node->smr_header.retire_relaxed() < horizon) {
         this->free_node(tid, node);
@@ -102,6 +103,7 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
       }
     }
     retired.swap(survivors);
+    this->sync_retired(tid);
   }
 
  private:

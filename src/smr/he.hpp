@@ -120,6 +120,8 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
     auto& scratch = *scratch_[tid];
     scratch.eras.clear();
     const int per_thread = this->config().slots_per_thread;
+    scratch.eras.reserve(this->config().max_threads *
+                         static_cast<std::size_t>(per_thread));
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
       for (int i = 0; i < per_thread; ++i) {
         const std::uint64_t era =
@@ -130,6 +132,7 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
 
     auto& retired = this->local(tid).retired;
     scratch.survivors.clear();
+    scratch.survivors.reserve(retired.size());
     for (Node* node : retired) {
       const std::uint64_t birth = node->smr_header.birth_relaxed();
       const std::uint64_t retire = node->smr_header.retire_relaxed();
@@ -147,6 +150,7 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
       }
     }
     retired.swap(scratch.survivors);
+    this->sync_retired(tid);
   }
 
  private:

@@ -110,6 +110,8 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
     auto& scratch = *scratch_[tid];
     scratch.hazards.clear();
     const int per_thread = this->config().slots_per_thread;
+    scratch.hazards.reserve(this->config().max_threads *
+                            static_cast<std::size_t>(per_thread));
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
       for (int i = 0; i < per_thread; ++i) {
         Node* hazard = slots_[t]->hazard[i].load(std::memory_order_acquire);
@@ -120,6 +122,7 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
 
     auto& retired = this->local(tid).retired;
     scratch.survivors.clear();
+    scratch.survivors.reserve(retired.size());
     for (Node* node : retired) {
       if (std::binary_search(scratch.hazards.begin(), scratch.hazards.end(),
                              node)) {
@@ -129,6 +132,7 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
       }
     }
     retired.swap(scratch.survivors);
+    this->sync_retired(tid);
   }
 
  private:

@@ -122,6 +122,7 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
   void empty(int tid) {
     auto& scratch = *scratch_[tid];
     scratch.reservations.clear();
+    scratch.reservations.reserve(this->config().max_threads);
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
       const std::uint64_t lower =
           slots_[t]->lower.load(std::memory_order_acquire);
@@ -132,6 +133,7 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
 
     auto& retired = this->local(tid).retired;
     scratch.survivors.clear();
+    scratch.survivors.reserve(retired.size());
     for (Node* node : retired) {
       const std::uint64_t birth = node->smr_header.birth_relaxed();
       const std::uint64_t retire = node->smr_header.retire_relaxed();
@@ -151,6 +153,7 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
       }
     }
     retired.swap(scratch.survivors);
+    this->sync_retired(tid);
   }
 
  private:

@@ -345,6 +345,10 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     // after the snapshot cannot cover nodes already in our retired list).
     scratch.margin_entries.clear();
     scratch.hazard_entries.clear();
+    const std::size_t slot_total =
+        threads * static_cast<std::size_t>(per_thread);
+    scratch.margin_entries.reserve(slot_total);
+    scratch.hazard_entries.reserve(slot_total);
     for (std::size_t t = 0; t < threads; ++t) {
       auto& slots = *slots_[t];
       const std::uint64_t epoch = slots.epoch.load(std::memory_order_acquire);
@@ -365,6 +369,7 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
 
     auto& retired = this->local(tid).retired;
     scratch.survivors.clear();
+    scratch.survivors.reserve(retired.size());
     for (Node* node : retired) {
       if (is_protected(node, scratch)) {
         scratch.survivors.push_back(node);
@@ -373,6 +378,7 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
       }
     }
     retired.swap(scratch.survivors);
+    this->sync_retired(tid);
   }
 
  private:

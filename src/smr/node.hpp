@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace mp::smr {
@@ -56,5 +57,30 @@ struct NodeHeader {
 struct NodeBase {
   NodeHeader smr_header;
 };
+
+// ---- Node-pool freelist-link storage (pool.hpp) ----
+//
+// While a node-sized block sits in a per-thread magazine or the global
+// depot, the Node object has been destroyed and the block's first bytes are
+// reinterpreted as one of the views below. No heap allocation happens on
+// the magazine/depot paths: even a depot chunk's header lives inside the
+// chunk's first block. NodeBase's header (two 8-byte epochs plus the index
+// word) guarantees every pooled node is large and aligned enough.
+
+/// Intrusive link threading free blocks into a magazine's LIFO list.
+struct PoolFreeLink {
+  PoolFreeLink* next;
+};
+
+/// A whole magazine parked in the global depot, headed by its first block.
+struct PoolDepotChunk {
+  PoolDepotChunk* next;  ///< Treiber-stack link
+  PoolFreeLink* blocks;  ///< the chunk's remaining blocks (count - 1 of them)
+  std::size_t count;     ///< total blocks, including this header block
+};
+
+static_assert(sizeof(NodeBase) >= sizeof(PoolDepotChunk) &&
+                  alignof(NodeBase) >= alignof(PoolDepotChunk),
+              "a dead node's block must be able to hold a depot-chunk header");
 
 }  // namespace mp::smr

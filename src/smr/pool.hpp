@@ -1,0 +1,250 @@
+// Typed per-thread node pool with lock-free global recycling (DESIGN.md §7).
+//
+// Every node in every scheme used to round-trip through global new/delete,
+// so the throughput figures measured the system allocator as much as the
+// SMR schemes. The pool removes that round trip the way DEBRA and Hyaline
+// do: each thread keeps a bounded **magazine** — a LIFO free-list of raw
+// node-sized blocks, threaded through the dead blocks themselves
+// (PoolFreeLink in node.hpp) — and whole magazines are exchanged with a
+// **global depot** (a Treiber stack of magazine chunks) when a thread's
+// magazine runs empty or overflows. The depot is what makes producer/
+// consumer-imbalanced workloads and orphan-adoption frees recycle across
+// threads instead of degenerating to malloc.
+//
+// Discipline, mirroring the orphan pool in scheme_base.hpp:
+//   * magazine push/pop: owner-thread only, no atomics;
+//   * depot push: one release CAS, publishing the chunk's freelist links;
+//   * depot pop: whole-stack acquire exchange — ABA-immune because nothing
+//     is compared against a reused pointer — keep the first chunk, CAS the
+//     remainder back in one piece.
+//
+// Nothing on the exchange path allocates: a depot chunk's header lives
+// inside the chunk's first block (PoolDepotChunk overlay), so release paths
+// stay noexcept and drain() can return blocks from a destructor.
+//
+// Safety: a block only reaches the pool after the owning scheme has
+// established no thread can reach the node (empty()'s protection scan, an
+// unpublished failed insert, or a quiescent drain). Recycling the *memory*
+// into a new node is therefore exactly as safe as system-allocator reuse;
+// the §4.3.1 packed-tag discipline keys off MP indices, not addresses, and
+// is untouched. Under ASan the pool is forced off (Config::pool_effective)
+// so poisoning still catches use-after-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "common/align.hpp"
+#include "smr/config.hpp"
+#include "smr/node.hpp"
+#include "smr/stats.hpp"
+
+namespace mp::smr {
+
+template <typename Node>
+class NodePool {
+  static_assert(sizeof(Node) >= sizeof(PoolDepotChunk),
+                "pooled nodes must be able to hold a depot-chunk header "
+                "(inherit smr::NodeBase)");
+  static_assert(alignof(Node) >= alignof(PoolDepotChunk),
+                "pooled nodes must be at least pointer-aligned");
+
+ public:
+  explicit NodePool(const Config& config)
+      : enabled_(config.pool_effective()),
+        cap_(config.pool_magazine_cap),
+        max_threads_(config.max_threads),
+        mags_(enabled_ ? std::make_unique<common::Padded<Magazine>[]>(
+                             config.max_threads)
+                       : nullptr) {}
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  ~NodePool() {
+    if (!enabled_) return;
+    for (std::size_t t = 0; t < max_threads_; ++t) {
+      free_chain(mags_[t]->head);
+    }
+    free_chain(drain_mag_.head);
+    PoolDepotChunk* chunk = depot_.load(std::memory_order_acquire);
+    while (chunk != nullptr) {
+      PoolDepotChunk* next = chunk->next;
+      free_chain(chunk->blocks);
+      raw_free(chunk);
+      chunk = next;
+    }
+  }
+
+  /// Is this pool actually recycling (config arm minus the ASan force-off)?
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Take one raw node-sized block: magazine, else depot, else allocator.
+  /// Only the thread owning `tid` may call this. Pool counters land on
+  /// `stats` only once a block is secured, so an allocator failure unwinds
+  /// without any counter movement.
+  void* acquire(int tid, ThreadStats& stats) {
+    auto& mag = *mags_[tid];
+    if (mag.head != nullptr) {
+      PoolFreeLink* block = mag.head;
+      mag.head = block->next;
+      --mag.count;
+      stats.bump(stats.pool_hits);
+      return block;
+    }
+    if (PoolDepotChunk* chunk = depot_pop()) {
+      // The chunk's remaining blocks refill the magazine; the header block
+      // itself is the block we hand out.
+      mag.head = chunk->blocks;
+      mag.count = chunk->count - 1;
+      stats.bump(stats.pool_misses);
+      stats.bump(stats.depot_exchanges);
+      return chunk;
+    }
+    void* block = raw_alloc();
+    stats.bump(stats.pool_misses);
+    return block;
+  }
+
+  /// Return a dead block to `tid`'s magazine; a full magazine is handed to
+  /// the depot wholesale first. Owner-thread only.
+  void release(int tid, ThreadStats& stats, void* block) noexcept {
+    auto& mag = *mags_[tid];
+    if (mag.count >= cap_) {
+      depot_push(mag.head, mag.count);
+      mag.head = nullptr;
+      mag.count = 0;
+      stats.bump(stats.depot_exchanges);
+    }
+    auto* link = ::new (block) PoolFreeLink{mag.head};
+    mag.head = link;
+    ++mag.count;
+  }
+
+  /// Hand `tid`'s whole (possibly partial) magazine to the depot, so a
+  /// departing thread's buffered blocks recycle immediately instead of
+  /// idling until the tid's next leaseholder. Requires `tid` quiescent
+  /// (detach()'s precondition).
+  void flush(int tid, ThreadStats& stats) noexcept {
+    if (!enabled_) return;
+    auto& mag = *mags_[tid];
+    if (mag.head == nullptr) return;
+    depot_push(mag.head, mag.count);
+    mag.head = nullptr;
+    mag.count = 0;
+    stats.bump(stats.depot_exchanges);
+  }
+
+  /// Quiescent-only release (drain()): no owning tid, so blocks buffer in a
+  /// pool-private magazine and spill to the depot in cap-sized chunks.
+  /// NOT thread-safe — callable only under drain()'s no-thread-inside-an-
+  /// operation contract.
+  void release_quiescent(void* block) noexcept {
+    if (drain_mag_.count >= cap_) {
+      depot_push(drain_mag_.head, drain_mag_.count);
+      drain_mag_.head = nullptr;
+      drain_mag_.count = 0;
+    }
+    auto* link = ::new (block) PoolFreeLink{drain_mag_.head};
+    drain_mag_.head = link;
+    ++drain_mag_.count;
+  }
+
+  /// Concurrent-safe release for blocks with no owning tid (the tid-less
+  /// delete_unlinked compatibility path): the block goes straight back to
+  /// the allocator rather than racing for a magazine.
+  static void release_unpooled(void* block) noexcept { raw_free(block); }
+
+  /// Allocate a node-sized block from the system allocator (the pool-miss
+  /// fallback, and the origin of every block the pool circulates).
+  static void* raw_alloc() {
+    if constexpr (alignof(Node) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return ::operator new(sizeof(Node), std::align_val_t{alignof(Node)});
+    } else {
+      return ::operator new(sizeof(Node));
+    }
+  }
+
+  static void raw_free(void* block) noexcept {
+    if constexpr (alignof(Node) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(block, std::align_val_t{alignof(Node)});
+    } else {
+      ::operator delete(block);
+    }
+  }
+
+  // ---- Introspection (tests / monitoring) ----
+
+  std::size_t magazine_cap() const noexcept { return cap_; }
+  std::size_t magazine_size(int tid) const noexcept {
+    return enabled_ ? mags_[tid]->count : 0;
+  }
+  /// Chunks currently parked in the depot (relaxed; monitoring only).
+  std::uint64_t depot_chunks() const noexcept {
+    return depot_chunks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Magazine {
+    PoolFreeLink* head = nullptr;
+    std::size_t count = 0;
+  };
+
+  /// Publish a whole magazine: overlay the chunk header on the first block.
+  void depot_push(PoolFreeLink* first, std::size_t count) noexcept {
+    PoolFreeLink* rest = first->next;
+    auto* chunk = ::new (static_cast<void*>(first)) PoolDepotChunk;
+    chunk->blocks = rest;
+    chunk->count = count;
+    PoolDepotChunk* head = depot_.load(std::memory_order_relaxed);
+    do {
+      chunk->next = head;
+    } while (!depot_.compare_exchange_weak(head, chunk,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+    depot_chunks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Pop one chunk: detach the whole stack (no ABA window), keep the head
+  /// chunk, and CAS the remainder back as one chain.
+  PoolDepotChunk* depot_pop() noexcept {
+    PoolDepotChunk* stack = depot_.exchange(nullptr,
+                                            std::memory_order_acquire);
+    if (stack == nullptr) return nullptr;
+    if (PoolDepotChunk* rest = stack->next; rest != nullptr) {
+      PoolDepotChunk* tail = rest;
+      while (tail->next != nullptr) tail = tail->next;
+      PoolDepotChunk* head = depot_.load(std::memory_order_relaxed);
+      do {
+        tail->next = head;
+      } while (!depot_.compare_exchange_weak(head, rest,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+    }
+    depot_chunks_.fetch_sub(1, std::memory_order_relaxed);
+    return stack;
+  }
+
+  static void free_chain(PoolFreeLink* block) noexcept {
+    while (block != nullptr) {
+      PoolFreeLink* next = block->next;
+      raw_free(block);
+      block = next;
+    }
+  }
+
+  const bool enabled_;
+  const std::size_t cap_;
+  const std::size_t max_threads_;
+  std::unique_ptr<common::Padded<Magazine>[]> mags_;
+  /// drain()'s tid-less magazine; touched only under quiescence.
+  Magazine drain_mag_;
+  /// Depot head (Treiber stack of magazine chunks).
+  std::atomic<PoolDepotChunk*> depot_{nullptr};
+  std::atomic<std::uint64_t> depot_chunks_{0};
+};
+
+}  // namespace mp::smr

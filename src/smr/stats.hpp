@@ -32,6 +32,12 @@ struct ThreadStats {
   std::atomic<std::uint64_t> emergency_empties{0}; ///< soft-cap empty() passes
   std::atomic<std::uint64_t> orphaned{0};      ///< nodes handed over at detach()
   std::atomic<std::uint64_t> adopted{0};       ///< orphan nodes taken over
+  // Node-pool traffic (pool.hpp). Kept after the hot counters so the
+  // fields touched by every read stay within the record's first lines.
+  std::atomic<std::uint64_t> pool_hits{0};     ///< allocs served by the magazine
+  std::atomic<std::uint64_t> pool_misses{0};   ///< magazine empty: depot/malloc
+  std::atomic<std::uint64_t> depot_exchanges{0}; ///< magazine<->depot transfers
+  std::atomic<std::uint64_t> unlinked_frees{0}; ///< delete_unlinked(tid) frees
 
   void bump(std::atomic<std::uint64_t>& counter,
             std::uint64_t by = 1) noexcept {
@@ -73,6 +79,16 @@ struct StatsSnapshot {
   /// (orphaned - adopted nodes still awaiting adoption).
   std::uint64_t orphaned = 0;
   std::uint64_t adopted = 0;
+  /// Node-pool traffic (pool.hpp): magazine hits/misses on alloc, and
+  /// whole-magazine exchanges with the global depot (either direction).
+  /// All zero when the pool is disabled.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t depot_exchanges = 0;
+  /// Never-linked nodes freed through delete_unlinked(tid, node). Part of
+  /// the allocation identity: allocs == reclaims + unlinked + drained (+
+  /// pending) once quiescent.
+  std::uint64_t unlinked_frees = 0;
   /// Nodes freed by drain() (teardown / between bench phases). Kept apart
   /// from `reclaims`: drain runs on one thread over every thread's retired
   /// list, so bumping the per-thread reclaim counters would violate their
@@ -97,6 +113,10 @@ struct StatsSnapshot {
         t.emergency_empties.load(std::memory_order_relaxed);
     orphaned += t.orphaned.load(std::memory_order_relaxed);
     adopted += t.adopted.load(std::memory_order_relaxed);
+    pool_hits += t.pool_hits.load(std::memory_order_relaxed);
+    pool_misses += t.pool_misses.load(std::memory_order_relaxed);
+    depot_exchanges += t.depot_exchanges.load(std::memory_order_relaxed);
+    unlinked_frees += t.unlinked_frees.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -117,6 +137,10 @@ struct StatsSnapshot {
     emergency_empties += rhs.emergency_empties;
     orphaned += rhs.orphaned;
     adopted += rhs.adopted;
+    pool_hits += rhs.pool_hits;
+    pool_misses += rhs.pool_misses;
+    depot_exchanges += rhs.depot_exchanges;
+    unlinked_frees += rhs.unlinked_frees;
     drained += rhs.drained;
     return *this;
   }
@@ -149,6 +173,10 @@ struct StatsSnapshot {
     out.emergency_empties = sat_sub(emergency_empties, rhs.emergency_empties);
     out.orphaned = sat_sub(orphaned, rhs.orphaned);
     out.adopted = sat_sub(adopted, rhs.adopted);
+    out.pool_hits = sat_sub(pool_hits, rhs.pool_hits);
+    out.pool_misses = sat_sub(pool_misses, rhs.pool_misses);
+    out.depot_exchanges = sat_sub(depot_exchanges, rhs.depot_exchanges);
+    out.unlinked_frees = sat_sub(unlinked_frees, rhs.unlinked_frees);
     out.drained = sat_sub(drained, rhs.drained);
     return out;
   }

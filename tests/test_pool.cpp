@@ -1,0 +1,340 @@
+// Node-pool unit tests (DESIGN.md §7): magazine LIFO reuse, depot exchange
+// under cross-thread free, pool_enabled=off passthrough, the ASan force-off,
+// exception safety, and the retired-backlog size mirror.
+//
+// Suite names matter: CI's TSan arm selects tests by the regex
+// `Pool|RetiredBacklog` (among others), so concurrency coverage here runs
+// under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace {
+
+using mp::smr::ChaosOptions;
+using mp::smr::Config;
+using mp::smr::FaultInjector;
+using mp::test::TestNode;
+
+Config pool_config(std::size_t threads = 2, std::size_t magazine_cap = 4) {
+  Config config;
+  config.max_threads = threads;
+  config.slots_per_thread = 2;
+  config.empty_freq = 4;
+  config.pool_magazine_cap = magazine_cap;
+  return config;
+}
+
+// ---- Arm selection ----
+
+TEST(PoolConfig, EffectiveArmHonorsAsanForceOff) {
+  Config config = pool_config();
+  ASSERT_TRUE(config.pool_enabled);  // default on
+  // pool_effective() is the arm a scheme actually runs: identical to the
+  // flag in normal builds, forced off under ASan.
+  EXPECT_EQ(config.pool_effective(), !mp::smr::kPoolForcedOff);
+  mp::smr::EBR<TestNode> scheme(config);
+  EXPECT_EQ(scheme.pool().enabled(), config.pool_effective());
+#if MARGINPTR_ASAN_ACTIVE
+  EXPECT_FALSE(scheme.pool().enabled());
+#endif
+}
+
+TEST(PoolConfig, MagazineCapValidated) {
+  Config config = pool_config();
+  config.pool_magazine_cap = 0;
+  EXPECT_THROW(mp::smr::EBR<TestNode> scheme(config), std::invalid_argument);
+}
+
+TEST(PoolConfig, DisabledIsPlainPassthrough) {
+  Config config = pool_config();
+  config.pool_enabled = false;
+  mp::smr::EBR<TestNode> scheme(config);
+  EXPECT_FALSE(scheme.pool().enabled());
+  for (int i = 0; i < 16; ++i) {
+    TestNode* node = scheme.alloc(0, static_cast<std::uint64_t>(i));
+    scheme.delete_unlinked(0, node);
+  }
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.pool_hits, 0u);
+  EXPECT_EQ(stats.pool_misses, 0u);
+  EXPECT_EQ(stats.depot_exchanges, 0u);
+  EXPECT_EQ(stats.unlinked_frees, 16u);
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+  // detach() flushes the magazine unconditionally; with the pool disabled
+  // there is no magazine array, and flush must be a no-op, not a fault.
+  scheme.detach(0);
+  EXPECT_EQ(scheme.pool().depot_chunks(), 0u);
+}
+
+// ---- Magazine behavior ----
+
+TEST(PoolMagazine, LifoReuseReturnsLastFreedBlock) {
+  Config config = pool_config();
+  if (!config.pool_effective()) GTEST_SKIP() << "pool forced off (ASan)";
+  mp::smr::EBR<TestNode> scheme(config);
+  TestNode* a = scheme.alloc(0, 1u);
+  TestNode* b = scheme.alloc(0, 2u);
+  scheme.delete_unlinked(0, a);
+  scheme.delete_unlinked(0, b);
+  EXPECT_EQ(scheme.pool().magazine_size(0), 2u);
+  // LIFO: the most recently freed block (b's) comes back first.
+  TestNode* c = scheme.alloc(0, 3u);
+  TestNode* d = scheme.alloc(0, 4u);
+  EXPECT_EQ(static_cast<void*>(c), static_cast<void*>(b));
+  EXPECT_EQ(static_cast<void*>(d), static_cast<void*>(a));
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.pool_hits, 2u);
+  EXPECT_EQ(stats.pool_misses, 2u);  // the two cold allocs
+  scheme.delete_unlinked(0, c);
+  scheme.delete_unlinked(0, d);
+}
+
+TEST(PoolMagazine, ReclaimedRetiredNodesRecycle) {
+  Config config = pool_config();
+  if (!config.pool_effective()) GTEST_SKIP() << "pool forced off (ASan)";
+  mp::smr::EBR<TestNode> scheme(config);
+  // Drive full alloc->retire->empty cycles; EBR with no thread in an
+  // operation reclaims everything at each scheduled empty(), so after the
+  // warmup lap every alloc must be a magazine hit.
+  for (int lap = 0; lap < 8; ++lap) {
+    for (int i = 0; i < config.empty_freq; ++i) {
+      scheme.retire(0, scheme.alloc(0, static_cast<std::uint64_t>(i)));
+    }
+  }
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_GT(stats.pool_hits, 0u);
+  EXPECT_LT(stats.pool_misses, stats.allocs);
+  scheme.drain();
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+  EXPECT_EQ(stats.retires, stats.reclaims + scheme.total_drained());
+}
+
+TEST(PoolMagazine, OverflowSpillsWholeMagazineToDepot) {
+  Config config = pool_config(/*threads=*/2, /*magazine_cap=*/4);
+  if (!config.pool_effective()) GTEST_SKIP() << "pool forced off (ASan)";
+  mp::smr::EBR<TestNode> scheme(config);
+  std::vector<TestNode*> nodes;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(scheme.alloc(0, static_cast<std::uint64_t>(i)));
+  }
+  for (TestNode* node : nodes) scheme.delete_unlinked(0, node);
+  // 12 frees through a cap-4 magazine: two overflow spills of 4 blocks
+  // each, 4 blocks still local.
+  EXPECT_EQ(scheme.pool().depot_chunks(), 2u);
+  EXPECT_EQ(scheme.pool().magazine_size(0), 4u);
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.depot_exchanges, 2u);
+}
+
+TEST(PoolMagazine, DetachFlushesPartialMagazine) {
+  Config config = pool_config(/*threads=*/2, /*magazine_cap=*/8);
+  if (!config.pool_effective()) GTEST_SKIP() << "pool forced off (ASan)";
+  mp::smr::EBR<TestNode> scheme(config);
+  // Batch the allocs before freeing: an alloc straight after a free would
+  // just pop the block back out of the magazine.
+  std::vector<TestNode*> nodes;
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back(scheme.alloc(0, static_cast<std::uint64_t>(i)));
+  }
+  for (TestNode* node : nodes) scheme.delete_unlinked(0, node);
+  ASSERT_EQ(scheme.pool().magazine_size(0), 3u);
+  scheme.detach(0);
+  EXPECT_EQ(scheme.pool().magazine_size(0), 0u);
+  EXPECT_EQ(scheme.pool().depot_chunks(), 1u);
+  // A peer's next cold alloc refills from the flushed chunk.
+  TestNode* node = scheme.alloc(1, 9u);
+  EXPECT_EQ(scheme.pool().depot_chunks(), 0u);
+  EXPECT_EQ(scheme.pool().magazine_size(1), 2u);
+  scheme.delete_unlinked(1, node);
+}
+
+// ---- Depot exchange across threads ----
+
+TEST(PoolDepot, CrossThreadFreeRecyclesThroughDepot) {
+  Config config = pool_config(/*threads=*/2, /*magazine_cap=*/4);
+  if (!config.pool_effective()) GTEST_SKIP() << "pool forced off (ASan)";
+  mp::smr::EBR<TestNode> scheme(config);
+  // Producer (tid 0) allocates and frees enough to spill chunks to the
+  // depot; consumer (tid 1) then allocates and must be fed from the depot,
+  // not malloc, for every post-exchange block.
+  std::vector<TestNode*> nodes;
+  for (int i = 0; i < 16; ++i) {
+    nodes.push_back(scheme.alloc(0, static_cast<std::uint64_t>(i)));
+  }
+  for (TestNode* node : nodes) scheme.delete_unlinked(0, node);
+  ASSERT_GT(scheme.pool().depot_chunks(), 0u);
+  const auto before = scheme.stats_snapshot();
+  std::thread consumer([&scheme] {
+    std::vector<TestNode*> taken;
+    for (int i = 0; i < 8; ++i) {
+      taken.push_back(scheme.alloc(1, static_cast<std::uint64_t>(i)));
+    }
+    for (TestNode* node : taken) scheme.delete_unlinked(1, node);
+  });
+  consumer.join();
+  const auto after = scheme.stats_snapshot();
+  EXPECT_GT(after.depot_exchanges, before.depot_exchanges);
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+  scheme.drain();
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+}
+
+TEST(PoolDepot, ConcurrentExchangeKeepsEveryBlock) {
+  Config config = pool_config(/*threads=*/4, /*magazine_cap=*/2);
+  if (!config.pool_effective()) GTEST_SKIP() << "pool forced off (ASan)";
+  mp::smr::EBR<TestNode> scheme(config);
+  // Tiny magazines force constant depot push/pop from all threads at once;
+  // the conservation check catches a lost or double-handed chunk.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&scheme, t] {
+      std::vector<TestNode*> nodes;
+      for (int lap = 0; lap < 200; ++lap) {
+        for (int i = 0; i < 5; ++i) {
+          nodes.push_back(
+              scheme.alloc(t, static_cast<std::uint64_t>(lap * 5 + i)));
+        }
+        for (TestNode* node : nodes) scheme.delete_unlinked(t, node);
+        nodes.clear();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.allocs, 4u * 200u * 5u);
+  EXPECT_EQ(stats.unlinked_frees, stats.allocs);
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+// ---- Exception safety ----
+
+TEST(PoolFaults, InjectedAllocFailureTakesNoBlock) {
+  ChaosOptions options;
+  options.seed = 7;
+  options.alloc_failure_period = 1;  // every armed draw fails
+  options.alloc_failure_burst = 1;
+  FaultInjector injector(options, 2);
+  injector.set_armed(false);
+  Config config = pool_config();
+  config.fault_injector = &injector;
+  mp::smr::EBR<TestNode> scheme(config);
+  // Prime the magazine so a block would be available to (wrongly) consume.
+  TestNode* warmup = scheme.alloc(0, 1u);
+  scheme.delete_unlinked(0, warmup);
+  const auto before = scheme.stats_snapshot();
+  const std::size_t magazine_before = scheme.pool().magazine_size(0);
+
+  injector.set_armed(true);
+  EXPECT_THROW(scheme.alloc(0, 2u), std::bad_alloc);
+  injector.set_armed(false);
+
+  // fail_alloc fires before block acquisition: no block left the pool and
+  // no pool counter moved.
+  EXPECT_EQ(scheme.pool().magazine_size(0), magazine_before);
+  const auto after = scheme.stats_snapshot();
+  EXPECT_EQ(after.allocs, before.allocs);
+  EXPECT_EQ(after.pool_hits, before.pool_hits);
+  EXPECT_EQ(after.pool_misses, before.pool_misses);
+}
+
+struct PoolThrowingNode : mp::smr::NodeBase {
+  std::uint64_t key;
+  explicit PoolThrowingNode(std::uint64_t k) : key(k) {
+    if (k == 0xDEAD) throw std::runtime_error("constructor failure");
+  }
+};
+
+TEST(PoolFaults, ThrowingConstructorReturnsBlockToMagazine) {
+  Config config = pool_config();
+  if (!config.pool_effective()) GTEST_SKIP() << "pool forced off (ASan)";
+  mp::smr::EBR<PoolThrowingNode> scheme(config);
+  EXPECT_THROW(scheme.alloc(0, 0xDEADu), std::runtime_error);
+  // The block acquired for the failed construction went back to the
+  // magazine, so the next alloc is a hit on that same block.
+  EXPECT_EQ(scheme.pool().magazine_size(0), 1u);
+  EXPECT_EQ(scheme.total_allocated(), 0u);
+  PoolThrowingNode* node = scheme.alloc(0, 1u);
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.pool_hits, 1u);
+  scheme.delete_unlinked(0, node);
+}
+
+// ---- All schemes run with the pool on (type-parameterized smoke) ----
+
+template <typename Tag>
+class PoolSchemeTest : public ::testing::Test {};
+TYPED_TEST_SUITE(PoolSchemeTest, mp::test::ReclaimingSchemeTags,
+                 mp::test::SchemeTagNames);
+
+TYPED_TEST(PoolSchemeTest, AllocRetireDrainIdentityHolds) {
+  Config config = pool_config();
+  typename TypeParam::type scheme(config);
+  for (int lap = 0; lap < 4; ++lap) {
+    for (int i = 0; i < 10; ++i) {
+      scheme.retire(0, scheme.alloc(0, static_cast<std::uint64_t>(i)));
+    }
+  }
+  scheme.drain();
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
+  EXPECT_EQ(scheme.total_allocated(), scheme.total_freed());
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+// ---- retired_backlog() race fix ----
+
+TEST(RetiredBacklog, ForeignReadsRaceFreeUnderTsan) {
+  Config config = pool_config(/*threads=*/2);
+  mp::smr::EBR<TestNode> scheme(config);
+  std::atomic<bool> stop{false};
+  // Owner mutates its retired vector (push_back + empty()'s swap) while a
+  // foreign thread polls the backlog; under the old vector::size() read
+  // TSan flags this immediately.
+  std::thread owner([&scheme, &stop] {
+    std::uint64_t key = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      scheme.retire(0, scheme.alloc(0, ++key));
+    }
+  });
+  std::uint64_t observed = 0;
+  for (int i = 0; i < 20000; ++i) {
+    observed += scheme.retired_backlog();
+    observed += scheme.retired_count(0);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  owner.join();
+  // The mirror is exact when quiescent.
+  EXPECT_EQ(scheme.retired_backlog(), scheme.retired_count(0));
+  scheme.drain();
+  EXPECT_EQ(scheme.retired_backlog(), 0u);
+  EXPECT_EQ(scheme.retired_count(0), 0u);
+  (void)observed;
+}
+
+TEST(RetiredBacklog, MirrorTracksRetireEmptyAdoptDrain) {
+  Config config = pool_config(/*threads=*/2);
+  mp::smr::EBR<TestNode> scheme(config);
+  for (int i = 0; i < 3; ++i) {
+    scheme.retire(0, scheme.alloc(0, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(scheme.retired_count(0), 3u);
+  EXPECT_EQ(scheme.retired_backlog(), 3u);
+  scheme.detach(0);  // orphans the list
+  EXPECT_EQ(scheme.retired_count(0), 0u);
+  EXPECT_EQ(scheme.retired_backlog(), 3u);  // parked in the orphan pool
+  scheme.adopt_orphans(1);
+  EXPECT_EQ(scheme.retired_count(1), 3u);
+  scheme.empty(1);  // no thread in an operation: reclaims everything
+  EXPECT_EQ(scheme.retired_count(1), 0u);
+  EXPECT_EQ(scheme.retired_backlog(), 0u);
+}
+
+}  // namespace

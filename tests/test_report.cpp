@@ -134,13 +134,42 @@ TEST(ReportTest, VersionOneDocumentsStillValidate) {
   doc["rows"] = rows;
   EXPECT_EQ(validate_report(doc), "");
 
-  // The same stats object under version 2 must be rejected: current
-  // emitters always include the lifecycle counters.
+  // The same stats object under the current version must be rejected:
+  // current emitters always include the lifecycle counters.
   doc["version"] = mp::obs::kReportVersion;
   EXPECT_NE(validate_report(doc), "");
 
   // And versions beyond the writer's are unsupported.
   doc["version"] = mp::obs::kReportVersion + 1;
+  EXPECT_NE(validate_report(doc), "");
+}
+
+TEST(ReportTest, VersionTwoDocumentsStillValidate) {
+  // v2 reports carry the lifecycle counters but predate the node-pool
+  // counters; they must keep validating under v2 and be rejected if they
+  // claim v3.
+  json::Value stats = json::Value::object();
+  for (const char* key : {"fences", "reads", "allocs", "retires", "reclaims",
+                          "drained", "empties", "peak_retired",
+                          "emergency_empties", "orphaned", "adopted"}) {
+    stats[key] = 1;
+  }
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";
+  row["scheme"] = "MP";
+  row["stats"] = stats;
+  json::Value rows = json::Value::array();
+  rows.push_back(row);
+  json::Value doc = json::Value::object();
+  doc["schema"] = mp::obs::kReportSchema;
+  doc["version"] = std::uint64_t{2};
+  doc["bench"] = "legacy";
+  doc["config"] = json::Value::object();
+  doc["rows"] = rows;
+  EXPECT_EQ(validate_report(doc), "");
+
+  // A v3 document without the pool counters is malformed.
+  doc["version"] = std::uint64_t{3};
   EXPECT_NE(validate_report(doc), "");
 }
 
@@ -158,6 +187,10 @@ TEST(ReportTest, CurrentReportsCarryLifecycleCounters) {
   ASSERT_NE(stats, nullptr);
   EXPECT_NE(stats->find("orphaned"), nullptr);
   EXPECT_NE(stats->find("adopted"), nullptr);
+  EXPECT_NE(stats->find("pool_hits"), nullptr);
+  EXPECT_NE(stats->find("pool_misses"), nullptr);
+  EXPECT_NE(stats->find("depot_exchanges"), nullptr);
+  EXPECT_NE(stats->find("unlinked_frees"), nullptr);
   EXPECT_EQ(validate_report(doc), "");
 }
 

@@ -26,6 +26,10 @@ StatsSnapshot make_snapshot(std::uint64_t value) {
   s.retired_samples = value;
   s.peak_retired = value;
   s.emergency_empties = value;
+  s.pool_hits = value;
+  s.pool_misses = value;
+  s.depot_exchanges = value;
+  s.unlinked_frees = value;
   return s;
 }
 
@@ -38,6 +42,10 @@ TEST(StatsSnapshotTest, DeltaOfPrefixIsExact) {
   EXPECT_EQ(delta.retires, 6u);
   EXPECT_EQ(delta.reclaims, 6u);
   EXPECT_EQ(delta.drained, 6u);
+  EXPECT_EQ(delta.pool_hits, 6u);
+  EXPECT_EQ(delta.pool_misses, 6u);
+  EXPECT_EQ(delta.depot_exchanges, 6u);
+  EXPECT_EQ(delta.unlinked_frees, 6u);
   // High-water marks are not differentiable: the delta keeps the lhs peak.
   EXPECT_EQ(delta.peak_retired, 10u);
 }
@@ -55,6 +63,8 @@ TEST(StatsSnapshotTest, NonPrefixDeltaSaturatesAtZero) {
   EXPECT_EQ(delta.reclaims, 0u);
   EXPECT_EQ(delta.drained, 0u);
   EXPECT_EQ(delta.emergency_empties, 0u);
+  EXPECT_EQ(delta.pool_hits, 0u);
+  EXPECT_EQ(delta.unlinked_frees, 0u);
 }
 #else
 TEST(StatsSnapshotDeathTest, NonPrefixDeltaAssertsInDebug) {
@@ -74,11 +84,15 @@ TEST(StatsSnapshotTest, AccumulateSumsCountersAndMaxMergesPeak) {
   EXPECT_EQ(sum.peak_retired, 9u);  // max-merged, not summed
 }
 
-TEST(DrainAttributionTest, DrainDoesNotTouchPerThreadReclaims) {
+/// Body of the drain-attribution check, run once per pool arm: the
+/// allocation identities must hold identically whether frees recycle
+/// through the pool or return to the system allocator.
+void drain_attribution_check(bool pool_enabled) {
   Config config;
   config.max_threads = 3;
   config.slots_per_thread = 4;
   config.empty_freq = 1 << 20;  // no scheduled empty(): everything buffers
+  config.pool_enabled = pool_enabled;
   mp::smr::EBR<TestNode> scheme(config);
 
   constexpr int kPerThread = 8;
@@ -104,6 +118,14 @@ TEST(DrainAttributionTest, DrainDoesNotTouchPerThreadReclaims) {
   EXPECT_EQ(scheme.outstanding(), 0u);
   // Conservation: every retired node is accounted exactly once.
   EXPECT_EQ(after.retires, after.reclaims + after.drained);
+}
+
+TEST(DrainAttributionTest, DrainDoesNotTouchPerThreadReclaims) {
+  drain_attribution_check(/*pool_enabled=*/true);
+}
+
+TEST(DrainAttributionTest, IdentitiesHoldWithPoolOff) {
+  drain_attribution_check(/*pool_enabled=*/false);
 }
 
 TEST(DrainAttributionTest, DrainIsIdempotent) {
