@@ -81,9 +81,10 @@ template <typename DS>
 void prefill(DS& ds, std::size_t target, std::uint64_t key_range,
              std::uint64_t seed = 0xF111) {
   common::Xoshiro256 rng(seed);
+  const auto handle = ds.scheme().handle(0);
   std::size_t inserted = 0;
   while (inserted < target) {
-    inserted += ds.insert(0, 1 + rng.next_below(key_range), 1);
+    inserted += ds.insert(handle, 1 + rng.next_below(key_range), 1);
   }
 }
 
@@ -142,6 +143,9 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
         lease.emplace(*registry);
         tid = lease->tid();
       }
+      // The handle pairs this worker's tid with the scheme once; it is
+      // re-minted after every churn departure since the tid changes.
+      auto handle = ds.scheme().handle(tid);
       OpLatency local;  // single-writer; merged under the mutex after stop
       barrier.arrive_and_wait();
       // Chained timestamps: each op's end is the next op's start, so
@@ -153,13 +157,13 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
         const auto coin = static_cast<int>(rng.next() % 100);
         obs::LatencyHistogram* hist;
         if (coin < workload.insert_pct) {
-          ds.insert(tid, key, key);
+          ds.insert(handle, key, key);
           hist = &local.insert;
         } else if (coin < workload.insert_pct + workload.remove_pct) {
-          ds.remove(tid, key);
+          ds.remove(handle, key);
           hist = &local.remove;
         } else {
-          ds.contains(tid, key);
+          ds.contains(handle, key);
           hist = &local.contains;
         }
         const auto now = std::chrono::steady_clock::now();
@@ -176,6 +180,7 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
           lease->detach();
           *lease = common::ThreadLease(*registry);
           tid = lease->tid();
+          handle = ds.scheme().handle(tid);
           ++departures;
         }
       }
@@ -221,6 +226,7 @@ struct BenchArgs {
   std::size_t max_threads = 0;    ///< scheme slot capacity
   std::uint64_t churn = 0;        ///< ops per worker between departures (0=off)
   bool pool = true;               ///< node-pool arm (--pool on|off)
+  bool reclaim_bg = false;        ///< reclamation arm (--reclaim fg|bg)
   std::string json_out;           ///< report path ("" = BENCH_<name>.json)
 
   static BenchArgs parse(int argc, char** argv, const char* description,
@@ -242,6 +248,9 @@ struct BenchArgs {
     cli.add_string("pool", "on",
                    "node-pool allocation arm: on (per-thread magazines + "
                    "global depot) or off (system allocator)");
+    cli.add_string("reclaim", "fg",
+                   "reclamation arm: fg (scan/free inline on application "
+                   "threads) or bg (offload to the background reclaimer)");
     cli.add_bool("full", "paper-scale parameters (large size, 1s windows)");
     cli.add_string("json-out", "",
                    "JSON report path (default: BENCH_<bench>.json in the "
@@ -264,6 +273,13 @@ struct BenchArgs {
       std::exit(2);
     }
     args.pool = pool == "on";
+    const std::string reclaim = cli.get_string("reclaim");
+    if (reclaim != "fg" && reclaim != "bg") {
+      std::fprintf(stderr, "--reclaim must be 'fg' or 'bg' (got '%s')\n",
+                   reclaim.c_str());
+      std::exit(2);
+    }
+    args.reclaim_bg = reclaim == "bg";
     args.runs = static_cast<int>(cli.get_int("runs"));
     args.json_out = cli.get_string("json-out");
     if (cli.get_bool("full")) {
@@ -282,6 +298,7 @@ struct BenchArgs {
     config.slots_per_thread = required_slots;
     config.margin = margin;
     config.pool_enabled = pool;
+    config.background_reclaim = reclaim_bg;
     return config;
   }
 };
@@ -299,6 +316,7 @@ inline void fill_report_config(obs::BenchReport& report,
   // The arm that actually ran: ASan builds force the pool off.
   config["pool_effective"] =
       (args.pool && !smr::kPoolForcedOff) ? "on" : "off";
+  config["reclaim"] = args.reclaim_bg ? "bg" : "fg";
   obs::json::Value threads = obs::json::Value::array();
   for (const int t : args.thread_counts) {
     threads.push_back(static_cast<std::uint64_t>(t));

@@ -71,6 +71,28 @@ class CowAvlTree {
   Scheme& scheme() noexcept { return smr_; }
   const Scheme& scheme() const noexcept { return smr_; }
 
+  // Typed-handle overloads (smr/handle.hpp): preferred entry points; the
+  // raw-tid forms remain for existing callers pending the next major
+  // cleanup.
+  using Handle = smr::ThreadHandle<Scheme>;
+
+  bool contains(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return contains(handle.tid(), key);
+  }
+  bool get(Handle handle, Key key, Value& value_out) {
+    assert(&handle.scheme() == &smr_);
+    return get(handle.tid(), key, value_out);
+  }
+  bool insert(Handle handle, Key key, Value value) {
+    assert(&handle.scheme() == &smr_);
+    return insert(handle.tid(), key, value);
+  }
+  bool remove(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return remove(handle.tid(), key);
+  }
+
   // ---- Readers: lock-free ----
 
   bool contains(int tid, Key key) {

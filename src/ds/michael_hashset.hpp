@@ -78,6 +78,28 @@ class MichaelHashSet {
   const Scheme& scheme() const noexcept { return smr_; }
   std::size_t bucket_count() const noexcept { return bucket_count_; }
 
+  // Typed-handle overloads (smr/handle.hpp): preferred entry points; the
+  // raw-tid forms remain for existing callers pending the next major
+  // cleanup.
+  using Handle = smr::ThreadHandle<Scheme>;
+
+  bool contains(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return contains(handle.tid(), key);
+  }
+  bool get(Handle handle, Key key, Value& value_out) {
+    assert(&handle.scheme() == &smr_);
+    return get(handle.tid(), key, value_out);
+  }
+  bool insert(Handle handle, Key key, Value value) {
+    assert(&handle.scheme() == &smr_);
+    return insert(handle.tid(), key, value);
+  }
+  bool remove(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return remove(handle.tid(), key);
+  }
+
   bool contains(int tid, Key key) {
     assert(key > kMinKey && key < kMaxKey);
     smr::OpGuard<Scheme> guard(smr_, tid);

@@ -73,6 +73,31 @@ class MichaelList {
   Scheme& scheme() noexcept { return smr_; }
   const Scheme& scheme() const noexcept { return smr_; }
 
+  // ---- Typed-handle API (smr/handle.hpp) ----
+  //
+  // Preferred entry points: the handle binds (scheme, tid) into one value,
+  // so a tid can't be paired with the wrong scheme instance. The raw-tid
+  // overloads below remain for existing callers and are slated for removal
+  // in the next major cleanup.
+  using Handle = smr::ThreadHandle<Scheme>;
+
+  bool contains(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return contains(handle.tid(), key);
+  }
+  bool get(Handle handle, Key key, Value& value_out) {
+    assert(&handle.scheme() == &smr_);
+    return get(handle.tid(), key, value_out);
+  }
+  bool insert(Handle handle, Key key, Value value) {
+    assert(&handle.scheme() == &smr_);
+    return insert(handle.tid(), key, value);
+  }
+  bool remove(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return remove(handle.tid(), key);
+  }
+
   /// Set membership. Linearizes at the seek's final clean pointer load.
   bool contains(int tid, Key key) {
     assert(key > kMinKey && key < kMaxKey);

@@ -7,7 +7,7 @@
 //
 //   {
 //     "schema":  "marginptr-bench-report",
-//     "version": 3,
+//     "version": 4,
 //     "bench":   "<binary name>",
 //     "config":  { free-form run parameters },
 //     "rows": [
@@ -38,9 +38,12 @@ namespace mp::obs {
 inline constexpr const char* kReportSchema = "marginptr-bench-report";
 /// v2 added the thread-lifecycle counters (orphaned/adopted) to "stats";
 /// v3 added the node-pool counters (pool_hits/pool_misses/depot_exchanges,
-/// plus unlinked_frees) and the config "pool" arm. validate_report still
-/// accepts v1 and v2 documents (they predate churn mode / the pool).
-inline constexpr std::uint64_t kReportVersion = 3;
+/// plus unlinked_frees) and the config "pool" arm; v4 added the background-
+/// reclamation counters (offloaded/inline_fallbacks/bg_snapshots/bg_scans/
+/// peak_inflight) and the config "reclaim" arm. validate_report still
+/// accepts older documents (they predate churn mode / the pool / the
+/// background reclaimer).
+inline constexpr std::uint64_t kReportVersion = 4;
 inline constexpr std::uint64_t kMinReportVersion = 1;
 
 inline json::Value to_json(const smr::StatsSnapshot& s) {
@@ -65,6 +68,11 @@ inline json::Value to_json(const smr::StatsSnapshot& s) {
   out["pool_misses"] = s.pool_misses;
   out["depot_exchanges"] = s.depot_exchanges;
   out["unlinked_frees"] = s.unlinked_frees;
+  out["offloaded"] = s.offloaded;
+  out["inline_fallbacks"] = s.inline_fallbacks;
+  out["bg_snapshots"] = s.bg_snapshots;
+  out["bg_scans"] = s.bg_scans;
+  out["peak_inflight"] = s.peak_inflight;
   return out;
 }
 
@@ -93,6 +101,9 @@ inline json::Value to_json(const smr::Config& c) {
   out["pool_enabled"] = c.pool_enabled;
   out["pool_effective"] = c.pool_effective();
   out["pool_magazine_cap"] = c.pool_magazine_cap;
+  out["background_reclaim"] = c.background_reclaim;
+  out["reclaim_inflight_cap"] = c.reclaim_inflight_cap;
+  out["reclaim_poll_ms"] = static_cast<std::uint64_t>(c.reclaim_poll_ms);
   return out;
 }
 
@@ -208,6 +219,8 @@ inline std::string validate_report(const json::Value& root) {
                   version->as_uint() >= 2;
   const bool v3 = version != nullptr && version->is_number() &&
                   version->as_uint() >= 3;
+  const bool v4 = version != nullptr && version->is_number() &&
+                  version->as_uint() >= 4;
   const json::Value* bench = root.find("bench");
   detail::check(bench != nullptr && bench->is_string() &&
                     !bench->as_string().empty(),
@@ -249,6 +262,15 @@ inline std::string validate_report(const json::Value& root) {
       if (v3) {
         for (const char* key : {"pool_hits", "pool_misses", "depot_exchanges",
                                 "unlinked_frees"}) {
+          const json::Value* field = stats->find(key);
+          detail::check(field != nullptr && field->is_number(),
+                        std::string("stats missing counter '") + key + "'",
+                        error);
+        }
+      }
+      if (v4) {
+        for (const char* key : {"offloaded", "inline_fallbacks",
+                                "bg_snapshots", "bg_scans", "peak_inflight"}) {
           const json::Value* field = stats->find(key);
           detail::check(field != nullptr && field->is_number(),
                         std::string("stats missing counter '") + key + "'",

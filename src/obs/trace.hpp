@@ -35,6 +35,8 @@ enum class TraceEvent : std::uint8_t {
   kEpochAdvance,     ///< global epoch/era advanced; arg = new epoch value
   kDetach,           ///< thread departed; arg = retired nodes handed over
   kAdopt,            ///< orphan batches adopted; arg = nodes taken over
+  kOffload,          ///< batch handed to the reclaimer; arg = batch size
+  kBgScan,           ///< reclaimer scanned a batch; arg = nodes scanned
 };
 
 inline const char* trace_event_name(TraceEvent e) noexcept {
@@ -46,6 +48,8 @@ inline const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kEpochAdvance: return "epoch_advance";
     case TraceEvent::kDetach: return "detach";
     case TraceEvent::kAdopt: return "adopt";
+    case TraceEvent::kOffload: return "offload";
+    case TraceEvent::kBgScan: return "bg_scan";
   }
   return "?";
 }

@@ -314,6 +314,35 @@ class WasteWatchdog {
     return cap == kUnboundedWaste || peak() <= sat_add(cap, slack);
   }
 
+  /// Global bound on batches parked at the background reclaimer
+  /// (DESIGN.md §8): retire() stops offloading once the in-flight count
+  /// reaches `reclaim_inflight_cap` (falling back to inline passes), but a
+  /// batch of up to waste_bound_per_thread nodes per thread can already be
+  /// in motion past that check, so the ceiling is
+  /// cap + T * per-thread-bound. Unbounded schemes have no in-flight bound
+  /// either (their batches can be arbitrarily large).
+  std::uint64_t inflight_bound() const noexcept {
+    const std::uint64_t per_thread = bound();
+    if (per_thread == kUnboundedWaste) return kUnboundedWaste;
+    const auto& config = scheme_.config();  // smr::Config (not named here:
+    // chaos.hpp must stay includable before config.hpp, which only
+    // forward-declares FaultInjector from this header)
+    return sat_add(config.reclaim_inflight_cap,
+                   sat_mul(config.max_threads, per_thread));
+  }
+
+  /// Highest in-flight count any offload observed (0 in the fg arm).
+  std::uint64_t peak_inflight() const {
+    return scheme_.stats_snapshot().peak_inflight;
+  }
+
+  /// The background-arm invariant: nodes handed to the reclaimer stay
+  /// within the documented cap-plus-overshoot ceiling.
+  bool inflight_ok() const {
+    const std::uint64_t cap = inflight_bound();
+    return cap == kUnboundedWaste || peak_inflight() <= cap;
+  }
+
  private:
   const Scheme& scheme_;
 };

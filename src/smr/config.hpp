@@ -110,6 +110,26 @@ struct Config {
   /// before a whole magazine is exchanged with the global depot).
   std::size_t pool_magazine_cap = 64;
 
+  /// Background reclamation (reclaimer.hpp): retire() hands whole retired
+  /// batches to a dedicated reclaimer thread at empty_freq boundaries
+  /// instead of running empty() inline, moving the O(T*slots) protection
+  /// scan off the application threads. Off by default: the foreground arm
+  /// is the paper's measured configuration.
+  bool background_reclaim = false;
+
+  /// Backpressure cap on nodes in flight to the reclaimer (queued batches
+  /// plus the reclaimer's unreclaimed backlog). When an offload would find
+  /// the cap exceeded, retire() falls back to an inline emergency pass so
+  /// total waste stays bounded by
+  ///   reclaim_inflight_cap + T * waste_bound_per_thread
+  /// (the documented in-flight term; see DESIGN.md §8).
+  std::uint64_t reclaim_inflight_cap = 4096;
+
+  /// Reclaimer watchdog period in milliseconds: the reclaimer re-runs its
+  /// scan at least this often even without an offload wakeup, so backlog
+  /// nodes blocked by a since-released protection are eventually freed.
+  std::uint32_t reclaim_poll_ms = 1;
+
   /// The pool arm this build actually runs: pool_enabled, minus the ASan
   /// force-off.
   bool pool_effective() const noexcept {
@@ -158,6 +178,16 @@ struct Config {
     }
     if (pool_magazine_cap == 0 || pool_magazine_cap > (1u << 20)) {
       fail("pool_magazine_cap must be in [1, 2^20]");
+    }
+    if (reclaim_poll_ms == 0) fail("reclaim_poll_ms must be positive");
+    if (background_reclaim) {
+      if (reclaim_inflight_cap == 0) {
+        fail("reclaim_inflight_cap must be positive");
+      }
+      if (reclaim_inflight_cap < static_cast<std::uint64_t>(empty_freq)) {
+        fail("reclaim_inflight_cap must be >= empty_freq (a single "
+             "offloaded batch must fit under the cap)");
+      }
     }
   }
 

@@ -35,8 +35,10 @@
 #include "obs/trace.hpp"
 #include "smr/chaos.hpp"
 #include "smr/config.hpp"
+#include "smr/handle.hpp"
 #include "smr/node.hpp"
 #include "smr/pool.hpp"
+#include "smr/reclaimer.hpp"
 #include "smr/stats.hpp"
 #include "smr/tagged_ptr.hpp"
 
@@ -44,6 +46,11 @@ namespace mp::smr::detail {
 
 template <typename Node, typename Derived>
 class SchemeBase {
+  /// The background reclaimer (reclaimer.hpp) drives the bg_* plumbing
+  /// below from its own thread.
+  template <typename, typename>
+  friend class mp::smr::BackgroundReclaimer;
+
  public:
   using node_type = Node;
 
@@ -61,12 +68,28 @@ class SchemeBase {
       local_[i]->retired.reserve(
           static_cast<std::size_t>(config_.empty_freq) + 1);
     }
+    if (config_.background_reclaim) {
+      // The reclaimer thread starts here, before Derived finishes
+      // constructing; every pass early-outs without touching derived
+      // state until a retire()/detach() proves construction completed.
+      reclaimer_ = std::make_unique<BackgroundReclaimer<Node, Derived>>(
+          derived(), config_, *bg_stats_);
+    }
   }
 
   SchemeBase(const SchemeBase&) = delete;
   SchemeBase& operator=(const SchemeBase&) = delete;
 
-  ~SchemeBase() { drain(); }
+  ~SchemeBase() {
+    // Backstop join (every scheme destructor already stopped the
+    // reclaimer while its members were alive; this covers the path where
+    // the derived constructor threw and only early-out passes ever ran).
+    stop_reclaimer();
+    drain();
+    for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      delete local_[i]->spare.load(std::memory_order_relaxed);
+    }
+  }
 
   const Config& config() const noexcept { return config_; }
 
@@ -133,6 +156,20 @@ class SchemeBase {
       if (chaos != nullptr && chaos->delay_reclamation(tid)) {
         // Injected delay: this scheduled pass is skipped; the soft cap (if
         // any) below is the backstop the delay is probing.
+      } else if (reclaimer_ != nullptr) {
+        if (try_offload(tid)) {
+          emptied = true;  // the list was emptied by handover
+        } else {
+          // Backpressure (the in-flight cap) or a shell OOM: fall back to
+          // exactly the foreground pass, so waste_bound_per_thread keeps
+          // holding with only the bounded in-flight term added on top.
+          adopt_orphans(tid);
+          stats.bump(stats.empties);
+          stats.bump(stats.inline_fallbacks);
+          trace_event(tid, obs::TraceEvent::kEmpty, local.retired.size());
+          derived().empty(tid);
+          emptied = true;
+        }
       } else {
         adopt_orphans(tid);
         stats.bump(stats.empties);
@@ -187,6 +224,13 @@ class SchemeBase {
     }
     stray_frees_.fetch_add(1, std::memory_order_relaxed);
     destroy_unowned(node);
+  }
+
+  /// Mint a typed handle binding this scheme and `tid` (handle.hpp): the
+  /// preferred way to carry a thread identity, so a raw int never has to
+  /// cross a public API boundary again. Cheap enough to re-mint at will.
+  ThreadHandle<Derived> handle(int tid) noexcept {
+    return ThreadHandle<Derived>(derived(), tid);
   }
 
   // ---- Thread lifecycle (DESIGN.md §6) ----
@@ -336,7 +380,24 @@ class SchemeBase {
       total += stats.reclaims.load(std::memory_order_relaxed) +
                stats.unlinked_frees.load(std::memory_order_relaxed);
     }
+    // The background reclaimer's frees land on its own shard.
+    total += bg_stats_->reclaims.load(std::memory_order_relaxed);
     return total;
+  }
+
+  /// Nodes currently in flight to the background reclaimer (queued batches
+  /// plus its unreclaimed backlog); 0 in the foreground arm. The watchdog's
+  /// in-flight bound checks this against reclaim_inflight_cap + T * the
+  /// per-thread bound.
+  std::uint64_t reclaim_inflight() const noexcept {
+    return reclaimer_ != nullptr ? reclaimer_->inflight() : 0;
+  }
+
+  /// Run one reclaimer scan pass synchronously on the calling thread
+  /// (no-op in the foreground arm). Test hook: makes "the reclaimer has
+  /// caught up" deterministic without sleeping.
+  void reclaim_sync() {
+    if (reclaimer_ != nullptr) reclaimer_->force_pass();
   }
 
   /// The node pool (introspection: arm actually in effect, magazine and
@@ -350,6 +411,7 @@ class SchemeBase {
     for (std::size_t i = 0; i < config_.max_threads; ++i) {
       snapshot += *stats_[i];
     }
+    snapshot += *bg_stats_;
     snapshot.drained = drained_.load(std::memory_order_relaxed);
     return snapshot;
   }
@@ -369,6 +431,19 @@ class SchemeBase {
   /// the reclaim counts Fig 6 is derived from.
   void drain() noexcept {
     std::uint64_t freed = 0;
+    // Whatever is in flight to the background reclaimer is backlog too:
+    // queued batches and the reclaimer's survivor list are freed in place
+    // under its pass mutex (allocation-free, serialized with any
+    // concurrent scan), so drain() works both at teardown and between
+    // bench phases with the reclaimer thread still running.
+    if (reclaimer_ != nullptr) {
+      freed += reclaimer_->drain_pending([this](Node* node) noexcept {
+        if (config_.free_hook != nullptr) {
+          config_.free_hook(config_.free_hook_context, node);
+        }
+        destroy_quiescent(node);
+      });
+    }
     for (std::size_t i = 0; i < config_.max_threads; ++i) {
       auto& local = *local_[i];
       for (Node* node : local.retired) {
@@ -443,6 +518,24 @@ class SchemeBase {
     return kUnboundedWaste;
   }
 
+  // ---- Snapshot-scan interface (reclaimer.hpp) ----
+  //
+  // A scheme's Snapshot captures everything its reclamation predicate
+  // needs (hazard slots, epoch horizon, era reservations, margin
+  // intervals), decoupled from the scan itself so one collected snapshot
+  // can filter many batches: the foreground empty() collects and scans its
+  // own list; the background reclaimer collects ONCE per wakeup and scans
+  // every queued batch against it. Defaults give Leaky semantics — an
+  // empty snapshot that protects everything, so nothing is ever freed;
+  // every reclaiming scheme shadows all three.
+
+  struct Snapshot {};
+  void collect_snapshot(Snapshot& /*snapshot*/) const noexcept {}
+  bool snapshot_protects(const Node* /*node*/,
+                         const Snapshot& /*snapshot*/) const noexcept {
+    return true;
+  }
+
  protected:
   /// One departed thread's retired list, handed over wholesale. Linked into
   /// a Treiber stack; adopters detach the entire stack with one exchange.
@@ -462,6 +555,11 @@ class SchemeBase {
     // Soft-cap graceful degradation state (see retire()).
     std::uint64_t next_emergency = 0;
     std::uint64_t emergency_backoff = 1;
+    /// Spare offload-batch shell: the reclaimer CASes an emptied shell
+    /// back (release), the owner takes it with an acquire exchange, so
+    /// steady-state offloads never allocate. Null while the shell is in
+    /// flight; vector capacity circulates with the shell.
+    std::atomic<RetiredBatch<Node>*> spare{nullptr};
   };
 
   /// Construction-time gate: throws std::invalid_argument (all build
@@ -575,6 +673,124 @@ class SchemeBase {
     stats.bump(stats.retired_samples);
   }
 
+  /// Shared second half of every scheme's empty(): filter `tid`'s retired
+  /// list in place against a collected snapshot, freeing what nothing
+  /// protects. In-place compaction — no survivors scratch vector.
+  template <typename SnapshotT>
+  void scan_retired_local(int tid, const SnapshotT& snapshot) noexcept {
+    auto& local = *local_[tid];
+    std::size_t keep = 0;
+    for (Node* node : local.retired) {
+      if (derived().snapshot_protects(node, snapshot)) {
+        local.retired[keep++] = node;
+      } else {
+        free_node(tid, node);
+      }
+    }
+    local.retired.resize(keep);
+    sync_retired(tid);
+  }
+
+  // ---- Background-reclaimer plumbing (driven via friendship by
+  // BackgroundReclaimer, except stop_reclaimer/try_offload) ----
+
+  /// Join the background reclaimer (idempotent; no-op in the foreground
+  /// arm). Every scheme destructor calls this FIRST, so the reclaimer can
+  /// never scan derived members that are already destroyed; ~SchemeBase
+  /// calls it again as a backstop.
+  void stop_reclaimer() noexcept {
+    if (reclaimer_ != nullptr) reclaimer_->stop_and_join();
+  }
+
+  /// retire()'s offload path: hand the whole retired list to the reclaimer
+  /// as one batch. Fails — and the caller falls back to an inline pass —
+  /// on backpressure (in-flight cap) or when no batch shell can be had
+  /// without blocking (spare slot empty and nothrow-new exhausted).
+  bool try_offload(int tid) noexcept {
+    if (reclaimer_->inflight() >= config_.reclaim_inflight_cap) {
+      return false;
+    }
+    auto& local = *local_[tid];
+    if (local.retired.empty()) return true;
+    RetiredBatch<Node>* batch =
+        local.spare.exchange(nullptr, std::memory_order_acquire);
+    if (batch == nullptr) {
+      batch = new (std::nothrow) RetiredBatch<Node>;
+      if (batch == nullptr) return false;
+      batch->origin = tid;
+    }
+    batch->nodes.swap(local.retired);
+    sync_retired(tid);
+    auto& stats = *stats_[tid];
+    stats.bump(stats.offloaded, batch->nodes.size());
+    trace_event(tid, obs::TraceEvent::kOffload, batch->nodes.size());
+    stats.bump_max(stats.peak_inflight, reclaimer_->enqueue(batch));
+    return true;
+  }
+
+  /// Reclaimer free path. Touches base-only state (the bg stats shard and
+  /// the pool's dedicated bg magazine), so it is safe even on the teardown
+  /// backstop path where the derived scheme is already gone.
+  void bg_free(Node* node) noexcept {
+    auto& stats = *bg_stats_;
+    stats.bump(stats.reclaims);
+    if (config_.free_hook != nullptr) {
+      config_.free_hook(config_.free_hook_context, node);
+    }
+    if (!pool_.enabled()) {
+      delete node;
+      return;
+    }
+    node->~Node();
+    pool_.release_bg(stats, node);
+  }
+
+  /// Reclaimer-side orphan adoption: splice every parked batch into the
+  /// reclaimer's backlog (the bg-arm replacement for adopt_orphans —
+  /// scheduled mutator passes are offloads in that arm, so without this a
+  /// dead thread's garbage would wait for an inline fallback). Returns the
+  /// node count taken; the caller adds it to its in-flight total.
+  std::uint64_t bg_adopt_orphans(std::vector<Node*>& backlog) {
+    OrphanBatch* batch = orphans_.exchange(nullptr, std::memory_order_acquire);
+    if (batch == nullptr) return 0;
+    std::uint64_t adopted = 0;
+    while (batch != nullptr) {
+      adopted += batch->nodes.size();
+      backlog.insert(backlog.end(), batch->nodes.begin(), batch->nodes.end());
+      OrphanBatch* next = batch->next;
+      delete batch;
+      batch = next;
+    }
+    orphan_count_.fetch_sub(adopted, std::memory_order_relaxed);
+    auto& stats = *bg_stats_;
+    stats.bump(stats.adopted, adopted);
+    bg_trace(obs::TraceEvent::kAdopt, adopted);
+    return adopted;
+  }
+
+  /// Return an emptied batch shell to its producer's spare slot so the
+  /// next offload is allocation-free; delete it if the slot is occupied.
+  void recycle_batch_shell(RetiredBatch<Node>* batch) noexcept {
+    batch->nodes.clear();  // capacity kept: it circulates with the shell
+    auto& slot = local_[batch->origin]->spare;
+    RetiredBatch<Node>* expected = nullptr;
+    if (!slot.compare_exchange_strong(expected, batch,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+      delete batch;
+    }
+  }
+
+  /// Reclaimer-thread tracing. Per-thread rings are single-producer, so
+  /// the reclaimer records only when the tracer was sized with a spare
+  /// lane past max_threads (lane max_threads is the reclaimer's).
+  void bg_trace(obs::TraceEvent event, std::uint64_t arg) noexcept {
+    obs::Tracer* tracer = config_.tracer;
+    if (tracer == nullptr) return;
+    if (tracer->max_threads() <= config_.max_threads) return;
+    tracer->record(static_cast<int>(config_.max_threads), event, arg);
+  }
+
   PerThread& local(int tid) noexcept { return *local_[tid]; }
 
   Config config_;
@@ -587,8 +803,19 @@ class SchemeBase {
   std::atomic<std::uint64_t> stray_frees_{0};
   /// Orphan pool head (Treiber stack of departed threads' retired lists).
   std::atomic<OrphanBatch*> orphans_{nullptr};
-  /// Nodes currently parked in the pool (relaxed; monitoring only).
+  /// Nodes currently parked in the orphan pool — not the node pool of
+  /// pool.hpp — awaiting adoption (relaxed; monitoring only).
   std::atomic<std::uint64_t> orphan_count_{0};
+  /// The background reclaimer's stats shard (single writer: that thread).
+  /// Its frees land in `reclaims` here, keeping the post-drain identity
+  /// retires == reclaims + drained intact in both arms; it never writes
+  /// peak_retired (a per-mutator-thread bound metric).
+  common::Padded<ThreadStats> bg_stats_;
+  /// Background reclaimer (Config::background_reclaim); null in the
+  /// foreground arm, so retire() pays one predictable branch. Declared
+  /// last: it is destroyed first, while pool_/bg_stats_ are still alive
+  /// for its teardown-backstop frees.
+  std::unique_ptr<BackgroundReclaimer<Node, Derived>> reclaimer_;
 };
 
 /// RAII operation guard: start_op on construction, end_op on destruction.

@@ -33,13 +33,15 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
 
   explicit EBR(const Config& config)
       : Base(config),
-        slots_(std::make_unique<common::Padded<Slot>[]>(config.max_threads)),
-        scratch_(std::make_unique<common::Padded<Scratch>[]>(
-            config.max_threads)) {
+        slots_(std::make_unique<common::Padded<Slot>[]>(config.max_threads)) {
     for (std::size_t t = 0; t < config.max_threads; ++t) {
       slots_[t]->announced.store(kIdle, std::memory_order_relaxed);
     }
   }
+
+  /// Joins the background reclaimer while slots_ is still alive (its scan
+  /// reads the announced epochs through collect_snapshot).
+  ~EBR() { this->stop_reclaimer(); }
 
   void start_op(int tid) noexcept {
     this->sample_retired(tid);
@@ -84,39 +86,39 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
     }
   }
 
-  void empty(int tid) {
+  /// The reclamation horizon: the minimum epoch any thread has announced.
+  /// A node retired strictly before it cannot be reachable by anyone.
+  struct Snapshot {
     std::uint64_t horizon = kIdle;
+  };
+
+  void collect_snapshot(Snapshot& snapshot) const noexcept {
+    snapshot.horizon = kIdle;
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
       const std::uint64_t announced =
           slots_[t]->announced.load(std::memory_order_acquire);
-      horizon = std::min(horizon, announced);
+      snapshot.horizon = std::min(snapshot.horizon, announced);
     }
-    auto& retired = this->local(tid).retired;
-    auto& survivors = scratch_[tid]->survivors;
-    survivors.clear();
-    survivors.reserve(retired.size());
-    for (Node* node : retired) {
-      if (node->smr_header.retire_relaxed() < horizon) {
-        this->free_node(tid, node);
-      } else {
-        survivors.push_back(node);
-      }
-    }
-    retired.swap(survivors);
-    this->sync_retired(tid);
+  }
+
+  bool snapshot_protects(const Node* node,
+                         const Snapshot& snapshot) const noexcept {
+    return node->smr_header.retire_relaxed() >= snapshot.horizon;
+  }
+
+  void empty(int tid) {
+    Snapshot snapshot;
+    collect_snapshot(snapshot);
+    this->scan_retired_local(tid, snapshot);
   }
 
  private:
   struct Slot {
     std::atomic<std::uint64_t> announced;
   };
-  struct Scratch {
-    std::vector<Node*> survivors;
-  };
 
   std::atomic<std::uint64_t> global_epoch_{1};
   std::unique_ptr<common::Padded<Slot>[]> slots_;
-  std::unique_ptr<common::Padded<Scratch>[]> scratch_;
 };
 
 }  // namespace mp::smr

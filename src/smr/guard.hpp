@@ -12,6 +12,7 @@
 #include <cassert>
 #include <utility>
 
+#include "smr/handle.hpp"
 #include "smr/tagged_ptr.hpp"
 
 namespace mp::smr {
@@ -24,6 +25,12 @@ class OperationScope {
   OperationScope(Scheme& scheme, int tid) : scheme_(scheme), tid_(tid) {
     scheme_.start_op(tid_);
   }
+
+  /// Typed-handle form: the scheme/tid pairing was already checked at the
+  /// point the handle was minted (Scheme::handle), so this is the
+  /// preferred entry for new code.
+  explicit OperationScope(ThreadHandle<Scheme> handle)
+      : OperationScope(handle.scheme(), handle.tid()) {}
   ~OperationScope() { scheme_.end_op(tid_); }
   OperationScope(const OperationScope&) = delete;
   OperationScope& operator=(const OperationScope&) = delete;

@@ -45,6 +45,10 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
     }
   }
 
+  /// Joins the background reclaimer while slots_ is still alive (its scan
+  /// reads the era reservations through collect_snapshot).
+  ~HE() { this->stop_reclaimer(); }
+
   void start_op(int tid) noexcept { this->sample_retired(tid); }
 
   void end_op(int tid) noexcept {
@@ -116,41 +120,40 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
     }
   }
 
-  void empty(int tid) {
-    auto& scratch = *scratch_[tid];
-    scratch.eras.clear();
+  /// One collected view of every announced era. A node is protected when
+  /// any announced era falls inside its [birth, retire] lifetime.
+  struct Snapshot {
+    std::vector<std::uint64_t> eras;
+  };
+
+  void collect_snapshot(Snapshot& snapshot) const {
+    snapshot.eras.clear();
     const int per_thread = this->config().slots_per_thread;
-    scratch.eras.reserve(this->config().max_threads *
-                         static_cast<std::size_t>(per_thread));
+    snapshot.eras.reserve(this->config().max_threads *
+                          static_cast<std::size_t>(per_thread));
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
       for (int i = 0; i < per_thread; ++i) {
         const std::uint64_t era =
             slots_[t]->eras[i].load(std::memory_order_acquire);
-        if (era != kNoEra) scratch.eras.push_back(era);
+        if (era != kNoEra) snapshot.eras.push_back(era);
       }
     }
+  }
 
-    auto& retired = this->local(tid).retired;
-    scratch.survivors.clear();
-    scratch.survivors.reserve(retired.size());
-    for (Node* node : retired) {
-      const std::uint64_t birth = node->smr_header.birth_relaxed();
-      const std::uint64_t retire = node->smr_header.retire_relaxed();
-      bool conflict = false;
-      for (const std::uint64_t era : scratch.eras) {
-        if (era >= birth && era <= retire) {
-          conflict = true;
-          break;
-        }
-      }
-      if (conflict) {
-        scratch.survivors.push_back(node);
-      } else {
-        this->free_node(tid, node);
-      }
+  bool snapshot_protects(const Node* node,
+                         const Snapshot& snapshot) const noexcept {
+    const std::uint64_t birth = node->smr_header.birth_relaxed();
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    for (const std::uint64_t era : snapshot.eras) {
+      if (era >= birth && era <= retire) return true;
     }
-    retired.swap(scratch.survivors);
-    this->sync_retired(tid);
+    return false;
+  }
+
+  void empty(int tid) {
+    auto& snapshot = scratch_[tid]->snapshot;
+    collect_snapshot(snapshot);
+    this->scan_retired_local(tid, snapshot);
   }
 
  private:
@@ -158,8 +161,7 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
     std::atomic<std::uint64_t> eras[kMaxSlotsPerThread];
   };
   struct Scratch {
-    std::vector<std::uint64_t> eras;
-    std::vector<Node*> survivors;
+    Snapshot snapshot;
   };
 
   std::atomic<std::uint64_t> global_era_{1};

@@ -55,6 +55,10 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
     }
   }
 
+  /// Joins the background reclaimer while slots_ is still alive (its scan
+  /// reads the hazard slots through collect_snapshot).
+  ~HP() { this->stop_reclaimer(); }
+
   void start_op(int tid) noexcept { this->sample_retired(tid); }
 
   void end_op(int tid) noexcept {
@@ -106,33 +110,39 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
     }
   }
 
-  void empty(int tid) {
-    auto& scratch = *scratch_[tid];
-    scratch.hazards.clear();
+  /// One collected view of every hazard slot, sorted for binary search.
+  /// Collected once and queried per retired node — by the owning thread in
+  /// empty(), or once per wakeup for ALL queued batches by the background
+  /// reclaimer (the §6 snapshot optimization, amortized further).
+  struct Snapshot {
+    std::vector<const Node*> hazards;
+  };
+
+  void collect_snapshot(Snapshot& snapshot) const {
+    snapshot.hazards.clear();
     const int per_thread = this->config().slots_per_thread;
-    scratch.hazards.reserve(this->config().max_threads *
-                            static_cast<std::size_t>(per_thread));
+    snapshot.hazards.reserve(this->config().max_threads *
+                             static_cast<std::size_t>(per_thread));
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
       for (int i = 0; i < per_thread; ++i) {
-        Node* hazard = slots_[t]->hazard[i].load(std::memory_order_acquire);
-        if (hazard != nullptr) scratch.hazards.push_back(hazard);
+        const Node* hazard =
+            slots_[t]->hazard[i].load(std::memory_order_acquire);
+        if (hazard != nullptr) snapshot.hazards.push_back(hazard);
       }
     }
-    std::sort(scratch.hazards.begin(), scratch.hazards.end());
+    std::sort(snapshot.hazards.begin(), snapshot.hazards.end());
+  }
 
-    auto& retired = this->local(tid).retired;
-    scratch.survivors.clear();
-    scratch.survivors.reserve(retired.size());
-    for (Node* node : retired) {
-      if (std::binary_search(scratch.hazards.begin(), scratch.hazards.end(),
-                             node)) {
-        scratch.survivors.push_back(node);
-      } else {
-        this->free_node(tid, node);
-      }
-    }
-    retired.swap(scratch.survivors);
-    this->sync_retired(tid);
+  bool snapshot_protects(const Node* node,
+                         const Snapshot& snapshot) const noexcept {
+    return std::binary_search(snapshot.hazards.begin(),
+                              snapshot.hazards.end(), node);
+  }
+
+  void empty(int tid) {
+    auto& snapshot = scratch_[tid]->snapshot;
+    collect_snapshot(snapshot);
+    this->scan_retired_local(tid, snapshot);
   }
 
  private:
@@ -140,8 +150,7 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
     std::atomic<Node*> hazard[kMaxSlotsPerThread];
   };
   struct Scratch {
-    std::vector<Node*> hazards;
-    std::vector<Node*> survivors;
+    Snapshot snapshot;
   };
 
   std::unique_ptr<common::Padded<Slots>[]> slots_;

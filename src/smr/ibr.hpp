@@ -43,6 +43,10 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
     }
   }
 
+  /// Joins the background reclaimer while slots_ is still alive (its scan
+  /// reads the interval reservations through collect_snapshot).
+  ~IBR() { this->stop_reclaimer(); }
+
   void start_op(int tid) noexcept {
     this->sample_retired(tid);
     auto& slot = *slots_[tid];
@@ -119,41 +123,42 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
     }
   }
 
-  void empty(int tid) {
-    auto& scratch = *scratch_[tid];
-    scratch.reservations.clear();
-    scratch.reservations.reserve(this->config().max_threads);
+  /// One collected view of every active interval reservation. A node is
+  /// protected unless, for every reservation, it died before the
+  /// reservation began or was born after it ended.
+  struct Snapshot {
+    struct Reservation {
+      std::uint64_t lower, upper;
+    };
+    std::vector<Reservation> reservations;
+  };
+
+  void collect_snapshot(Snapshot& snapshot) const {
+    snapshot.reservations.clear();
+    snapshot.reservations.reserve(this->config().max_threads);
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
       const std::uint64_t lower =
           slots_[t]->lower.load(std::memory_order_acquire);
       const std::uint64_t upper =
           slots_[t]->upper.load(std::memory_order_acquire);
-      if (lower != kIdle) scratch.reservations.push_back({lower, upper});
+      if (lower != kIdle) snapshot.reservations.push_back({lower, upper});
     }
+  }
 
-    auto& retired = this->local(tid).retired;
-    scratch.survivors.clear();
-    scratch.survivors.reserve(retired.size());
-    for (Node* node : retired) {
-      const std::uint64_t birth = node->smr_header.birth_relaxed();
-      const std::uint64_t retire = node->smr_header.retire_relaxed();
-      bool conflict = false;
-      for (const auto& [lower, upper] : scratch.reservations) {
-        // Conflict unless the node died before the reservation began or was
-        // born after it ended.
-        if (!(retire < lower || birth > upper)) {
-          conflict = true;
-          break;
-        }
-      }
-      if (conflict) {
-        scratch.survivors.push_back(node);
-      } else {
-        this->free_node(tid, node);
-      }
+  bool snapshot_protects(const Node* node,
+                         const Snapshot& snapshot) const noexcept {
+    const std::uint64_t birth = node->smr_header.birth_relaxed();
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    for (const auto& [lower, upper] : snapshot.reservations) {
+      if (!(retire < lower || birth > upper)) return true;
     }
-    retired.swap(scratch.survivors);
-    this->sync_retired(tid);
+    return false;
+  }
+
+  void empty(int tid) {
+    auto& snapshot = scratch_[tid]->snapshot;
+    collect_snapshot(snapshot);
+    this->scan_retired_local(tid, snapshot);
   }
 
  private:
@@ -164,11 +169,7 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
     std::uint64_t cached_upper = kIdle;
   };
   struct Scratch {
-    struct Reservation {
-      std::uint64_t lower, upper;
-    };
-    std::vector<Reservation> reservations;
-    std::vector<Node*> survivors;
+    Snapshot snapshot;
   };
 
   std::atomic<std::uint64_t> global_epoch_{1};

@@ -21,6 +21,13 @@ class Leaky : public detail::SchemeBase<Node, Leaky<Node>> {
 
   explicit Leaky(const Config& config) : Base(config) {}
 
+  /// Symmetry with the reclaiming schemes' destructors: join the background
+  /// reclaimer first. Leaky inherits the base Snapshot that protects
+  /// everything, so in the bg arm offloaded batches just accumulate in the
+  /// reclaimer's backlog until the in-flight cap forces inline (no-op)
+  /// passes — the leaky semantics, preserved.
+  ~Leaky() { this->stop_reclaimer(); }
+
   void start_op(int tid) noexcept {
     this->sample_retired(tid);
     auto& stats = this->thread_stats(tid);

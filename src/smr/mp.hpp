@@ -97,6 +97,10 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     }
   }
 
+  /// Joins the background reclaimer while slots_ is still alive (its scan
+  /// reads margins, hazards, and announced epochs via collect_snapshot).
+  ~MP() { this->stop_reclaimer(); }
+
   // ---- Operation brackets (Listing 10 start_op / end_op) ----
 
   void start_op(int tid) noexcept {
@@ -333,22 +337,34 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
 
   // ---- Reclamation (Listing 10 empty) ----
 
-  void empty(int tid) {
-    auto& scratch = owner_[tid]->scratch;
+  /// One collected view of every thread's announcement: active margin
+  /// intervals (with the announcing thread's epoch, Theorem 4.2's filter)
+  /// plus the paired hazard slots, sorted for binary search. Collected
+  /// once per empty() — or once per reclaimer wakeup for ALL queued
+  /// batches (§6's snapshot optimization, amortized further).
+  struct Snapshot {
+    struct MarginEntry {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::uint64_t epoch;  ///< owning thread's announced epoch
+    };
+    std::vector<MarginEntry> margin_entries;
+    std::vector<const Node*> hazard_entries;
+  };
+
+  void collect_snapshot(Snapshot& snapshot) const {
     const std::size_t threads = this->config().max_threads;
     const int per_thread = this->config().slots_per_thread;
-
-    // Snapshot every thread's announcement once (§6 optimization), into
-    // compact lists holding only *active* protections — the spirit of the
+    // Compact lists holding only *active* protections — the spirit of the
     // interval-index optimization §4.3 suggests. The epoch is snapshotted
     // before the thread's slots (see DESIGN.md: protections installed
-    // after the snapshot cannot cover nodes already in our retired list).
-    scratch.margin_entries.clear();
-    scratch.hazard_entries.clear();
+    // after the snapshot cannot cover nodes already retired before it).
+    snapshot.margin_entries.clear();
+    snapshot.hazard_entries.clear();
     const std::size_t slot_total =
         threads * static_cast<std::size_t>(per_thread);
-    scratch.margin_entries.reserve(slot_total);
-    scratch.hazard_entries.reserve(slot_total);
+    snapshot.margin_entries.reserve(slot_total);
+    snapshot.hazard_entries.reserve(slot_total);
     for (std::size_t t = 0; t < threads; ++t) {
       auto& slots = *slots_[t];
       const std::uint64_t epoch = slots.epoch.load(std::memory_order_acquire);
@@ -356,29 +372,48 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
         const std::uint32_t margin =
             slots.margins[i].load(std::memory_order_acquire);
         if (margin != kNoMargin) {
-          scratch.margin_entries.push_back(
+          snapshot.margin_entries.push_back(
               {interval_lo(margin), interval_hi(margin), epoch});
         }
-        Node* hazard = slots.hazards[i].load(std::memory_order_acquire);
-        if (hazard != nullptr) scratch.hazard_entries.push_back(hazard);
+        const Node* hazard = slots.hazards[i].load(std::memory_order_acquire);
+        if (hazard != nullptr) snapshot.hazard_entries.push_back(hazard);
       }
     }
     // Hazards are honored regardless of epochs (deviation 2), so a sorted
     // set + binary search suffices.
-    std::sort(scratch.hazard_entries.begin(), scratch.hazard_entries.end());
+    std::sort(snapshot.hazard_entries.begin(), snapshot.hazard_entries.end());
+  }
 
-    auto& retired = this->local(tid).retired;
-    scratch.survivors.clear();
-    scratch.survivors.reserve(retired.size());
-    for (Node* node : retired) {
-      if (is_protected(node, scratch)) {
-        scratch.survivors.push_back(node);
-      } else {
-        this->free_node(tid, node);
-      }
+  bool snapshot_protects(const Node* node,
+                         const Snapshot& snapshot) const noexcept {
+    // Hazard slots are honored unconditionally (deviation 2): an HP set in
+    // hp_mode can legitimately protect a node born after the thread's
+    // announced epoch, so no epoch filter gates this check.
+    if (std::binary_search(snapshot.hazard_entries.begin(),
+                           snapshot.hazard_entries.end(), node)) {
+      return true;
     }
-    retired.swap(scratch.survivors);
-    this->sync_retired(tid);
+    const std::uint32_t index = node->smr_header.index_relaxed();
+    if (index == kUseHp) return false;  // only hazards protect USE_HP nodes
+
+    // Margins are only trusted by readers for nodes whose lifetime
+    // contains the reader's announced epoch (Theorem 4.2's filter; closed
+    // interval per deviation 1), so the reclaimer mirrors that gate.
+    const std::uint64_t birth = node->smr_header.birth_relaxed();
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    const std::uint32_t range_lo = index & ~0xFFFFu;
+    const std::uint32_t range_hi = index | 0xFFFFu;
+    for (const auto& entry : snapshot.margin_entries) {
+      if (entry.epoch < birth || entry.epoch > retire) continue;
+      if (entry.lo <= range_lo && range_hi <= entry.hi) return true;
+    }
+    return false;
+  }
+
+  void empty(int tid) {
+    auto& snapshot = owner_[tid]->snapshot;
+    collect_snapshot(snapshot);
+    this->scan_retired_local(tid, snapshot);
   }
 
  private:
@@ -386,18 +421,6 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     std::atomic<std::uint32_t> margins[kMaxSlotsPerThread];
     std::atomic<Node*> hazards[kMaxSlotsPerThread];
     std::atomic<std::uint64_t> epoch;
-  };
-
-  struct MarginEntry {
-    std::uint32_t lo;
-    std::uint32_t hi;
-    std::uint64_t epoch;  ///< owning thread's announced epoch
-  };
-
-  struct Scratch {
-    std::vector<MarginEntry> margin_entries;
-    std::vector<Node*> hazard_entries;
-    std::vector<Node*> survivors;
   };
 
   struct Owner {
@@ -412,7 +435,7 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     // capped at kUseHp - 1 so a USE_HP-range tag never matches.
     std::uint32_t cover_lo[kMaxSlotsPerThread];
     std::uint32_t cover_hi[kMaxSlotsPerThread];
-    Scratch scratch;
+    Snapshot snapshot;
   };
 
   /// Saturating bounds of the protection interval around an announced
@@ -429,32 +452,6 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
   bool covers(std::uint32_t margin, std::uint32_t lo,
               std::uint32_t hi) const noexcept {
     return interval_lo(margin) <= lo && hi <= interval_hi(margin);
-  }
-
-  bool is_protected(const Node* node, const Scratch& scratch) const noexcept {
-    // Hazard slots are honored unconditionally (deviation 2): an HP set in
-    // hp_mode can legitimately protect a node born after the thread's
-    // announced epoch, so no epoch filter gates this check.
-    if (std::binary_search(scratch.hazard_entries.begin(),
-                           scratch.hazard_entries.end(),
-                           const_cast<Node*>(node))) {
-      return true;
-    }
-    const std::uint32_t index = node->smr_header.index_relaxed();
-    if (index == kUseHp) return false;  // only hazards protect USE_HP nodes
-
-    // Margins are only trusted by readers for nodes whose lifetime
-    // contains the reader's announced epoch (Theorem 4.2's filter; closed
-    // interval per deviation 1), so the reclaimer mirrors that gate.
-    const std::uint64_t birth = node->smr_header.birth_relaxed();
-    const std::uint64_t retire = node->smr_header.retire_relaxed();
-    const std::uint32_t range_lo = index & ~0xFFFFu;
-    const std::uint32_t range_hi = index | 0xFFFFu;
-    for (const MarginEntry& entry : scratch.margin_entries) {
-      if (entry.epoch < birth || entry.epoch > retire) continue;
-      if (entry.lo <= range_lo && range_hi <= entry.hi) return true;
-    }
-    return false;
   }
 
   const std::uint32_t margin_half_;

@@ -70,6 +70,7 @@ class NodePool {
       free_chain(mags_[t]->head);
     }
     free_chain(drain_mag_.head);
+    free_chain(bg_mag_.head);
     PoolDepotChunk* chunk = depot_.load(std::memory_order_acquire);
     while (chunk != nullptr) {
       PoolDepotChunk* next = chunk->next;
@@ -151,6 +152,24 @@ class NodePool {
     auto* link = ::new (block) PoolFreeLink{drain_mag_.head};
     drain_mag_.head = link;
     ++drain_mag_.count;
+  }
+
+  /// Release from the background reclaimer thread (reclaimer.hpp): same
+  /// owner-only magazine discipline as release(), with the single
+  /// reclaimer thread as the owner of `bg_mag_`. Safe concurrently with
+  /// every per-tid magazine and with the depot (the depot exchange is
+  /// lock-free); the destructor frees the magazine only after the scheme
+  /// has joined the reclaimer thread.
+  void release_bg(ThreadStats& stats, void* block) noexcept {
+    if (bg_mag_.count >= cap_) {
+      depot_push(bg_mag_.head, bg_mag_.count);
+      bg_mag_.head = nullptr;
+      bg_mag_.count = 0;
+      stats.bump(stats.depot_exchanges);
+    }
+    auto* link = ::new (block) PoolFreeLink{bg_mag_.head};
+    bg_mag_.head = link;
+    ++bg_mag_.count;
   }
 
   /// Concurrent-safe release for blocks with no owning tid (the tid-less
@@ -242,6 +261,8 @@ class NodePool {
   std::unique_ptr<common::Padded<Magazine>[]> mags_;
   /// drain()'s tid-less magazine; touched only under quiescence.
   Magazine drain_mag_;
+  /// The background reclaimer's magazine; owner = the reclaimer thread.
+  Magazine bg_mag_;
   /// Depot head (Treiber stack of magazine chunks).
   std::atomic<PoolDepotChunk*> depot_{nullptr};
   std::atomic<std::uint64_t> depot_chunks_{0};

@@ -30,12 +30,16 @@
 //                                              when leaving the margin
 #pragma once
 
+#include <concepts>
+#include <cstdint>
+
 #include "smr/chaos.hpp"
 #include "smr/config.hpp"
 #include "smr/detail/scheme_base.hpp"
 #include "smr/dta.hpp"
 #include "smr/ebr.hpp"
 #include "smr/guard.hpp"
+#include "smr/handle.hpp"
 #include "smr/he.hpp"
 #include "smr/hp.hpp"
 #include "smr/ibr.hpp"
@@ -50,5 +54,66 @@ namespace mp::smr {
 /// RAII operation bracket.
 template <typename Scheme>
 using OpGuard = detail::OpGuard<Scheme>;
+
+/// The SMR scheme interface as a checkable C++20 concept: the paper's
+/// Listing 1 surface (start_op/end_op/read/unprotect/alloc/retire/
+/// make_link) plus the base-layer extensions every scheme inherits — the
+/// typed-handle factory, the detach protocol, the epoch/waste
+/// introspection hooks, and the snapshot-scan interface the background
+/// reclaimer drives. Client templates can constrain on `SmrScheme` instead
+/// of relying on duck typing, and each scheme header's static_assert below
+/// turns an interface drift into a compile error at the definition site
+/// rather than deep inside a client instantiation.
+template <typename S>
+concept SmrScheme =
+    std::default_initializable<typename S::Snapshot> &&
+    requires(S s, const S cs, typename S::node_type* node,
+             const typename S::node_type* cnode, const AtomicTaggedPtr& src,
+             typename S::Snapshot& snapshot,
+             const typename S::Snapshot& csnapshot, const Config& config,
+             int tid, int refno) {
+      typename S::node_type;
+      typename S::Snapshot;
+      // Compile-time properties (Table 1).
+      { S::kName } -> std::convertible_to<const char*>;
+      { S::kBoundedWaste } -> std::convertible_to<bool>;
+      { S::kRobust } -> std::convertible_to<bool>;
+      // Listing 1: the per-operation protocol.
+      { s.start_op(tid) };
+      { s.end_op(tid) };
+      { s.read(tid, refno, src) } -> std::same_as<TaggedPtr>;
+      { s.unprotect(tid, refno) };
+      { s.alloc(tid) } -> std::same_as<typename S::node_type*>;
+      { s.retire(tid, node) };
+      { cs.make_link(cnode) } -> std::same_as<TaggedPtr>;
+      // Base-layer extensions.
+      { s.handle(tid) } -> std::same_as<ThreadHandle<S>>;
+      { s.detach(tid) };
+      { s.on_detach(tid) };
+      { cs.epoch_now() } -> std::same_as<std::uint64_t>;
+      { S::waste_bound_per_thread(config) } -> std::same_as<std::uint64_t>;
+      // Snapshot-scan interface (reclaimer.hpp): one hazard/epoch snapshot,
+      // reusable across many retired-batch scans.
+      { cs.collect_snapshot(snapshot) };
+      { cs.snapshot_protects(cnode, csnapshot) } -> std::same_as<bool>;
+      { s.empty(tid) };
+    };
+
+namespace detail {
+
+/// Minimal client node for checking the concept against every scheme.
+struct ConceptProbeNode : NodeBase {
+  AtomicTaggedPtr next;
+};
+
+static_assert(SmrScheme<MP<ConceptProbeNode>>);
+static_assert(SmrScheme<HP<ConceptProbeNode>>);
+static_assert(SmrScheme<EBR<ConceptProbeNode>>);
+static_assert(SmrScheme<HE<ConceptProbeNode>>);
+static_assert(SmrScheme<IBR<ConceptProbeNode>>);
+static_assert(SmrScheme<DTA<ConceptProbeNode>>);
+static_assert(SmrScheme<Leaky<ConceptProbeNode>>);
+
+}  // namespace detail
 
 }  // namespace mp::smr

@@ -38,6 +38,15 @@ struct ThreadStats {
   std::atomic<std::uint64_t> pool_misses{0};   ///< magazine empty: depot/malloc
   std::atomic<std::uint64_t> depot_exchanges{0}; ///< magazine<->depot transfers
   std::atomic<std::uint64_t> unlinked_frees{0}; ///< delete_unlinked(tid) frees
+  // Background-reclaim traffic (reclaimer.hpp). Producer-side counters
+  // (offloaded, inline_fallbacks, peak_inflight) live on the retiring
+  // thread's shard; the reclaimer thread owns its own shard for the
+  // bg_* counters, preserving the single-writer contract.
+  std::atomic<std::uint64_t> offloaded{0};     ///< nodes handed to the reclaimer
+  std::atomic<std::uint64_t> inline_fallbacks{0}; ///< backpressure inline passes
+  std::atomic<std::uint64_t> bg_snapshots{0};  ///< reclaimer protection snapshots
+  std::atomic<std::uint64_t> bg_scans{0};      ///< batches scanned per snapshot
+  std::atomic<std::uint64_t> peak_inflight{0}; ///< queued+backlog high-water
 
   void bump(std::atomic<std::uint64_t>& counter,
             std::uint64_t by = 1) noexcept {
@@ -89,6 +98,21 @@ struct StatsSnapshot {
   /// the allocation identity: allocs == reclaims + unlinked + drained (+
   /// pending) once quiescent.
   std::uint64_t unlinked_frees = 0;
+  /// Background-reclaim traffic (reclaimer.hpp): nodes whole-batch handed
+  /// to the background thread at empty_freq boundaries, inline emergency
+  /// passes forced by queue backpressure, protection snapshots the
+  /// reclaimer took, and batches scanned against those snapshots
+  /// (bg_scans / bg_snapshots >= 1 measures snapshot amortization).
+  /// All zero in the foreground arm.
+  std::uint64_t offloaded = 0;
+  std::uint64_t inline_fallbacks = 0;
+  std::uint64_t bg_snapshots = 0;
+  std::uint64_t bg_scans = 0;
+  /// Highest queued+backlog node count observed at any enqueue (max-merged
+  /// like peak_retired: it is a high-water mark, not a flow counter). The
+  /// watchdog's in-flight bound (reclaim_inflight_cap + T * per-thread
+  /// bound) checks against this.
+  std::uint64_t peak_inflight = 0;
   /// Nodes freed by drain() (teardown / between bench phases). Kept apart
   /// from `reclaims`: drain runs on one thread over every thread's retired
   /// list, so bumping the per-thread reclaim counters would violate their
@@ -117,6 +141,12 @@ struct StatsSnapshot {
     pool_misses += t.pool_misses.load(std::memory_order_relaxed);
     depot_exchanges += t.depot_exchanges.load(std::memory_order_relaxed);
     unlinked_frees += t.unlinked_frees.load(std::memory_order_relaxed);
+    offloaded += t.offloaded.load(std::memory_order_relaxed);
+    inline_fallbacks += t.inline_fallbacks.load(std::memory_order_relaxed);
+    bg_snapshots += t.bg_snapshots.load(std::memory_order_relaxed);
+    bg_scans += t.bg_scans.load(std::memory_order_relaxed);
+    peak_inflight = std::max(
+        peak_inflight, t.peak_inflight.load(std::memory_order_relaxed));
     return *this;
   }
 
@@ -141,6 +171,11 @@ struct StatsSnapshot {
     pool_misses += rhs.pool_misses;
     depot_exchanges += rhs.depot_exchanges;
     unlinked_frees += rhs.unlinked_frees;
+    offloaded += rhs.offloaded;
+    inline_fallbacks += rhs.inline_fallbacks;
+    bg_snapshots += rhs.bg_snapshots;
+    bg_scans += rhs.bg_scans;
+    peak_inflight = std::max(peak_inflight, rhs.peak_inflight);
     drained += rhs.drained;
     return *this;
   }
@@ -177,6 +212,11 @@ struct StatsSnapshot {
     out.pool_misses = sat_sub(pool_misses, rhs.pool_misses);
     out.depot_exchanges = sat_sub(depot_exchanges, rhs.depot_exchanges);
     out.unlinked_frees = sat_sub(unlinked_frees, rhs.unlinked_frees);
+    out.offloaded = sat_sub(offloaded, rhs.offloaded);
+    out.inline_fallbacks = sat_sub(inline_fallbacks, rhs.inline_fallbacks);
+    out.bg_snapshots = sat_sub(bg_snapshots, rhs.bg_snapshots);
+    out.bg_scans = sat_sub(bg_scans, rhs.bg_scans);
+    // peak_inflight is a high-water mark like peak_retired: keep the lhs.
     out.drained = sat_sub(drained, rhs.drained);
     return out;
   }

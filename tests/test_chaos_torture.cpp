@@ -232,12 +232,13 @@ void expect_within_bound(const Scheme& scheme, const FaultInjector& injector) {
 }
 
 template <typename DS>
-void survive_torture(std::uint64_t seed) {
+void survive_torture(std::uint64_t seed, bool background_reclaim = false) {
   const int threads = 4;
   FaultInjector injector(survival_options(seed),
                          static_cast<std::size_t>(threads));
   injector.set_armed(false);  // construction/prefill outside the chaos window
   Config config = mp::test::ds_config(threads, DS::kRequiredSlots, 8);
+  config.background_reclaim = background_reclaim;
   config.fault_injector = &injector;
   DS ds(config);
   std::uint64_t prefill = 0;
@@ -250,7 +251,16 @@ void survive_torture(std::uint64_t seed) {
   EXPECT_EQ(ds.size(), prefill + outcome.inserts - outcome.removes);
   EXPECT_GT(outcome.ooms, 0u) << "injected OOM episodes must reach clients";
   EXPECT_GT(injector.total().stalls, 0u);
+  // The per-thread bound survives either arm: offloading swaps the local
+  // list out (it no longer counts toward peak_retired), and when the cap
+  // closes the valve, the inline fallback scans as the fg arm would.
   expect_within_bound(ds.scheme(), injector);
+  if (background_reclaim) {
+    WasteWatchdog<typename DS::Scheme> watchdog(ds.scheme());
+    EXPECT_TRUE(watchdog.inflight_ok())
+        << "peak_inflight " << watchdog.peak_inflight()
+        << " exceeds in-flight bound " << watchdog.inflight_bound();
+  }
 }
 
 template <typename Tag>
@@ -268,6 +278,19 @@ TYPED_TEST(ChaosTortureTest, FraserSkipListSurvivesFaultMix) {
 
 TYPED_TEST(ChaosTortureTest, NatarajanTreeSurvivesFaultMix) {
   survive_torture<mp::ds::NatarajanTree<TypeParam::template scheme>>(303);
+}
+
+// The same fault mix with retirement offloaded to the background reclaimer:
+// the chaos points now race application threads against bg scans, and the
+// watchdog additionally enforces the in-flight ceiling.
+TYPED_TEST(ChaosTortureTest, MichaelListSurvivesFaultMixBgReclaim) {
+  survive_torture<mp::ds::MichaelList<TypeParam::template scheme>>(
+      606, /*background_reclaim=*/true);
+}
+
+TYPED_TEST(ChaosTortureTest, NatarajanTreeSurvivesFaultMixBgReclaim) {
+  survive_torture<mp::ds::NatarajanTree<TypeParam::template scheme>>(
+      707, /*background_reclaim=*/true);
 }
 
 // ---- 3a. The Theorem 4.2 adversary, via injected stall ----

@@ -159,12 +159,13 @@ void expect_within_churn_bound(const Scheme& scheme,
 }
 
 template <typename DS>
-void survive_churn(std::uint64_t seed) {
+void survive_churn(std::uint64_t seed, bool background_reclaim = false) {
   const int threads = 4;
   FaultInjector injector(churn_options(seed),
                          static_cast<std::size_t>(threads));
   injector.set_armed(false);  // construction/prefill outside the window
   Config config = mp::test::ds_config(threads, DS::kRequiredSlots, 8);
+  config.background_reclaim = background_reclaim;
   config.fault_injector = &injector;
   DS ds(config);
   ThreadRegistry registry(static_cast<std::size_t>(threads));
@@ -215,6 +216,19 @@ TYPED_TEST(ChurnTortureTest, FraserSkipListSurvivesChurn) {
 
 TYPED_TEST(ChurnTortureTest, NatarajanTreeSurvivesChurn) {
   survive_churn<mp::ds::NatarajanTree<TypeParam::template scheme>>(606);
+}
+
+// Churn with the background reclaimer on: departures now race the bg
+// thread's orphan adoption, and the post-drain identity must still close
+// with nodes parked in the reclaimer's queue/backlog at detach time.
+TYPED_TEST(ChurnTortureTest, MichaelListSurvivesChurnBgReclaim) {
+  survive_churn<mp::ds::MichaelList<TypeParam::template scheme>>(
+      707, /*background_reclaim=*/true);
+}
+
+TYPED_TEST(ChurnTortureTest, FraserSkipListSurvivesChurnBgReclaim) {
+  survive_churn<mp::ds::FraserSkipList<TypeParam::template scheme>>(
+      808, /*background_reclaim=*/true);
 }
 
 }  // namespace

@@ -173,6 +173,37 @@ TEST(ReportTest, VersionTwoDocumentsStillValidate) {
   EXPECT_NE(validate_report(doc), "");
 }
 
+TEST(ReportTest, VersionThreeDocumentsStillValidate) {
+  // v3 reports carry the pool counters but predate the background-
+  // reclamation counters; they must keep validating under v3 and be
+  // rejected if they claim v4.
+  json::Value stats = json::Value::object();
+  for (const char* key : {"fences", "reads", "allocs", "retires", "reclaims",
+                          "drained", "empties", "peak_retired",
+                          "emergency_empties", "orphaned", "adopted",
+                          "pool_hits", "pool_misses", "depot_exchanges",
+                          "unlinked_frees"}) {
+    stats[key] = 1;
+  }
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";
+  row["scheme"] = "MP";
+  row["stats"] = stats;
+  json::Value rows = json::Value::array();
+  rows.push_back(row);
+  json::Value doc = json::Value::object();
+  doc["schema"] = mp::obs::kReportSchema;
+  doc["version"] = std::uint64_t{3};
+  doc["bench"] = "legacy";
+  doc["config"] = json::Value::object();
+  doc["rows"] = rows;
+  EXPECT_EQ(validate_report(doc), "");
+
+  // A v4 document without the background-reclamation counters is malformed.
+  doc["version"] = std::uint64_t{4};
+  EXPECT_NE(validate_report(doc), "");
+}
+
 TEST(ReportTest, CurrentReportsCarryLifecycleCounters) {
   BenchReport report("unit_test", "/dev/null");
   json::Value row = json::Value::object();
@@ -191,6 +222,11 @@ TEST(ReportTest, CurrentReportsCarryLifecycleCounters) {
   EXPECT_NE(stats->find("pool_misses"), nullptr);
   EXPECT_NE(stats->find("depot_exchanges"), nullptr);
   EXPECT_NE(stats->find("unlinked_frees"), nullptr);
+  EXPECT_NE(stats->find("offloaded"), nullptr);
+  EXPECT_NE(stats->find("inline_fallbacks"), nullptr);
+  EXPECT_NE(stats->find("bg_snapshots"), nullptr);
+  EXPECT_NE(stats->find("bg_scans"), nullptr);
+  EXPECT_NE(stats->find("peak_inflight"), nullptr);
   EXPECT_EQ(validate_report(doc), "");
 }
 
