@@ -37,6 +37,15 @@ enum class TraceEvent : std::uint8_t {
   kAdopt,            ///< orphan batches adopted; arg = nodes taken over
   kOffload,          ///< batch handed to the reclaimer; arg = batch size
   kBgScan,           ///< reclaimer scanned a batch; arg = nodes scanned
+  // ProtectionOracle lifecycle events (smr/oracle.hpp): recorded only in
+  // SMR_ORACLE builds with an oracle attached. All carry arg = node
+  // address, so a violation report can grep the rings for one node's
+  // alloc -> protect -> unprotect -> retire -> free history.
+  kOracleAlloc,      ///< oracle: node allocated; arg = node address
+  kOracleProtect,    ///< oracle: (tid, node) reference acquired (read/pin)
+  kOracleUnprotect,  ///< oracle: (tid, node) reference dropped
+  kOracleRetire,     ///< oracle: node retired; arg = node address
+  kOracleFree,       ///< oracle: node freed; arg = node address
 };
 
 inline const char* trace_event_name(TraceEvent e) noexcept {
@@ -50,6 +59,11 @@ inline const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kAdopt: return "adopt";
     case TraceEvent::kOffload: return "offload";
     case TraceEvent::kBgScan: return "bg_scan";
+    case TraceEvent::kOracleAlloc: return "oracle_alloc";
+    case TraceEvent::kOracleProtect: return "oracle_protect";
+    case TraceEvent::kOracleUnprotect: return "oracle_unprotect";
+    case TraceEvent::kOracleRetire: return "oracle_retire";
+    case TraceEvent::kOracleFree: return "oracle_free";
   }
   return "?";
 }

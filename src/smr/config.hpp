@@ -23,6 +23,7 @@ class Tracer;  // obs/trace.hpp; Config only carries a non-owning pointer
 namespace mp::smr {
 
 class FaultInjector;  // chaos.hpp; Config only carries a non-owning pointer
+class ProtectionOracle;  // oracle.hpp; Config only carries a non-owning pointer
 
 // AddressSanitizer detection (GCC defines __SANITIZE_ADDRESS__, clang
 // reports it through __has_feature). Under ASan the node pool is forced
@@ -147,6 +148,17 @@ struct Config {
   /// least max_threads. Null (the default) keeps the hot path to a single
   /// predictable branch per hook site; read() paths are never touched.
   obs::Tracer* tracer = nullptr;
+
+  /// Protection-discipline oracle (oracle.hpp): every operation bracket,
+  /// protected read, pin, unprotect, retire, and free is checked against a
+  /// shadow model of which (tid, node) pairs are covered, and a protocol
+  /// violation aborts with a lifecycle diagnostic BEFORE the offending
+  /// free. Non-owning; must outlive the scheme and be constructed with at
+  /// least this max_threads/slots_per_thread. Only consulted in builds
+  /// with the SMR_ORACLE CMake option ON — otherwise every call site is
+  /// `if constexpr`-eliminated and this pointer is inert, so read paths
+  /// stay fence- and branch-free. Leave null in production.
+  ProtectionOracle* oracle = nullptr;
 
   /// Diagnostics hook: invoked (with `context`) for every node the scheme
   /// frees, before the memory is released. Used by the fuzz oracle tests;

@@ -37,6 +37,7 @@
 #include "smr/config.hpp"
 #include "smr/handle.hpp"
 #include "smr/node.hpp"
+#include "smr/oracle.hpp"
 #include "smr/pool.hpp"
 #include "smr/reclaimer.hpp"
 #include "smr/stats.hpp"
@@ -113,6 +114,7 @@ class SchemeBase {
     // throws. Birth is stamped after the tick either way, so success-path
     // behavior (a node born in the post-tick epoch) is unchanged.
     Node* node = construct(tid, std::forward<Args>(args)...);
+    oracle_alloc_hook(tid, node);
     auto& local = *local_[tid];
     derived().on_alloc_tick(tid, ++local.alloc_counter);
     if (chaos != nullptr) {
@@ -139,6 +141,7 @@ class SchemeBase {
   /// instead of either growing the list unboundedly *or* turning every
   /// retire into an O(retired) scan.
   void retire(int tid, Node* node) {
+    oracle_retire_hook(tid, node);
     derived().on_retire_tick(tid);
     node->smr_header.retire_epoch.store(derived().epoch_now(),
                                         std::memory_order_relaxed);
@@ -206,6 +209,7 @@ class SchemeBase {
   /// fires here too: unlinked frees must be visible to the waste watchdog
   /// and client-side destructor hooks, same as free_node()/drain().
   void delete_unlinked(int tid, Node* node) noexcept {
+    oracle_unlinked_free_hook(tid, node);
     if (config_.free_hook != nullptr) {
       config_.free_hook(config_.free_hook_context, node);
     }
@@ -219,6 +223,7 @@ class SchemeBase {
   /// magazine — the block goes straight back to the allocator. Prefer the
   /// tid overload on hot paths.
   void delete_unlinked(Node* node) noexcept {
+    oracle_unlinked_free_hook(ProtectionOracle::kNoTid, node);
     if (config_.free_hook != nullptr) {
       config_.free_hook(config_.free_hook_context, node);
     }
@@ -249,6 +254,10 @@ class SchemeBase {
   /// retired list then simply stays with the tid, to be inherited by its
   /// next leaseholder or drained at teardown — never leaked.
   void detach(int tid) {
+    // Oracle first: a scope still open on this tid (an OperationScope
+    // outliving its ThreadLease) must be rejected before the protection
+    // state it relies on is revoked below.
+    oracle_detach_hook(tid);
     derived().on_detach(tid);
     auto& local = *local_[tid];
     // Rearm the soft-cap degradation state: the id's next leaseholder
@@ -438,6 +447,7 @@ class SchemeBase {
     // bench phases with the reclaimer thread still running.
     if (reclaimer_ != nullptr) {
       freed += reclaimer_->drain_pending([this](Node* node) noexcept {
+        oracle_free_hook(ProtectionOracle::kNoTid, node);
         if (config_.free_hook != nullptr) {
           config_.free_hook(config_.free_hook_context, node);
         }
@@ -447,6 +457,7 @@ class SchemeBase {
     for (std::size_t i = 0; i < config_.max_threads; ++i) {
       auto& local = *local_[i];
       for (Node* node : local.retired) {
+        oracle_free_hook(ProtectionOracle::kNoTid, node);
         if (config_.free_hook != nullptr) {
           config_.free_hook(config_.free_hook_context, node);
         }
@@ -462,6 +473,7 @@ class SchemeBase {
     OrphanBatch* batch = orphans_.exchange(nullptr, std::memory_order_acquire);
     while (batch != nullptr) {
       for (Node* node : batch->nodes) {
+        oracle_free_hook(ProtectionOracle::kNoTid, node);
         if (config_.free_hook != nullptr) {
           config_.free_hook(config_.free_hook_context, node);
         }
@@ -482,9 +494,12 @@ class SchemeBase {
   void update_lower_bound(int /*tid*/, const Node* /*node*/) noexcept {}
   void update_upper_bound(int /*tid*/, const Node* /*node*/) noexcept {}
 
-  /// Dropping a local reference (paper Listing 1). Default: no-op, matching
-  /// MP/EBR/IBR semantics; HP-family schemes shadow it.
-  void unprotect(int /*tid*/, int /*refno*/) noexcept {}
+  /// Dropping a local reference (paper Listing 1). Default: no-op on the
+  /// scheme's own state, matching MP/EBR/IBR semantics (the oracle's shadow
+  /// reference is dropped either way); HP-family schemes shadow it.
+  void unprotect(int tid, int refno) noexcept {
+    oracle_unprotect_hook(tid, refno);
+  }
 
   /// Pin a node without validation. Legal only when the caller knows the
   /// node cannot be freed at the call: it is this thread's own unpublished
@@ -493,7 +508,42 @@ class SchemeBase {
   /// (a concurrent deleter may retire it); an NM-tree deleter holds its
   /// flagged leaf across re-seeks that recycle the seek slots. Default:
   /// no-op (operation-scoped schemes already cover the whole operation).
-  void pin(int /*tid*/, int /*refno*/, Node* /*node*/) noexcept {}
+  void pin(int tid, int refno, Node* node) noexcept {
+    oracle_pin_hook(tid, refno, node);
+  }
+
+  /// Does `tid`'s *current* protection state (hazard slots, margin
+  /// intervals, epoch/era reservations) cover `node` — i.e. would every
+  /// reclamation scan running right now be forced to keep it alive for
+  /// this thread? The oracle asserts this on every protected read. The
+  /// base default is Leaky semantics: nothing is ever freed, so everything
+  /// is covered; every reclaiming scheme shadows it with the mirror of its
+  /// snapshot_protects predicate restricted to one thread.
+  bool oracle_covers(int /*tid*/, const Node* /*node*/) const noexcept {
+    return true;
+  }
+
+  /// Does the observed pointer's identity tag disagree with `node`'s
+  /// current header — i.e. was the edge minted for an *earlier incarnation*
+  /// of the block, since recycled by the pool? Only a scheme whose
+  /// protection is keyed by per-node identity rather than address or time
+  /// (MP's index) can both detect and suffer this; for everyone else an
+  /// edge is never stale. The oracle tolerates a stale-edge read the same
+  /// way it tolerates the other dead-edge shapes (oracle.hpp).
+  bool oracle_edge_stale(TaggedPtr /*word*/,
+                         const Node* /*node*/) const noexcept {
+    return false;
+  }
+
+  /// Guard::operator-> routes here: assert the shadow model still shows a
+  /// (tid, node) reference before the dereference is allowed.
+  void oracle_deref(int tid, const Node* node) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_deref(tid, node);
+      }
+    }
+  }
 
   // Default hooks; schemes with epochs/indices shadow them.
   std::uint64_t epoch_now() const noexcept { return 0; }
@@ -578,12 +628,124 @@ class SchemeBase {
     }
   }
 
+  // ---- ProtectionOracle call sites (oracle.hpp) ----
+  //
+  // Every hook is `if constexpr (kOracleEnabled)` so that with the
+  // SMR_ORACLE CMake option OFF these compile to nothing — no branch on
+  // config_.oracle, no load, nothing on the read paths. Ordering contract
+  // that keeps the shadow model a SUBSET of the scheme's physical
+  // protection state at all times (so a correct execution can never
+  // false-positive): shadow references are ADDED only after the physical
+  // protection is established (checked_read runs after read() validated,
+  // pin hooks run after the slot store + fence), and REMOVED before the
+  // physical protection is revoked (schemes call the end_op/unprotect
+  // hooks before clearing their slots, and drop the shadow reference via
+  // oracle_unprotect_hook before OVERWRITING a physical slot inside a
+  // read()/pin() — a slot overwrite revokes the old node's protection, so
+  // a shadow reference surviving it would be a stale holder and a false
+  // free-of-protected).
+
+  /// Wraps every value a scheme's read() returns: asserts the discipline
+  /// (operation open, source cell not inside shadow-freed memory, tid's
+  /// own state covers a live node per Derived::oracle_covers) and records
+  /// the (tid, refno) shadow reference. `src` is the cell the read loaded
+  /// `word` from. Null words pass through untouched.
+  TaggedPtr oracle_checked_read(int tid, int refno, TaggedPtr word,
+                                const AtomicTaggedPtr& src) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        if (const Node* node = word.template ptr<Node>(); node != nullptr) {
+          oracle->on_protect(tid, refno, node,
+                             derived().oracle_covers(tid, node), &src,
+                             derived().oracle_edge_stale(word, node));
+        }
+      }
+    }
+    return word;
+  }
+
+  void oracle_start_op(int tid) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_start_op(tid);
+      }
+    }
+  }
+
+  void oracle_end_op(int tid) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_end_op(tid);
+      }
+    }
+  }
+
+  void oracle_unprotect_hook(int tid, int refno) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_unprotect(tid, refno);
+      }
+    }
+  }
+
+  void oracle_pin_hook(int tid, int refno, const Node* node) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_pin(tid, refno, node);
+      }
+    }
+  }
+
+  void oracle_alloc_hook(int tid, const Node* node) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_alloc(tid, node, sizeof(Node));
+      }
+    }
+  }
+
+  void oracle_retire_hook(int tid, const Node* node) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_retire(tid, node);
+      }
+    }
+  }
+
+  void oracle_detach_hook(int tid) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_detach(tid);
+      }
+    }
+  }
+
+  /// Reclamation-path frees (inline empty(), background scan, drain):
+  /// the free-of-protected / double-free gate, fired BEFORE free_hook and
+  /// the actual destruction.
+  void oracle_free_hook(int tid, const Node* node) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_reclaim_free(tid, node);
+      }
+    }
+  }
+
+  void oracle_unlinked_free_hook(int tid, const Node* node) noexcept {
+    if constexpr (kOracleEnabled) {
+      if (ProtectionOracle* oracle = config_.oracle; oracle != nullptr) {
+        oracle->on_unlinked_free(tid, node);
+      }
+    }
+  }
+
   Derived& derived() noexcept { return static_cast<Derived&>(*this); }
   const Derived& derived() const noexcept {
     return static_cast<const Derived&>(*this);
   }
 
   void free_node(int tid, Node* node) noexcept {
+    oracle_free_hook(tid, node);
     auto& stats = *stats_[tid];
     stats.bump(stats.reclaims);
     trace_event(tid, obs::TraceEvent::kReclaim,
@@ -732,6 +894,7 @@ class SchemeBase {
   /// the pool's dedicated bg magazine), so it is safe even on the teardown
   /// backstop path where the derived scheme is already gone.
   void bg_free(Node* node) noexcept {
+    oracle_free_hook(ProtectionOracle::kNoTid, node);
     auto& stats = *bg_stats_;
     stats.bump(stats.reclaims);
     if (config_.free_hook != nullptr) {

@@ -61,15 +61,19 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
                          std::memory_order_relaxed);
     slot.hops = 0;
     counted_fence(this->thread_stats(tid));
+    this->oracle_start_op(tid);
   }
 
   void end_op(int tid) noexcept {
+    // Oracle first (shadow references must die before the announcement
+    // that justifies them is withdrawn).
+    this->oracle_end_op(tid);
     auto& slot = *slots_[tid];
     slot.anchor.store(nullptr, std::memory_order_relaxed);
     slot.announced.store(kIdle, std::memory_order_release);
   }
 
-  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+  TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
     this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     auto& slot = *slots_[tid];
@@ -78,7 +82,9 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
       const TaggedPtr observed = src.load(std::memory_order_acquire);
       Node* node = observed.template ptr<Node>();
       if (node == nullptr) return observed;
-      if (++slot.hops < this->config().anchor_distance) return observed;
+      if (++slot.hops < this->config().anchor_distance) {
+        return this->oracle_checked_read(tid, refno, observed, src);
+      }
       // Time to drop the anchor: post, publish, and validate that the node
       // is still linked (same protocol as a hazard pointer, but amortized
       // over anchor_distance traversals).
@@ -87,9 +93,19 @@ class DTA : public detail::SchemeBase<Node, DTA<Node>> {
       counted_fence(stats);
       if (src.load(std::memory_order_acquire) == observed) {
         slot.hops = 0;
-        return observed;
+        return this->oracle_checked_read(tid, refno, observed, src);
       }
     }
+  }
+
+  /// Oracle coverage: reclamation is EBR-style (anchors play no role in
+  /// the scan), so coverage is the per-thread horizon predicate.
+  bool oracle_covers(int tid, const Node* node) const noexcept {
+    const std::uint64_t announced =
+        slots_[tid]->announced.load(std::memory_order_relaxed);
+    if (announced == kIdle) return false;
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    return retire == 0 || retire >= announced;
   }
 
   /// Thread departure: clear the anchor and mark the epoch slot idle, so a

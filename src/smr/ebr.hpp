@@ -51,9 +51,13 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
     // The announcement must be visible before any shared read of the
     // operation, or a reclaimer may miss this thread entirely.
     counted_fence(this->thread_stats(tid));
+    this->oracle_start_op(tid);
   }
 
   void end_op(int tid) noexcept {
+    // Oracle first (shadow references must die before the announcement
+    // that justifies them is withdrawn).
+    this->oracle_end_op(tid);
     slots_[tid]->announced.store(kIdle, std::memory_order_release);
   }
 
@@ -63,11 +67,23 @@ class EBR : public detail::SchemeBase<Node, EBR<Node>> {
     slots_[tid]->announced.store(kIdle, std::memory_order_release);
   }
 
-  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+  TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
     this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     stats.bump(stats.reads);
-    return src.load(std::memory_order_acquire);
+    return this->oracle_checked_read(
+        tid, refno, src.load(std::memory_order_acquire), src);
+  }
+
+  /// Oracle coverage: an announced (non-idle) epoch covers every node not
+  /// yet retired (retire == 0; epochs start at 1) or retired at/after the
+  /// announcement — the one-thread mirror of the horizon predicate.
+  bool oracle_covers(int tid, const Node* node) const noexcept {
+    const std::uint64_t announced =
+        slots_[tid]->announced.load(std::memory_order_relaxed);
+    if (announced == kIdle) return false;
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    return retire == 0 || retire >= announced;
   }
 
   std::uint64_t epoch_now() const noexcept {

@@ -57,11 +57,15 @@ class Guard {
   Guard(const Guard&) = delete;
   Guard& operator=(const Guard&) = delete;
 
-  ~Guard() { scheme_.unprotect(tid_, refno_); }
+  ~Guard() {
+    if (!released_) scheme_.unprotect(tid_, refno_);
+  }
 
   /// Protect-and-load: returns the validated link word (address + index
-  /// tag + client mark bits).
+  /// tag + client mark bits). Re-arms a released guard: protecting again
+  /// after release() is the supported way to reuse the slot.
   TaggedPtr protect(const AtomicTaggedPtr& src) {
+    released_ = false;
     word_ = scheme_.read(tid_, refno_, src);
     return word_;
   }
@@ -76,15 +80,30 @@ class Guard {
   Node* get() const noexcept { return word_.template ptr<Node>(); }
   Node* operator->() const noexcept {
     assert(get() != nullptr);
+    // In SMR_ORACLE builds, every handle-API dereference is checked
+    // against the shadow model (deref after release, or after another
+    // guard re-protected this refno, is rejected here). Compiles to
+    // nothing otherwise.
+    scheme_.oracle_deref(tid_, get());
     return get();
   }
   explicit operator bool() const noexcept { return !word_.is_null(); }
 
-  /// Drop the protection early (before guard destruction).
-  void reset() noexcept {
+  /// Drop the protection early (before guard destruction). Idempotent: a
+  /// second release (or the destructor after one) is a no-op — the slot
+  /// was already surrendered, and unprotecting it again could tear down a
+  /// protection a later guard re-bound to the same refno.
+  void release() noexcept {
+    if (released_) return;
+    released_ = true;
     scheme_.unprotect(tid_, refno_);
     word_ = TaggedPtr::null();
   }
+
+  /// Historical name for release(), kept for existing call sites.
+  void reset() noexcept { release(); }
+
+  bool released() const noexcept { return released_; }
 
   int refno() const noexcept { return refno_; }
 
@@ -93,6 +112,7 @@ class Guard {
   int tid_;
   int refno_;
   TaggedPtr word_;
+  bool released_ = false;
 };
 
 }  // namespace mp::smr

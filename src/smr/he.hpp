@@ -49,9 +49,15 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
   /// reads the era reservations through collect_snapshot).
   ~HE() { this->stop_reclaimer(); }
 
-  void start_op(int tid) noexcept { this->sample_retired(tid); }
+  void start_op(int tid) noexcept {
+    this->sample_retired(tid);
+    this->oracle_start_op(tid);
+  }
 
   void end_op(int tid) noexcept {
+    // Oracle first (shadow references must die before the era
+    // reservations that justify them are released).
+    this->oracle_end_op(tid);
     auto& slots = *slots_[tid];
     for (int i = 0; i < this->config().slots_per_thread; ++i) {
       slots.eras[i].store(kNoEra, std::memory_order_relaxed);
@@ -72,7 +78,12 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
           global_era_.load(std::memory_order_acquire);
       // If the era announced in this slot is still current, the observed
       // node's birth era is <= the announced era, so it is protected.
-      if (current == announced) return observed;
+      if (current == announced) {
+        return this->oracle_checked_read(tid, refno, observed, src);
+      }
+      // A new era in this slot can end the old node's coverage: drop the
+      // shadow reference before the physical reservation moves.
+      this->oracle_unprotect_hook(tid, refno);
       era.store(current, std::memory_order_relaxed);
       stats.bump(stats.slow_protects);
       counted_fence(stats);
@@ -83,16 +94,35 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
   }
 
   void unprotect(int tid, int refno) noexcept {
+    this->oracle_unprotect_hook(tid, refno);
     slots_[tid]->eras[refno].store(kNoEra, std::memory_order_relaxed);
   }
 
   void pin(int tid, int refno, Node* node) noexcept {
     // The current era lies inside the node's lifetime (birth <= now, and it
     // will be retired at an era >= now), so announcing it pins the node.
-    (void)node;
+    this->oracle_unprotect_hook(tid, refno);
     slots_[tid]->eras[refno].store(global_era_.load(std::memory_order_acquire),
                                    std::memory_order_relaxed);
     counted_fence(this->thread_stats(tid));
+    this->oracle_pin_hook(tid, refno, node);
+  }
+
+  /// Oracle coverage: some announced era of `tid` falls inside the node's
+  /// [birth, retire] lifetime (retire == 0 = not yet retired; eras start
+  /// at 1, so kNoEra never matches a real lifetime).
+  bool oracle_covers(int tid, const Node* node) const noexcept {
+    const auto& slots = *slots_[tid];
+    const std::uint64_t birth = node->smr_header.birth_relaxed();
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      const std::uint64_t era =
+          slots.eras[i].load(std::memory_order_relaxed);
+      if (era != kNoEra && era >= birth && (retire == 0 || era <= retire)) {
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Thread departure: release every era reservation so a thread that died

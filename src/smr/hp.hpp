@@ -59,9 +59,15 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
   /// reads the hazard slots through collect_snapshot).
   ~HP() { this->stop_reclaimer(); }
 
-  void start_op(int tid) noexcept { this->sample_retired(tid); }
+  void start_op(int tid) noexcept {
+    this->sample_retired(tid);
+    this->oracle_start_op(tid);
+  }
 
   void end_op(int tid) noexcept {
+    // Oracle first (shadow references must die before the physical slots
+    // they mirror are cleared; see the ordering contract in scheme_base).
+    this->oracle_end_op(tid);
     auto& slots = *slots_[tid];
     for (int i = 0; i < this->config().slots_per_thread; ++i) {
       slots.hazard[i].store(nullptr, std::memory_order_relaxed);
@@ -80,23 +86,43 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
       const TaggedPtr observed = src.load(std::memory_order_acquire);
       Node* node = observed.template ptr<Node>();
       if (node == nullptr) return observed;
-      if (slot.load(std::memory_order_relaxed) == node) return observed;
+      if (slot.load(std::memory_order_relaxed) == node) {
+        return this->oracle_checked_read(tid, refno, observed, src);
+      }
+      // Overwriting the slot revokes whatever it protected: the shadow
+      // reference must die first (ordering contract in scheme_base.hpp).
+      this->oracle_unprotect_hook(tid, refno);
       slot.store(node, std::memory_order_relaxed);
       stats.bump(stats.slow_protects);
       counted_fence(stats);
       // The announcement is globally visible; if the source still holds the
       // same word, the node was linked throughout and is now protected.
-      if (src.load(std::memory_order_acquire) == observed) return observed;
+      if (src.load(std::memory_order_acquire) == observed) {
+        return this->oracle_checked_read(tid, refno, observed, src);
+      }
     }
   }
 
   void unprotect(int tid, int refno) noexcept {
+    this->oracle_unprotect_hook(tid, refno);
     slots_[tid]->hazard[refno].store(nullptr, std::memory_order_relaxed);
   }
 
   void pin(int tid, int refno, Node* node) noexcept {
+    this->oracle_unprotect_hook(tid, refno);
     slots_[tid]->hazard[refno].store(node, std::memory_order_relaxed);
     counted_fence(this->thread_stats(tid));
+    this->oracle_pin_hook(tid, refno, node);
+  }
+
+  /// Oracle coverage (one-thread mirror of snapshot_protects): a node is
+  /// covered for `tid` iff one of its hazard slots names the node.
+  bool oracle_covers(int tid, const Node* node) const noexcept {
+    const auto& slots = *slots_[tid];
+    for (int i = 0; i < this->config().slots_per_thread; ++i) {
+      if (slots.hazard[i].load(std::memory_order_relaxed) == node) return true;
+    }
+    return false;
   }
 
   /// Thread departure: clear every hazard slot so nothing the dead thread

@@ -55,15 +55,19 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
     slot.upper.store(epoch, std::memory_order_relaxed);
     slot.cached_upper = epoch;
     counted_fence(this->thread_stats(tid));
+    this->oracle_start_op(tid);
   }
 
   void end_op(int tid) noexcept {
+    // Oracle first (shadow references must die before the reservation
+    // that justifies them is dropped).
+    this->oracle_end_op(tid);
     auto& slot = *slots_[tid];
     slot.lower.store(kIdle, std::memory_order_relaxed);
     slot.upper.store(kIdle, std::memory_order_release);
   }
 
-  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+  TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
     this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     auto& slot = *slots_[tid];
@@ -74,7 +78,9 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
           global_epoch_.load(std::memory_order_acquire);
       // Common case: the epoch is unchanged since our reservation covered
       // it, so the observed node's birth epoch is within the reservation.
-      if (epoch == slot.cached_upper) return observed;
+      if (epoch == slot.cached_upper) {
+        return this->oracle_checked_read(tid, refno, observed, src);
+      }
       slot.upper.store(epoch, std::memory_order_relaxed);
       stats.bump(stats.slow_protects);
       counted_fence(stats);
@@ -84,10 +90,9 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
     }
   }
 
-  void pin(int tid, int /*refno*/, Node* node) noexcept {
+  void pin(int tid, int refno, Node* node) noexcept {
     // Extend the reservation to the node's birth epoch: the node was born
     // inside this operation, possibly after the last upper refresh.
-    (void)node;
     auto& slot = *slots_[tid];
     const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
     if (epoch != slot.cached_upper) {
@@ -95,6 +100,20 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
       counted_fence(this->thread_stats(tid));
       slot.cached_upper = epoch;
     }
+    this->oracle_pin_hook(tid, refno, node);
+  }
+
+  /// Oracle coverage: the node's lifetime must intersect `tid`'s interval
+  /// reservation — born no later than the reservation's upper end, and not
+  /// retired before its lower end (retire == 0 means not yet retired).
+  bool oracle_covers(int tid, const Node* node) const noexcept {
+    const auto& slot = *slots_[tid];
+    const std::uint64_t lower = slot.lower.load(std::memory_order_relaxed);
+    if (lower == kIdle) return false;
+    const std::uint64_t upper = slot.upper.load(std::memory_order_relaxed);
+    const std::uint64_t birth = node->smr_header.birth_relaxed();
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    return birth <= upper && (retire == 0 || retire >= lower);
   }
 
   /// Thread departure: drop the interval reservation. `cached_upper` is

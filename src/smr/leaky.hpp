@@ -32,15 +32,20 @@ class Leaky : public detail::SchemeBase<Node, Leaky<Node>> {
     this->sample_retired(tid);
     auto& stats = this->thread_stats(tid);
     stats.bump(stats.reads, 0);  // keep the counter hot-path shape uniform
+    this->oracle_start_op(tid);
   }
 
-  void end_op(int /*tid*/) noexcept {}
+  void end_op(int tid) noexcept { this->oracle_end_op(tid); }
 
-  TaggedPtr read(int tid, int /*refno*/, const AtomicTaggedPtr& src) noexcept {
+  TaggedPtr read(int tid, int refno, const AtomicTaggedPtr& src) noexcept {
     this->chaos_protect(tid);
     auto& stats = this->thread_stats(tid);
     stats.bump(stats.reads);
-    return src.load(std::memory_order_acquire);
+    // Leaky never frees, so the base oracle_covers (everything covered)
+    // applies — the checked read still enforces the operation bracket and
+    // catches shadow-freed nodes from drain()-time misuse.
+    return this->oracle_checked_read(
+        tid, refno, src.load(std::memory_order_acquire), src);
   }
 
   /// Never reclaims; the retired list only drains at teardown.

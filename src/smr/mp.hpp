@@ -122,9 +122,13 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
       owner.cover_hi[i] = 0;
     }
     counted_fence(this->thread_stats(tid));
+    this->oracle_start_op(tid);
   }
 
   void end_op(int tid) noexcept {
+    // Oracle first (shadow references must die before the physical
+    // margins/hazards they rely on are cleared).
+    this->oracle_end_op(tid);
     auto& slots = *slots_[tid];
     for (int i = 0; i < this->config().slots_per_thread; ++i) {
       slots.margins[i].store(kNoMargin, std::memory_order_relaxed);
@@ -160,7 +164,7 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
         // equals our announcement — later-born covered nodes are invisible
         // to reclaimers through our margins.
         if (global_epoch_.load(std::memory_order_acquire) == owner.epoch) {
-          return observed;
+          return this->oracle_checked_read(tid, refno, observed, src);
         }
         owner.hp_mode = true;
       }
@@ -180,15 +184,25 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
         // our margins for such nodes.
         stats.bump(stats.hp_fallbacks);
         auto& hazard = slots.hazards[refno];
-        if (hazard.load(std::memory_order_relaxed) == node) return observed;
+        if (hazard.load(std::memory_order_relaxed) == node) {
+          return this->oracle_checked_read(tid, refno, observed, src);
+        }
+        // Shadow reference dies before the slot overwrite revokes the old
+        // node's protection (ordering contract in scheme_base.hpp).
+        this->oracle_unprotect_hook(tid, refno);
         hazard.store(node, std::memory_order_relaxed);
         stats.bump(stats.slow_protects);
         counted_fence(stats);
-        if (src.load(std::memory_order_acquire) == observed) return observed;
+        if (src.load(std::memory_order_acquire) == observed) {
+          return this->oracle_checked_read(tid, refno, observed, src);
+        }
         continue;
       }
 
-      // Install a margin around the node's index range and validate.
+      // Install a margin around the node's index range and validate. The
+      // new interval may not contain the previously protected node, so the
+      // old shadow reference dies before the physical slot moves.
+      this->oracle_unprotect_hook(tid, refno);
       slots.margins[refno].store(range_lo, std::memory_order_relaxed);
       owner.cover_lo[refno] =
           range_lo >= margin_half_ ? range_lo - margin_half_ : 0;
@@ -204,7 +218,7 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
           owner.hp_mode = true;
           continue;
         }
-        return observed;
+        return this->oracle_checked_read(tid, refno, observed, src);
       }
       // Source changed: the margin stays (it can only over-protect) and the
       // protocol repeats for the new target.
@@ -215,8 +229,55 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     // The hazard slot (not a margin) is used so the protection survives
     // hp_mode and is honored by empty() regardless of the node's birth
     // epoch relative to our announcement.
+    this->oracle_unprotect_hook(tid, refno);
     slots_[tid]->hazards[refno].store(node, std::memory_order_relaxed);
     counted_fence(this->thread_stats(tid));
+    this->oracle_pin_hook(tid, refno, node);
+  }
+
+  /// Oracle coverage (one-thread mirror of snapshot_protects): a paired
+  /// hazard slot naming the node covers it unconditionally (deviation 2);
+  /// a margin covers it when the interval contains the node's whole tag
+  /// range AND the thread's announced epoch lies inside the node's
+  /// [birth, retire] lifetime (Theorem 4.2's filter; retire == 0 means
+  /// "not yet retired", since global epochs start at 1).
+  bool oracle_covers(int tid, const Node* node) const noexcept {
+    const auto& slots = *slots_[tid];
+    const int per_thread = this->config().slots_per_thread;
+    for (int i = 0; i < per_thread; ++i) {
+      if (slots.hazards[i].load(std::memory_order_relaxed) == node) {
+        return true;
+      }
+    }
+    const std::uint32_t index = node->smr_header.index_relaxed();
+    if (index == kUseHp) return false;  // only hazards protect USE_HP nodes
+    const std::uint64_t epoch = slots.epoch.load(std::memory_order_relaxed);
+    if (epoch == 0) return false;  // idle/detached announcement
+    const std::uint64_t birth = node->smr_header.birth_relaxed();
+    const std::uint64_t retire = node->smr_header.retire_relaxed();
+    if (epoch < birth || (retire != 0 && epoch > retire)) return false;
+    const std::uint32_t range_lo = index & ~0xFFFFu;
+    const std::uint32_t range_hi = index | 0xFFFFu;
+    for (int i = 0; i < per_thread; ++i) {
+      const std::uint32_t margin =
+          slots.margins[i].load(std::memory_order_relaxed);
+      if (margin != kNoMargin && covers(margin, range_lo, range_hi)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Oracle edge staleness: MP protection is keyed by *index*, not
+  /// address, so a pointer whose tag names a different 2^16 index block
+  /// than the node's current header is an edge minted for an earlier
+  /// incarnation of the block (the pool recycled it under a frozen dead
+  /// edge). A margin covering the old tag range says nothing about the new
+  /// index, so such reads are dead-edge results to tolerate, not covered
+  /// reads to assert.
+  bool oracle_edge_stale(TaggedPtr word, const Node* node) const noexcept {
+    return word.index_lower_bound() !=
+           (node->smr_header.index_relaxed() & ~0xFFFFu);
   }
 
   /// Thread departure: clear every margin and hazard slot and zero the

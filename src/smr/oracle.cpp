@@ -1,0 +1,479 @@
+// ProtectionOracle implementation (compiled only when the SMR_ORACLE CMake
+// option is ON; the disabled build arm is entirely inline in oracle.hpp).
+//
+// Everything runs under one mutex. That serializes every protected read in
+// the process, which is exactly the point: the oracle trades throughput for
+// a totally ordered view of the protection protocol, so "was this node
+// covered when that free happened" has a definite answer.
+#include "smr/oracle.hpp"
+
+#if MARGINPTR_ORACLE_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace mp::smr {
+
+namespace {
+
+enum class Phase : std::uint8_t { kLive, kRetired, kFreed };
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kLive: return "live";
+    case Phase::kRetired: return "retired";
+    case Phase::kFreed: return "freed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+struct ProtectionOracle::State {
+  struct ShadowNode {
+    Phase phase = Phase::kLive;
+    std::size_t size = 0;  // sizeof the node; 0 for leniently adopted ones
+    // event_seq value when this incarnation was allocated; lets on_protect
+    // recognize a node recycled after the reading op began (see there).
+    std::uint64_t alloc_seq = 0;
+  };
+
+  struct ThreadShadow {
+    bool in_op = false;
+    std::uint64_t op_start_seq = 0;  // event_seq at the last on_start_op
+    std::vector<const void*> refs;  // one slot per refno; nullptr = empty
+  };
+
+  std::mutex mutex;
+  std::size_t max_threads;
+  int slots_per_thread;
+  obs::Tracer* tracer;
+  // Ordered by address so "which node contains this cell" is one
+  // lower-bound away (the src-inside-freed-memory check in on_protect).
+  std::map<const void*, ShadowNode> nodes;
+  std::vector<ThreadShadow> threads;
+  bool abort_on_violation = true;
+  // Mutex-serialized logical clock ordering allocations against operation
+  // starts (the recycled-mid-op tolerance in on_protect).
+  std::uint64_t event_seq = 0;
+  std::uint64_t violations = 0;
+  OracleViolation last = OracleViolation::kProtectOutsideOp;
+  std::string last_report;
+
+  State(std::size_t max_threads_in, int slots_in, obs::Tracer* tracer_in)
+      : max_threads(max_threads_in),
+        slots_per_thread(slots_in),
+        tracer(tracer_in),
+        threads(max_threads_in) {
+    for (auto& shadow : threads) {
+      shadow.refs.assign(static_cast<std::size_t>(slots_per_thread), nullptr);
+    }
+  }
+
+  bool valid_tid(int tid) const noexcept {
+    return tid >= 0 && static_cast<std::size_t>(tid) < max_threads;
+  }
+  bool valid_refno(int refno) const noexcept {
+    return refno >= 0 && refno < slots_per_thread;
+  }
+
+  /// All (tid, refno) references currently naming `node`.
+  std::vector<std::pair<int, int>> holders_of(const void* node) const {
+    std::vector<std::pair<int, int>> holders;
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+      const auto& refs = threads[t].refs;
+      for (std::size_t r = 0; r < refs.size(); ++r) {
+        if (refs[r] == node) {
+          holders.emplace_back(static_cast<int>(t), static_cast<int>(r));
+        }
+      }
+    }
+    return holders;
+  }
+
+  void drop_refs_to(const void* node) noexcept {
+    for (auto& shadow : threads) {
+      for (auto& ref : shadow.refs) {
+        if (ref == node) ref = nullptr;
+      }
+    }
+  }
+
+  /// Base address of the shadow-Freed node whose [base, base+size) range
+  /// contains `addr`, or nullptr when `addr` is not inside freed memory.
+  /// Recycled addresses re-enter as Live via on_alloc, so a hit means the
+  /// memory is freed *right now* in the total order the mutex provides.
+  const void* freed_node_containing(const void* addr) const noexcept {
+    auto it = nodes.upper_bound(addr);
+    if (it == nodes.begin()) return nullptr;
+    --it;
+    if (it->second.phase != Phase::kFreed) return nullptr;
+    const auto base = reinterpret_cast<std::uintptr_t>(it->first);
+    const auto probe = reinterpret_cast<std::uintptr_t>(addr);
+    return probe < base + it->second.size ? it->first : nullptr;
+  }
+
+  /// The node's lifecycle as the trace rings remember it: every surviving
+  /// record whose payload is this node's address, in timestamp order. The
+  /// rings overwrite-oldest, so a long-lived node may have lost its early
+  /// events — the dump says so rather than implying a complete history.
+  void append_lifecycle(std::ostringstream& out, const void* node) const {
+    if (tracer == nullptr) {
+      out << "  lifecycle: unavailable (no tracer attached; pass one to "
+             "ProtectionOracle and Config::tracer)\n";
+      return;
+    }
+    const auto addr = reinterpret_cast<std::uintptr_t>(node);
+    int shown = 0;
+    for (const auto& record : tracer->snapshot()) {
+      switch (record.event) {
+        case obs::TraceEvent::kReclaim:
+        case obs::TraceEvent::kOracleAlloc:
+        case obs::TraceEvent::kOracleProtect:
+        case obs::TraceEvent::kOracleUnprotect:
+        case obs::TraceEvent::kOracleRetire:
+        case obs::TraceEvent::kOracleFree:
+          break;  // node-address payload: filterable
+        default:
+          continue;  // payload is a size/epoch, not an address
+      }
+      if (record.arg != addr) continue;
+      if (shown == 0) out << "  lifecycle (from trace rings):\n";
+      out << "    t=" << record.time_ns << "ns tid=" << record.tid << " "
+          << obs::trace_event_name(record.event) << "\n";
+      ++shown;
+    }
+    if (shown == 0) {
+      out << "  lifecycle: no surviving trace records for this node (ring "
+             "overwritten, or the tracer was attached late)\n";
+    }
+  }
+
+  /// Record, report, and (by default) abort. Runs under `mutex`.
+  void violate(OracleViolation kind, int tid, const void* node,
+               const std::string& detail) {
+    std::ostringstream out;
+    out << "=== ProtectionOracle violation: " << oracle_violation_name(kind)
+        << " ===\n"
+        << "  " << detail << "\n"
+        << "  tid: " << tid;
+    if (valid_tid(tid)) {
+      out << " (in_op=" << (threads[static_cast<std::size_t>(tid)].in_op
+                                ? "true"
+                                : "false")
+          << ")";
+    }
+    out << "\n";
+    if (node != nullptr) {
+      out << "  node: " << node;
+      const auto it = nodes.find(node);
+      out << " shadow-phase="
+          << (it != nodes.end() ? phase_name(it->second.phase) : "unknown")
+          << "\n";
+      const auto holders = holders_of(node);
+      if (holders.empty()) {
+        out << "  holders: none\n";
+      } else {
+        out << "  holders:";
+        for (const auto& [holder_tid, refno] : holders) {
+          out << " (tid=" << holder_tid << ", refno=" << refno << ")";
+        }
+        out << "\n";
+      }
+      append_lifecycle(out, node);
+    }
+    out << "=== end violation report ===\n";
+
+    ++violations;
+    last = kind;
+    last_report = out.str();
+    if (abort_on_violation) {
+      std::fputs(last_report.c_str(), stderr);
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+};
+
+ProtectionOracle::ProtectionOracle(std::size_t max_threads,
+                                   int slots_per_thread, obs::Tracer* tracer)
+    : state_(new State(max_threads, slots_per_thread, tracer)) {}
+
+ProtectionOracle::~ProtectionOracle() { delete state_; }
+
+void ProtectionOracle::set_abort_on_violation(bool abort_on_violation) noexcept {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->abort_on_violation = abort_on_violation;
+}
+
+std::uint64_t ProtectionOracle::violations() const noexcept {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->violations;
+}
+
+OracleViolation ProtectionOracle::last_violation() const noexcept {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->last;
+}
+
+std::string ProtectionOracle::last_report() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->last_report;
+}
+
+void ProtectionOracle::record_trace(int tid, obs::TraceEvent event,
+                                    const void* node) {
+  obs::Tracer* tracer = state_->tracer;
+  if (tracer == nullptr) return;
+  const auto arg = reinterpret_cast<std::uintptr_t>(node);
+  if (tid >= 0 && static_cast<std::size_t>(tid) < tracer->max_threads()) {
+    tracer->record(tid, event, arg);
+  } else if (tid < 0 && tracer->max_threads() > state_->max_threads) {
+    // Off-thread frees (background reclaimer, drain) use the spare lane
+    // past max_threads, the same convention as SchemeBase::bg_trace. The
+    // lane has multiple potential producers (reclaimer thread + whoever
+    // drains), but every oracle record is made under the oracle mutex, so
+    // the single-producer-at-a-time contract holds.
+    tracer->record(static_cast<int>(state_->max_threads), event, arg);
+  }
+}
+
+void ProtectionOracle::on_start_op(int tid) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->valid_tid(tid)) return;
+  auto& shadow = state_->threads[static_cast<std::size_t>(tid)];
+  if (shadow.in_op) {
+    state_->violate(OracleViolation::kNestedOp, tid, nullptr,
+                    "start_op while this tid already has an operation open "
+                    "(nested OperationScope on one tid)");
+  }
+  shadow.in_op = true;
+  shadow.op_start_seq = ++state_->event_seq;
+}
+
+void ProtectionOracle::on_end_op(int tid) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->valid_tid(tid)) return;
+  auto& shadow = state_->threads[static_cast<std::size_t>(tid)];
+  if (!shadow.in_op) {
+    state_->violate(OracleViolation::kEndOutsideOp, tid, nullptr,
+                    "end_op with no operation open on this tid");
+  }
+  shadow.in_op = false;
+  // End of operation drops every local reference (paper §2: threads do not
+  // hold references across operations).
+  for (auto& ref : shadow.refs) ref = nullptr;
+}
+
+void ProtectionOracle::on_alloc(int tid, const void* node, std::size_t size) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  // Address recycling (pool or allocator): a fresh alloc supersedes
+  // whatever shadow history the address had.
+  state_->nodes[node] =
+      State::ShadowNode{Phase::kLive, size, ++state_->event_seq};
+  record_trace(tid, obs::TraceEvent::kOracleAlloc, node);
+}
+
+void ProtectionOracle::on_protect(int tid, int refno, const void* node,
+                                  bool covered, const void* src,
+                                  bool stale_edge) {
+  if (node == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->valid_tid(tid) || !state_->valid_refno(refno)) return;
+  auto& shadow = state_->threads[static_cast<std::size_t>(tid)];
+  auto& ref = shadow.refs[static_cast<std::size_t>(refno)];
+  if (!shadow.in_op) {
+    state_->violate(OracleViolation::kProtectOutsideOp, tid, node,
+                    "protected read with no operation open on this tid "
+                    "(protect after end_op, or a missing OperationScope)");
+    ref = node;
+    record_trace(tid, obs::TraceEvent::kOracleProtect, node);
+    return;
+  }
+  // The strongest check first: the cell the read loaded from must itself
+  // be allocated memory. A traversal that walked into a freed node and is
+  // now loading one of its fields is a use-after-free at this very load,
+  // whatever the loaded bits happen to look like.
+  if (const void* freed_src = state_->freed_node_containing(src);
+      freed_src != nullptr) {
+    std::ostringstream detail;
+    detail << "protected read loaded from cell " << src
+           << " which lies inside freed node " << freed_src
+           << " — the traversal is walking through freed memory";
+    state_->violate(OracleViolation::kUseAfterFree, tid, freed_src,
+                    detail.str());
+  }
+  // Dead-edge tolerance (header comment in oracle.hpp): a validated read
+  // through a marked/frozen edge of a removed node can legally hand back a
+  // node that is retired past this tid's coverage, already freed, or —
+  // when the pool recycled the block — a live *new incarnation*. The new
+  // incarnation shows either as stale_edge (the edge's identity tag no
+  // longer matches the node's header) or, when the new index lands in the
+  // same tag block, as an incarnation allocated AFTER this op began
+  // (alloc_seq > op_start_seq): a validated read of a genuinely live edge
+  // always covers a node born before the op's announcement, so live +
+  // uncovered + born-mid-op can only be the recycle race between the
+  // reader's lock-free coverage computation and this mutex. The structures
+  // discard such results via their mark bits without a deref; the shadow
+  // model mirrors that by dropping the reference slot — the node gains no
+  // holder, so its (legitimate) free stays violation-free, and a deref
+  // through the slot is still flagged as unprotected.
+  if (const auto it = state_->nodes.find(node); it != state_->nodes.end()) {
+    if (it->second.phase == Phase::kFreed ||
+        (it->second.phase == Phase::kRetired && !covered) ||
+        (it->second.phase == Phase::kLive && !covered &&
+         (stale_edge || it->second.alloc_seq > shadow.op_start_seq))) {
+      if (ref != nullptr) {
+        record_trace(tid, obs::TraceEvent::kOracleUnprotect, ref);
+        ref = nullptr;
+      }
+      return;
+    }
+  }
+  if (!covered) {
+    state_->violate(OracleViolation::kUncoveredRead, tid, node,
+                    "protected read returned a live node this tid's own "
+                    "protection state (hazard slots / margin intervals / "
+                    "epoch reservation) does not cover — a latent "
+                    "use-after-free the next reclamation pass could realize");
+  }
+  ref = node;
+  record_trace(tid, obs::TraceEvent::kOracleProtect, node);
+}
+
+void ProtectionOracle::on_pin(int tid, int refno, const void* node) {
+  if (node == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->valid_tid(tid) || !state_->valid_refno(refno)) return;
+  auto& shadow = state_->threads[static_cast<std::size_t>(tid)];
+  if (!shadow.in_op) {
+    state_->violate(OracleViolation::kProtectOutsideOp, tid, node,
+                    "pin with no operation open on this tid");
+  } else if (const auto it = state_->nodes.find(node);
+             it != state_->nodes.end() && it->second.phase == Phase::kFreed) {
+    state_->violate(OracleViolation::kUseAfterFree, tid, node,
+                    "pin of a node the shadow model has already seen freed");
+  }
+  // No coverage check: pin's contract is that the caller already knows the
+  // node cannot be freed here (own unpublished allocation, or alive within
+  // this operation) — the pin itself establishes the protection.
+  shadow.refs[static_cast<std::size_t>(refno)] = node;
+  record_trace(tid, obs::TraceEvent::kOracleProtect, node);
+}
+
+void ProtectionOracle::on_unprotect(int tid, int refno) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->valid_tid(tid) || !state_->valid_refno(refno)) return;
+  auto& ref =
+      state_->threads[static_cast<std::size_t>(tid)].refs[static_cast<
+          std::size_t>(refno)];
+  // Tolerant of an already-empty slot: guard destructors unprotect
+  // unconditionally, and release() is documented idempotent.
+  if (ref != nullptr) {
+    record_trace(tid, obs::TraceEvent::kOracleUnprotect, ref);
+    ref = nullptr;
+  }
+}
+
+void ProtectionOracle::on_deref(int tid, const void* node) {
+  if (node == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->valid_tid(tid)) return;
+  if (const auto it = state_->nodes.find(node);
+      it != state_->nodes.end() && it->second.phase == Phase::kFreed) {
+    state_->violate(OracleViolation::kUseAfterFree, tid, node,
+                    "handle-API dereference of a node the shadow model has "
+                    "already seen freed");
+    return;
+  }
+  const auto& refs = state_->threads[static_cast<std::size_t>(tid)].refs;
+  for (const void* ref : refs) {
+    if (ref == node) return;
+  }
+  state_->violate(OracleViolation::kDerefUnprotected, tid, node,
+                  "handle-API dereference of a node this tid holds no "
+                  "reference to (guard used after unprotect/release, or its "
+                  "slot was re-protected by another guard)");
+}
+
+void ProtectionOracle::on_retire(int tid, const void* node) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto [it, inserted] =
+      state_->nodes.try_emplace(node, State::ShadowNode{Phase::kRetired});
+  if (!inserted) {
+    // Known node: Live -> Retired is the only legal transition.
+    if (it->second.phase != Phase::kLive) {
+      state_->violate(
+          OracleViolation::kBadRetire, tid, node,
+          it->second.phase == Phase::kRetired
+              ? "double retire of the same node"
+              : "retire of a node the shadow model has already seen freed");
+    }
+    it->second.phase = Phase::kRetired;
+  }
+  // Unknown nodes (allocated before the oracle was attached) are adopted
+  // leniently as Retired.
+  record_trace(tid, obs::TraceEvent::kOracleRetire, node);
+}
+
+void ProtectionOracle::on_detach(int tid) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->valid_tid(tid)) return;
+  auto& shadow = state_->threads[static_cast<std::size_t>(tid)];
+  if (shadow.in_op) {
+    state_->violate(OracleViolation::kDetachInsideOp, tid, nullptr,
+                    "detach(tid) while the tid still has an operation open "
+                    "(an OperationScope outliving its ThreadLease)");
+  }
+  shadow.in_op = false;
+  for (auto& ref : shadow.refs) ref = nullptr;
+}
+
+void ProtectionOracle::on_reclaim_free(int tid, const void* node) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->nodes.find(node);
+  if (it != state_->nodes.end() && it->second.phase == Phase::kFreed) {
+    state_->violate(OracleViolation::kDoubleFree, tid, node,
+                    "reclamation freed a node the shadow model has already "
+                    "seen freed");
+  } else if (const auto holders = state_->holders_of(node); !holders.empty()) {
+    // THE headline check: the scheme's scan decided this node is
+    // unprotected, but the shadow model still shows live references. The
+    // free is rejected here, before the memory is released — this is the
+    // use-after-free that would otherwise only surface later as corruption
+    // or an ASan report at the eventual dereference.
+    state_->violate(OracleViolation::kFreeOfProtected, tid, node,
+                    "reclamation is about to free a node some thread still "
+                    "holds a reference to");
+  }
+  // Keep the recorded size: the freed range backs the src-containment
+  // check until the address is recycled through on_alloc.
+  auto& entry = state_->nodes[node];
+  entry.phase = Phase::kFreed;
+  record_trace(tid, obs::TraceEvent::kOracleFree, node);
+}
+
+void ProtectionOracle::on_unlinked_free(int tid, const void* node) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->nodes.find(node);
+  if (it != state_->nodes.end() && it->second.phase == Phase::kFreed) {
+    state_->violate(OracleViolation::kDoubleFree, tid, node,
+                    "delete_unlinked of a node the shadow model has already "
+                    "seen freed");
+  }
+  // A never-linked node is single-owner by contract; the owner may free it
+  // while still holding a pin on it (failed-insert cleanup), so no holder
+  // check — but the references die with the node.
+  state_->drop_refs_to(node);
+  auto& entry = state_->nodes[node];
+  entry.phase = Phase::kFreed;
+  record_trace(tid, obs::TraceEvent::kOracleFree, node);
+}
+
+}  // namespace mp::smr
+
+#endif  // MARGINPTR_ORACLE_ENABLED

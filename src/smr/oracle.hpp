@@ -1,0 +1,249 @@
+// ProtectionOracle: a debug-build protection-discipline checker.
+//
+// The paper's safety argument rests on a protocol, not on luck: every
+// dereference of a shared node must be covered by a live hazard slot, a
+// margin interval, or an epoch/era reservation at the moment it happens.
+// The free-hook fuzz oracle and the sanitizers enforce that only *after
+// the fact* — they notice a use-after-free once the scheme has already
+// freed a node someone still held. This oracle is the runtime analogue of
+// the Pointer Life Cycle Types static discipline (Meyer & Wolff,
+// PAPERS.md): it maintains a shadow model of which (tid, node) pairs are
+// currently covered and rejects the *protocol violation* — protect outside
+// an operation, a read the scheme's own protection state does not cover, a
+// retire of a non-live node, a free of a node some thread still holds —
+// before the free (and therefore before any use-after-free) can happen.
+//
+// Shadow model (all state guarded by one mutex; this is debug machinery,
+// not a hot path):
+//   * per node:   phase Live -> Retired -> Freed, plus a holder count
+//                 (how many (tid, refno) references currently name it);
+//   * per thread: an in-operation flag and one reference slot per refno,
+//                 written by the protect/pin/unprotect/end_op hooks.
+//
+// Checks, each mapped to a violation kind below:
+//   on_protect    caller must be inside an operation; the source cell the
+//                 read loaded from must not lie inside shadow-Freed memory
+//                 (a traversal walking through a freed node is rejected at
+//                 the load, not at the eventual corruption); a live node
+//                 the scheme's own protection state does not cover (per-
+//                 scheme oracle_covers) is an uncovered read — the check
+//                 that catches a stale epoch or a revoked reservation at
+//                 read time, before anything is freed.
+//                 Dead-edge tolerance: pointer/interval schemes (HP, HE,
+//                 MP) can validate a read whose *source edge* is itself
+//                 dead — a marked or frozen next-pointer inside a removed
+//                 node — and hand back a node that is already retired past
+//                 coverage or even freed. The data structures discard such
+//                 results via their mark bits without dereferencing (this
+//                 is inherent to validation-based protocols; epoch schemes
+//                 never produce it). The shadow model therefore does NOT
+//                 flag a retired-uncovered or freed *result*; it drops the
+//                 reference slot instead, so the node gains no shadow
+//                 holder and any later deref through it is still caught.
+//                 A dead edge whose target block the pool has already
+//                 recycled hands back a *live* node — a different logical
+//                 node that happens to share the address. Two signals
+//                 identify it, and both are tolerated the same way
+//                 (dropped, never recorded): the scheme's stale_edge flag
+//                 (the edge's identity tag disagrees with the node's
+//                 current header; only MP, whose protection is index-
+//                 keyed, can detect and can suffer it), and the shadow
+//                 model's own ordering — an incarnation allocated after
+//                 the reading op began (a validated live edge always
+//                 covers a node born before the op's announcement, so
+//                 live + uncovered + born-mid-op can only be the recycle
+//                 race against the reader's lock-free coverage check).
+//   on_deref      (tid, node) must be in the caller's reference set — a
+//                 guard dereference after unprotect/slot reuse fails here
+//   on_retire     the node must be shadow-Live (double retire, retire of
+//                 a freed node)
+//   on_*_free     the node must not be shadow-Freed (double free) and its
+//                 holder count must be zero — a reclamation pass (inline
+//                 empty(), background scan, drain) about to free a node
+//                 the shadow model still shows covered is rejected HERE,
+//                 before the memory is released
+//   on_start_op / on_end_op / on_detach
+//                 bracket discipline: no nested operations on one tid, no
+//                 end without begin, no detach while inside an operation
+//                 (a scope outliving its ThreadLease)
+//
+// On violation the oracle prints a structured diagnostic — the node's
+// shadow state, its holders, and its lifecycle (alloc -> protect ->
+// retire -> free) reconstructed from the per-thread trace rings
+// (obs/trace.hpp; the oracle records kOracle* events with node addresses
+// into the same rings the scheme already uses) — and calls std::abort().
+// Tests may switch to recording mode (set_abort_on_violation(false)) and
+// inspect violations()/last_report() instead.
+//
+// Build gating: everything here is compiled out unless the SMR_ORACLE
+// CMake option defines SMR_ORACLE=1. With the option OFF this header
+// defines a zero-size no-op class (static_asserted below) and
+// kOracleEnabled == false, so every call site in scheme_base.hpp and the
+// scheme headers — all behind `if constexpr (kOracleEnabled)` — vanishes:
+// read paths stay fence-free and branch-free, exactly as measured by
+// micro_read_cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "obs/trace.hpp"
+
+#if defined(SMR_ORACLE) && SMR_ORACLE
+#define MARGINPTR_ORACLE_ENABLED 1
+#else
+#define MARGINPTR_ORACLE_ENABLED 0
+#endif
+
+namespace mp::smr {
+
+/// True when this build carries the live oracle (CMake -DSMR_ORACLE=ON).
+inline constexpr bool kOracleEnabled = MARGINPTR_ORACLE_ENABLED != 0;
+
+/// What discipline rule a violation broke. Stable names (see
+/// oracle_violation_name) are part of the diagnostic format tests match.
+enum class OracleViolation : std::uint8_t {
+  kProtectOutsideOp = 0,  ///< read()/protect with no operation open
+  kUncoveredRead,         ///< read returned a node the scheme's own state
+                          ///< does not cover (stale epoch / revoked slot)
+  kUseAfterFree,          ///< read/pin returned a shadow-Freed node
+  kDerefUnprotected,      ///< guard deref of a node not in the ref set
+  kBadRetire,             ///< retire of a non-live (retired/freed) node
+  kFreeOfProtected,       ///< a free of a node the model still shows held
+  kDoubleFree,            ///< a free of an already-freed node
+  kNestedOp,              ///< start_op while an operation is already open
+  kEndOutsideOp,          ///< end_op with no operation open
+  kDetachInsideOp,        ///< detach(tid) while tid is inside an operation
+};
+
+inline const char* oracle_violation_name(OracleViolation v) noexcept {
+  switch (v) {
+    case OracleViolation::kProtectOutsideOp: return "protect-outside-op";
+    case OracleViolation::kUncoveredRead: return "uncovered-read";
+    case OracleViolation::kUseAfterFree: return "use-after-free";
+    case OracleViolation::kDerefUnprotected: return "deref-unprotected";
+    case OracleViolation::kBadRetire: return "bad-retire";
+    case OracleViolation::kFreeOfProtected: return "free-of-protected";
+    case OracleViolation::kDoubleFree: return "double-free";
+    case OracleViolation::kNestedOp: return "nested-op";
+    case OracleViolation::kEndOutsideOp: return "end-outside-op";
+    case OracleViolation::kDetachInsideOp: return "detach-inside-op";
+  }
+  return "?";
+}
+
+#if MARGINPTR_ORACLE_ENABLED
+
+class ProtectionOracle {
+ public:
+  /// Sentinel tid for hooks that fire off any mutator thread (the
+  /// background reclaimer's frees, drain(), the stray delete_unlinked).
+  static constexpr int kNoTid = -1;
+
+  /// `max_threads`/`slots_per_thread` mirror the scheme Config the oracle
+  /// is attached to. `tracer` (optional, non-owning) is where lifecycle
+  /// events are recorded and read back from for violation dumps; sizing it
+  /// with one lane past max_threads gives the background reclaimer's frees
+  /// a ring too, same convention as SchemeBase::bg_trace.
+  ProtectionOracle(std::size_t max_threads, int slots_per_thread,
+                   obs::Tracer* tracer = nullptr);
+  ~ProtectionOracle();
+
+  ProtectionOracle(const ProtectionOracle&) = delete;
+  ProtectionOracle& operator=(const ProtectionOracle&) = delete;
+
+  static constexpr bool enabled() noexcept { return true; }
+
+  /// Default true: a violation prints its report and calls std::abort()
+  /// so the protocol break is rejected before the free. Recording mode
+  /// (false) is for the deliberate-violation test suite.
+  void set_abort_on_violation(bool abort_on_violation) noexcept;
+
+  std::uint64_t violations() const noexcept;
+  /// Kind of the most recent violation (meaningful when violations() > 0).
+  OracleViolation last_violation() const noexcept;
+  /// Full report of the most recent violation (the text abort mode prints).
+  std::string last_report() const;
+
+  // ---- Hooks (called by SchemeBase / the schemes / the guard layer) ----
+
+  void on_start_op(int tid);
+  void on_end_op(int tid);
+  /// `size` is sizeof the concrete node: the shadow model keeps it so a
+  /// later read can be checked for loading *through* freed memory.
+  void on_alloc(int tid, const void* node, std::size_t size);
+  /// `covered` is the scheme's own answer (Scheme::oracle_covers) for
+  /// whether tid's current protection state covers `node`. `src` is the
+  /// address of the cell the read loaded from (nullptr when unknown): a
+  /// src inside a shadow-Freed node is a use-after-free at the load.
+  /// `stale_edge` is the scheme's answer (Scheme::oracle_edge_stale) for
+  /// whether the observed pointer's identity tag disagrees with the node's
+  /// current header — a dead edge into a pool-recycled block, tolerated
+  /// like the other dead-edge shapes (see the header comment).
+  void on_protect(int tid, int refno, const void* node, bool covered,
+                  const void* src, bool stale_edge);
+  void on_pin(int tid, int refno, const void* node);
+  void on_unprotect(int tid, int refno);
+  void on_deref(int tid, const void* node);
+  void on_retire(int tid, const void* node);
+  void on_detach(int tid);
+  /// A reclamation-path free (inline empty(), background scan, drain).
+  void on_reclaim_free(int tid, const void* node);
+  /// A never-linked free (delete_unlinked).
+  void on_unlinked_free(int tid, const void* node);
+
+ private:
+  struct State;
+  State* state_;  // pimpl: keeps unordered_map et al. out of every TU
+
+  void record_trace(int tid, obs::TraceEvent event, const void* node);
+};
+
+#else  // !MARGINPTR_ORACLE_ENABLED
+
+/// The disabled oracle: a zero-size no-op. Call sites never reach it (they
+/// sit behind `if constexpr (kOracleEnabled)`), but the type — and the
+/// introspection surface tests compile against — still exists so code is
+/// written once for both arms.
+class ProtectionOracle {
+ public:
+  static constexpr int kNoTid = -1;
+
+  ProtectionOracle(std::size_t /*max_threads*/, int /*slots_per_thread*/,
+                   obs::Tracer* /*tracer*/ = nullptr) noexcept {}
+
+  static constexpr bool enabled() noexcept { return false; }
+
+  void set_abort_on_violation(bool) noexcept {}
+  std::uint64_t violations() const noexcept { return 0; }
+  OracleViolation last_violation() const noexcept {
+    return OracleViolation::kProtectOutsideOp;
+  }
+  std::string last_report() const { return {}; }
+
+  void on_start_op(int) noexcept {}
+  void on_end_op(int) noexcept {}
+  void on_alloc(int, const void*, std::size_t) noexcept {}
+  void on_protect(int, int, const void*, bool, const void*, bool) noexcept {}
+  void on_pin(int, int, const void*) noexcept {}
+  void on_unprotect(int, int) noexcept {}
+  void on_deref(int, const void*) noexcept {}
+  void on_retire(int, const void*) noexcept {}
+  void on_detach(int) noexcept {}
+  void on_reclaim_free(int, const void*) noexcept {}
+  void on_unlinked_free(int, const void*) noexcept {}
+};
+
+/// The Release guard (ISSUE 6 satellite): with SMR_ORACLE off the oracle
+/// must be a zero-size no-op so schemes embedding or pointing at it cost
+/// nothing. `is_empty` implies sizeof == 1 and no vtable; the trivially-
+/// destructible check keeps teardown free too.
+static_assert(std::is_empty_v<ProtectionOracle> &&
+                  std::is_trivially_destructible_v<ProtectionOracle>,
+              "disabled ProtectionOracle must compile to a zero-size no-op");
+
+#endif  // MARGINPTR_ORACLE_ENABLED
+
+}  // namespace mp::smr

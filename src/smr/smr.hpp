@@ -46,6 +46,7 @@
 #include "smr/leaky.hpp"
 #include "smr/mp.hpp"
 #include "smr/node.hpp"
+#include "smr/oracle.hpp"
 #include "smr/stats.hpp"
 #include "smr/tagged_ptr.hpp"
 
@@ -92,6 +93,10 @@ concept SmrScheme =
       { s.on_detach(tid) };
       { cs.epoch_now() } -> std::same_as<std::uint64_t>;
       { S::waste_bound_per_thread(config) } -> std::same_as<std::uint64_t>;
+      // ProtectionOracle coverage predicate (oracle.hpp): defined in both
+      // build arms (it reports the scheme's own protection state and has
+      // no oracle dependency), so the concept holds with SMR_ORACLE OFF.
+      { cs.oracle_covers(tid, cnode) } -> std::same_as<bool>;
       // Snapshot-scan interface (reclaimer.hpp): one hazard/epoch snapshot,
       // reusable across many retired-batch scans.
       { cs.collect_snapshot(snapshot) };

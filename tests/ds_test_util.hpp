@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <thread>
 #include <vector>
@@ -15,9 +16,48 @@
 #include "ds/fraser_skiplist.hpp"
 #include "ds/michael_list.hpp"
 #include "ds/natarajan_tree.hpp"
+#include "obs/trace.hpp"
 #include "smr/smr.hpp"
 
 namespace mp::test {
+
+/// Attaches a ProtectionOracle (plus a tracer for its lifecycle dumps) to
+/// a Config in builds that carry the oracle (-DSMR_ORACLE=ON); a no-op
+/// otherwise. Declare one before the scheme under test so it outlives it,
+/// call attach() on the Config, and expect_clean() after the workload —
+/// this is how the torture suites assert the whole run respected the
+/// protection discipline, not just that nothing crashed.
+class OracleAttachment {
+ public:
+  void attach(smr::Config& config) {
+    if constexpr (smr::kOracleEnabled) {
+      // One lane past max_threads: off-thread frees (background reclaimer,
+      // drain) get a trace ring too, same convention as SchemeBase.
+      tracer_.emplace(config.max_threads + 1);
+      oracle_.emplace(config.max_threads, config.slots_per_thread,
+                      &*tracer_);
+      // Recording mode: a violation becomes a gtest failure carrying the
+      // report, instead of aborting the whole test binary.
+      oracle_->set_abort_on_violation(false);
+      if (config.tracer == nullptr) config.tracer = &*tracer_;
+      config.oracle = &*oracle_;
+    } else {
+      (void)config;
+    }
+  }
+
+  void expect_clean() const {
+    if (oracle_) {
+      EXPECT_EQ(oracle_->violations(), 0u)
+          << "workload tripped the protection oracle:\n"
+          << oracle_->last_report();
+    }
+  }
+
+ private:
+  std::optional<obs::Tracer> tracer_;
+  std::optional<smr::ProtectionOracle> oracle_;
+};
 
 /// Key ranges sized so collisions (and hence contended deletes) are common.
 inline smr::Config ds_config(std::size_t threads, int slots,

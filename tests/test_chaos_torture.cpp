@@ -240,6 +240,11 @@ void survive_torture(std::uint64_t seed, bool background_reclaim = false) {
   Config config = mp::test::ds_config(threads, DS::kRequiredSlots, 8);
   config.background_reclaim = background_reclaim;
   config.fault_injector = &injector;
+  // In SMR_ORACLE builds the whole fault mix additionally runs under the
+  // protection-discipline oracle: surviving is not enough, every read and
+  // free must also have respected the protocol.
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
   DS ds(config);
   std::uint64_t prefill = 0;
   for (std::uint64_t key = 2; key <= 256; key += 2) {
@@ -261,6 +266,7 @@ void survive_torture(std::uint64_t seed, bool background_reclaim = false) {
         << "peak_inflight " << watchdog.peak_inflight()
         << " exceeds in-flight bound " << watchdog.inflight_bound();
   }
+  oracle.expect_clean();
 }
 
 template <typename Tag>

@@ -167,6 +167,11 @@ void survive_churn(std::uint64_t seed, bool background_reclaim = false) {
   Config config = mp::test::ds_config(threads, DS::kRequiredSlots, 8);
   config.background_reclaim = background_reclaim;
   config.fault_injector = &injector;
+  // SMR_ORACLE builds: injected thread deaths must also leave the shadow
+  // model consistent — a detach with an operation still open, or a free of
+  // a node a departed-then-readopted tid still covers, fails the run.
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
   DS ds(config);
   ThreadRegistry registry(static_cast<std::size_t>(threads));
   registry.set_detach_hook(
@@ -199,6 +204,7 @@ void survive_churn(std::uint64_t seed, bool background_reclaim = false) {
   const auto stats = ds.scheme().stats_snapshot();
   EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
   EXPECT_GE(stats.orphaned, stats.adopted);
+  oracle.expect_clean();
 }
 
 template <typename Tag>

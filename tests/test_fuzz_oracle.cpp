@@ -59,8 +59,11 @@ class FuzzOracleTest : public ::testing::Test {};
 TYPED_TEST_SUITE(FuzzOracleTest, mp::test::AllSchemeTags,
                  mp::test::SchemeTagNames);
 
-TYPED_TEST(FuzzOracleTest, NoProtectedNodeIsEverFreed) {
-  using Scheme = typename TypeParam::type;
+/// Shared driver; `background_reclaim` selects whether frees happen inline
+/// in empty() or on the reclaimer thread (whose asynchronous frees the
+/// shadow set must equally never observe under a reader's protection).
+template <typename Scheme>
+void fuzz_against_shadow_set(bool background_reclaim) {
   constexpr int kReaders = 3;
   constexpr int kCells = 32;
   constexpr int kWriterOps = 20000;
@@ -72,6 +75,7 @@ TYPED_TEST(FuzzOracleTest, NoProtectedNodeIsEverFreed) {
   config.slots_per_thread = 4;
   config.empty_freq = 2;
   config.epoch_freq = 16;
+  config.background_reclaim = background_reclaim;
   config.free_hook = &ShadowFreeSet::hook;
   config.free_hook_context = &shadow;
   Scheme scheme(config);
@@ -139,6 +143,14 @@ TYPED_TEST(FuzzOracleTest, NoProtectedNodeIsEverFreed) {
   }
   scheme.drain();
   EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+TYPED_TEST(FuzzOracleTest, NoProtectedNodeIsEverFreed) {
+  fuzz_against_shadow_set<typename TypeParam::type>(false);
+}
+
+TYPED_TEST(FuzzOracleTest, NoProtectedNodeIsEverFreedByBackgroundReclaimer) {
+  fuzz_against_shadow_set<typename TypeParam::type>(true);
 }
 
 }  // namespace

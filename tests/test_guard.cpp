@@ -101,6 +101,54 @@ TYPED_TEST(GuardTest, ResetDropsProtectionEagerly) {
   scheme.delete_unlinked(node);
 }
 
+TYPED_TEST(GuardTest, DoubleReleaseIsIdempotent) {
+  typename TestFixture::Scheme scheme(this->config());
+  TestNode* a = scheme.alloc(0, 1u);
+  TestNode* b = scheme.alloc(0, 2u);
+  AtomicTaggedPtr cell_a(scheme.make_link(a));
+  AtomicTaggedPtr cell_b(scheme.make_link(b));
+  OperationScope scope(scheme, 0);
+  Guard first(scope, 0);
+  first.protect(cell_a);
+  first.release();
+  EXPECT_TRUE(first.released());
+
+  // A later guard re-binds the same refno; the first guard's second
+  // release (and its destructor) must not tear that protection down.
+  Guard second(scope, 0);
+  ASSERT_EQ(second.protect_ptr(cell_b), b);
+  first.release();  // no-op: the slot was already surrendered
+  first.reset();    // reset() is an alias; also a no-op here
+  EXPECT_EQ(second.get(), b) << "double release must not disturb the slot";
+
+  // The protection must actually hold: retire b and make sure it survives
+  // reclamation pressure while `second` still guards it.
+  cell_b.store(TaggedPtr::null());
+  scheme.retire(1, b);
+  for (int i = 0; i < 32; ++i) scheme.retire(1, scheme.alloc(1, 0u));
+  EXPECT_EQ(second->key, 2u) << "guarded node must not be reclaimed";
+  scheme.delete_unlinked(a);
+}
+
+TYPED_TEST(GuardTest, ProtectAfterReleaseReArms) {
+  typename TestFixture::Scheme scheme(this->config());
+  TestNode* node = scheme.alloc(0, 4u);
+  AtomicTaggedPtr cell(scheme.make_link(node));
+  OperationScope scope(scheme, 0);
+  Guard guard(scope, 0);
+  guard.protect(cell);
+  guard.release();
+  EXPECT_TRUE(guard.released());
+  EXPECT_EQ(guard.get(), nullptr);
+
+  // protect() after release() is the supported way to reuse the guard:
+  // it re-arms, and the destructor drops the protection exactly once.
+  EXPECT_EQ(guard.protect_ptr(cell), node);
+  EXPECT_FALSE(guard.released());
+  EXPECT_EQ(guard->key, 4u);
+  scheme.delete_unlinked(node);
+}
+
 TYPED_TEST(GuardTest, MultipleGuardsIndependentSlots) {
   typename TestFixture::Scheme scheme(this->config());
   TestNode* a = scheme.alloc(0, 1u);

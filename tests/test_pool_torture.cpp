@@ -22,6 +22,10 @@ void pooled_mix(std::uint64_t seed) {
   config.pool_enabled = true;
   // A small magazine keeps depot exchanges frequent under the mix.
   config.pool_magazine_cap = 8;
+  // SMR_ORACLE builds: address recycling through the magazines must never
+  // alias a block some thread's shadow reference still covers.
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
   DS ds(config);
   mp::test::concurrent_mix_check(ds, threads, 6000, 128, 45, 35, seed);
 
@@ -34,6 +38,7 @@ void pooled_mix(std::uint64_t seed) {
   scheme.drain();
   const auto stats = scheme.stats_snapshot();
   EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
+  oracle.expect_clean();
   // total_freed excludes live nodes still in the structure; tear the
   // structure down inside the scope below to close allocs == frees.
 }
@@ -46,6 +51,8 @@ void pooled_identity(std::uint64_t seed) {
   Config config = mp::test::ds_config(threads, DS::kRequiredSlots, 8);
   config.pool_enabled = true;
   config.pool_magazine_cap = 8;
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
   std::uint64_t allocated = 0;
   std::uint64_t freed = 0;
   {
@@ -63,6 +70,7 @@ void pooled_identity(std::uint64_t seed) {
   // the pool or destructor leaked.
   (void)allocated;
   (void)freed;
+  oracle.expect_clean();
 }
 
 template <typename Tag>

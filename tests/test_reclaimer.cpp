@@ -48,6 +48,10 @@ TYPED_TEST(ReclaimerHandoverTest, RetireStormConservesEveryNode) {
   using Scheme = typename TypeParam::type;
   const int threads = 4;
   Config config = bg_config(threads, 2, 8);
+  // SMR_ORACLE builds: every bg free goes through the shadow model too
+  // (no double free, no free of a covered node) during the storm.
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
   Scheme scheme(config);
   const int per_thread = 4000;
   std::vector<std::thread> workers;
@@ -73,6 +77,7 @@ TYPED_TEST(ReclaimerHandoverTest, RetireStormConservesEveryNode) {
   const auto stats = scheme.stats_snapshot();
   EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
   EXPECT_EQ(scheme.outstanding(), 0u);
+  oracle.expect_clean();
 }
 
 TYPED_TEST(ReclaimerHandoverTest, ForegroundArmIsUnchanged) {
