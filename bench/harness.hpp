@@ -134,7 +134,12 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
   workers.reserve(threads);
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      // Workers draw from jump()-separated substreams of the one run seed:
+      // additive seeding (`seed + t * 7919`) put worker states at unknown
+      // relative phases of the same xoshiro orbit, so two streams could
+      // overlap within a long run. Substreams are 2^128 steps apart.
+      common::Xoshiro256 rng =
+          common::Xoshiro256::stream(seed, static_cast<std::uint64_t>(t));
       std::uint64_t ops = 0;
       std::uint64_t departures = 0;
       std::optional<common::ThreadLease> lease;

@@ -1,0 +1,356 @@
+// svc_closed_loop: closed-loop service bench for the sharded map layer
+// (src/svc/, DESIGN.md §10).
+//
+// N client threads drive a ShardedMap (one SMR domain per shard) through
+// the async submit/flush/complete front-end. Key popularity is
+// Zipf-skewed; the op mix is --read-pct gets with the remainder split
+// between inserts and removes. Each client paces request *arrivals* at a
+// configured rate and stamps every request with its intended arrival time,
+// so a backlogged service accrues queueing delay in the measured latency
+// (no coordinated omission: if the service cannot keep up, p99 explodes
+// instead of the load generator silently slowing down).
+//
+// Verdict: the offered-load sweep (--rates, total kops/s) is walked in
+// order; a level is *sustained* when measured p99 meets the SLO
+// (--slo-p99-us) AND achieved throughput reaches 95% of offered. The
+// report's verdict row carries the maximum sustained rate. Every window
+// also asserts each shard's WasteWatchdog invariants (per-thread waste
+// bound, and in the --reclaim=bg arm the in-flight cap) — a violation
+// fails the run.
+//
+// Output: CSV rows on stdout and a schema-v5 BENCH_svc_closed_loop.json
+// (per-shard stats arrays + SLO verdict objects).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/zipf.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "harness.hpp"
+#include "svc/sharded_map.hpp"
+
+namespace {
+
+struct SvcArgs {
+  std::size_t shards = 4;
+  int clients = 4;
+  std::vector<std::string> schemes;
+  std::size_t size = 20000;
+  int read_pct = 90;
+  double theta = 0.99;
+  std::size_t batch = 16;
+  std::size_t ring = 1024;
+  std::vector<std::uint64_t> rates_kops;
+  int duration_ms = 250;
+  std::uint64_t slo_p99_us = 2000;
+  bool pool = true;
+  bool reclaim_bg = false;
+  std::string json_out;
+};
+
+struct WindowResult {
+  double offered_kops = 0;
+  double achieved_kops = 0;
+  mp::obs::LatencyHistogram latency;
+  bool waste_ok = true;
+  bool inflight_ok = true;
+};
+
+/// One offered-load window: `clients` threads pace arrivals and drive the
+/// async front-end until `duration_ms` elapses.
+template <typename Map>
+WindowResult run_window(Map& map, const SvcArgs& args,
+                        const mp::common::ZipfGenerator& zipf,
+                        std::uint64_t rate_kops, std::uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  std::mutex merge_mutex;
+  WindowResult result;
+  result.offered_kops = static_cast<double>(rate_kops);
+  const double interval_ns =
+      1e9 * static_cast<double>(args.clients) /
+      (static_cast<double>(rate_kops) * 1000.0);
+  mp::common::SpinBarrier barrier(static_cast<std::size_t>(args.clients) + 1);
+
+  std::atomic<std::uint64_t> total_completed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(args.clients));
+  for (int c = 0; c < args.clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = map.client(c, args.batch, args.ring);
+      mp::common::Xoshiro256 rng =
+          mp::common::Xoshiro256::stream(seed, static_cast<std::uint64_t>(c));
+      mp::obs::LatencyHistogram local;
+      std::uint64_t completed = 0;
+      barrier.arrive_and_wait();
+      const auto start = Clock::now();
+      const auto deadline =
+          start + std::chrono::milliseconds(args.duration_ms);
+      double next_arrival_ns = 0;
+      const auto harvest = [&](std::uint64_t now_ns) {
+        mp::svc::Completion done;
+        while (client.try_complete(done)) {
+          local.record(now_ns > done.user ? now_ns - done.user : 0);
+          ++completed;
+        }
+      };
+      for (auto now = Clock::now(); now < deadline; now = Clock::now()) {
+        const auto now_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+                .count());
+        // Admit every arrival that is due. The ring bounds in-flight:
+        // on backpressure we stop admitting WITHOUT advancing the arrival
+        // clock, so the wait shows up as queueing delay in the latency.
+        while (static_cast<double>(now_ns) >= next_arrival_ns) {
+          mp::svc::Request request;
+          const std::uint64_t key = 1 + zipf.next(rng);
+          const auto coin = static_cast<int>(rng.next() % 100);
+          if (coin < args.read_pct) {
+            request.op = mp::svc::OpType::kGet;
+          } else if (coin < args.read_pct + (100 - args.read_pct) / 2) {
+            request.op = mp::svc::OpType::kInsert;
+            request.value = key;
+          } else {
+            request.op = mp::svc::OpType::kRemove;
+          }
+          request.key = key;
+          request.user = static_cast<std::uint64_t>(next_arrival_ns);
+          if (!client.submit(request)) break;
+          next_arrival_ns += interval_ns;
+        }
+        client.flush();
+        harvest(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count()));
+      }
+      client.flush();
+      harvest(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count()));
+      total_completed.fetch_add(completed, std::memory_order_relaxed);
+      std::lock_guard lock(merge_mutex);
+      result.latency.merge(local);
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const auto window_start = Clock::now();
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - window_start).count();
+  result.achieved_kops =
+      static_cast<double>(total_completed.load()) / seconds / 1000.0;
+  result.waste_ok = map.waste_ok();
+  result.inflight_ok = map.inflight_ok();
+  return result;
+}
+
+template <template <typename> class SchemeT>
+int run_scheme(const char* scheme_name, const SvcArgs& args,
+               mp::obs::BenchReport& report) {
+  using Map = mp::svc::ShardedMap<mp::ds::NatarajanTree<SchemeT>>;
+  using Scheme = typename Map::Scheme;
+
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(args.clients);
+  config.slots_per_thread = mp::ds::NatarajanTree<SchemeT>::kRequiredSlots;
+  config.pool_enabled = args.pool;
+  config.background_reclaim = args.reclaim_bg;
+  Map map(args.shards, config);
+
+  // Prefill: S distinct keys from a 2S range, routed by hash like live
+  // traffic, so every shard starts with ~S/N keys.
+  mp::common::Xoshiro256 prefill_rng(0xF111);
+  std::size_t inserted = 0;
+  while (inserted < args.size) {
+    const std::uint64_t key = 1 + prefill_rng.next_below(2 * args.size);
+    inserted += map.insert(0, key, key) ? 1 : 0;
+  }
+
+  const mp::common::ZipfGenerator zipf(2 * args.size, args.theta);
+  const std::uint64_t waste_bound = Scheme::waste_bound_per_thread(config);
+  const std::uint64_t slo_ns = args.slo_p99_us * 1000;
+
+  double max_sustained_kops = 0;
+  bool all_invariants_ok = true;
+  for (std::size_t level = 0; level < args.rates_kops.size(); ++level) {
+    std::vector<mp::smr::StatsSnapshot> before;
+    before.reserve(map.shard_count());
+    for (std::size_t s = 0; s < map.shard_count(); ++s) {
+      before.push_back(map.shard_stats(s));
+    }
+
+    const WindowResult window =
+        run_window(map, args, zipf, args.rates_kops[level], 42 + level);
+
+    const std::uint64_t p99 = window.latency.p99();
+    const bool slo_met = p99 <= slo_ns;
+    const bool sustained =
+        slo_met && window.achieved_kops >= 0.95 * window.offered_kops;
+    if (sustained) {
+      max_sustained_kops = std::max(max_sustained_kops, window.offered_kops);
+    }
+    all_invariants_ok &= window.waste_ok && window.inflight_ok;
+
+    std::printf("svc_closed_loop,%s,%zu,%d,%.0f,%.1f,%llu,%s,%s\n",
+                scheme_name, map.shard_count(), args.clients,
+                window.offered_kops, window.achieved_kops,
+                static_cast<unsigned long long>(p99),
+                slo_met ? "slo-met" : "slo-missed",
+                window.inflight_ok ? "inflight-ok" : "inflight-VIOLATED");
+    std::fflush(stdout);
+
+    mp::obs::json::Value row = mp::obs::json::Value::object();
+    row["figure"] = "svc_closed_loop";
+    row["structure"] = "bst";
+    row["workload"] = "svc-zipf";
+    row["scheme"] = scheme_name;
+    row["threads"] = static_cast<std::uint64_t>(args.clients);
+    row["offered_kops"] = window.offered_kops;
+    row["achieved_kops"] = window.achieved_kops;
+    mp::obs::json::Value latency = mp::obs::json::Value::object();
+    latency["request"] = mp::obs::to_json(window.latency);
+    row["latency_ns"] = latency;
+    mp::obs::json::Value slo = mp::obs::json::Value::object();
+    slo["p99_slo_ns"] = slo_ns;
+    slo["p99_ns"] = p99;
+    slo["met"] = slo_met;
+    slo["sustained"] = sustained;
+    row["slo"] = slo;
+    mp::obs::json::Value shards = mp::obs::json::Value::array();
+    mp::smr::StatsSnapshot total;
+    for (std::size_t s = 0; s < map.shard_count(); ++s) {
+      const mp::smr::StatsSnapshot delta = map.shard_stats(s) - before[s];
+      shards.push_back(mp::obs::shard_json(s, delta, waste_bound));
+      total += delta;
+    }
+    row["shards"] = shards;
+    row["stats"] = mp::obs::to_json(total);
+    row["inflight_ok"] = window.inflight_ok;
+    report.add_row(std::move(row));
+
+    map.drain_all();  // quiescent (and per-shard conserved) between levels
+  }
+
+  // Verdict row: the max sustainable throughput at the p99 SLO.
+  mp::obs::json::Value verdict = mp::obs::json::Value::object();
+  verdict["figure"] = "svc_verdict";
+  verdict["scheme"] = scheme_name;
+  verdict["structure"] = "bst";
+  verdict["max_sustained_kops"] = max_sustained_kops;
+  mp::obs::json::Value slo = mp::obs::json::Value::object();
+  slo["p99_slo_ns"] = slo_ns;
+  slo["met"] = max_sustained_kops > 0;
+  verdict["slo"] = slo;
+  mp::obs::json::Value shards = mp::obs::json::Value::array();
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    shards.push_back(
+        mp::obs::shard_json(s, map.shard_stats(s), waste_bound));
+  }
+  verdict["shards"] = shards;
+  report.add_row(std::move(verdict));
+
+  std::printf("svc_verdict,%s,%zu,%d,max_sustained=%.0f kops/s @ p99<=%lluus\n",
+              scheme_name, map.shard_count(), args.clients,
+              max_sustained_kops,
+              static_cast<unsigned long long>(args.slo_p99_us));
+  std::fflush(stdout);
+  return all_invariants_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli(
+      "closed-loop sharded-map service bench: Zipf keys, paced arrivals, "
+      "max-sustainable-throughput-at-p99-SLO verdict");
+  cli.add_int("shards", 4, "shard count (rounded up to a power of two)");
+  cli.add_int("clients", 4, "client threads driving the async front-end");
+  cli.add_string("schemes", "MP", "comma-separated SMR schemes");
+  cli.add_int("size", 20000, "prefill size S (keys drawn from a 2S range)");
+  cli.add_int("read-pct", 90, "percentage of gets (rest: insert/remove)");
+  cli.add_string("theta", "0.99", "Zipf skew in [0, 1)");
+  cli.add_int("batch", 16, "per-shard batch size before an inline flush");
+  cli.add_int("ring", 1024, "completion-ring capacity (bounds in-flight)");
+  cli.add_string("rates", "50,100,200,400",
+                 "offered-load sweep, total kops/s, ascending");
+  cli.add_int("duration-ms", 250, "measurement window per load level");
+  cli.add_int("slo-p99-us", 2000, "p99 latency SLO in microseconds");
+  cli.add_string("pool", "on", "node-pool arm: on|off");
+  cli.add_string("reclaim", "fg",
+                 "reclamation arm: fg or bg (per-shard reclaimer threads)");
+  cli.add_bool("full", "paper-scale parameters (large size, 1s windows)");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_svc_closed_loop.json)");
+  cli.parse(argc, argv);
+
+  SvcArgs args;
+  args.shards = static_cast<std::size_t>(cli.get_int("shards"));
+  args.clients = static_cast<int>(cli.get_int("clients"));
+  args.schemes = mp::common::Cli::split_csv(cli.get_string("schemes"));
+  args.size = static_cast<std::size_t>(cli.get_int("size"));
+  args.read_pct = static_cast<int>(cli.get_int("read-pct"));
+  args.theta = std::stod(cli.get_string("theta"));
+  args.batch = static_cast<std::size_t>(cli.get_int("batch"));
+  args.ring = static_cast<std::size_t>(cli.get_int("ring"));
+  for (const auto rate : mp::common::Cli::split_csv_int(
+           cli.get_string("rates"))) {
+    args.rates_kops.push_back(static_cast<std::uint64_t>(rate));
+  }
+  args.duration_ms = static_cast<int>(cli.get_int("duration-ms"));
+  args.slo_p99_us = static_cast<std::uint64_t>(cli.get_int("slo-p99-us"));
+  args.pool = cli.get_string("pool") == "on";
+  args.reclaim_bg = cli.get_string("reclaim") == "bg";
+  args.json_out = cli.get_string("json-out");
+  if (cli.get_bool("full")) {
+    args.size = 200000;
+    args.duration_ms = 1000;
+  }
+  if (args.clients < 1 || args.read_pct < 0 || args.read_pct > 100 ||
+      args.theta < 0.0 || args.theta >= 1.0 || args.rates_kops.empty()) {
+    std::fprintf(stderr, "svc_closed_loop: invalid arguments\n");
+    return 2;
+  }
+
+  mp::obs::BenchReport report("svc_closed_loop", args.json_out);
+  auto& config = report.config();
+  config["shards"] = static_cast<std::uint64_t>(args.shards);
+  config["clients"] = static_cast<std::uint64_t>(args.clients);
+  config["size"] = args.size;
+  config["read_pct"] = static_cast<std::uint64_t>(args.read_pct);
+  config["theta"] = args.theta;
+  config["batch"] = args.batch;
+  config["ring"] = args.ring;
+  config["duration_ms"] = static_cast<std::uint64_t>(args.duration_ms);
+  config["slo_p99_us"] = args.slo_p99_us;
+  config["pool"] = args.pool ? "on" : "off";
+  config["pool_effective"] =
+      (args.pool && !mp::smr::kPoolForcedOff) ? "on" : "off";
+  config["reclaim"] = args.reclaim_bg ? "bg" : "fg";
+  mp::obs::json::Value rates = mp::obs::json::Value::array();
+  for (const auto rate : args.rates_kops) rates.push_back(rate);
+  config["rates_kops"] = rates;
+  mp::obs::json::Value schemes = mp::obs::json::Value::array();
+  for (const auto& s : args.schemes) schemes.push_back(s);
+  config["schemes"] = schemes;
+
+  std::printf(
+      "bench,scheme,shards,clients,offered_kops,achieved_kops,p99_ns,"
+      "slo,inflight\n");
+  int status = 0;
+  for (const std::string& scheme : args.schemes) {
+#define MARGINPTR_SVC_RUN(S) \
+  status |= run_scheme<S>(scheme.c_str(), args, report)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_SVC_RUN);
+#undef MARGINPTR_SVC_RUN
+  }
+  report.write();
+  std::printf("report: %s\n", report.path().c_str());
+  return status;
+}

@@ -28,6 +28,7 @@ struct Node : mp::smr::NodeBase {
 class TreiberStack {
  public:
   using Scheme = mp::smr::MP<Node>;
+  using Handle = mp::smr::ThreadHandle<Scheme>;
 
   explicit TreiberStack(const mp::smr::Config& config) : smr_(config) {}
 
@@ -40,17 +41,21 @@ class TreiberStack {
     }
   }
 
-  void push(int tid, std::uint64_t value) {
-    mp::smr::OperationScope scope(smr_, tid);
-    Node* node = smr_.alloc(tid, value);
+  // Operations take a typed handle — the (scheme, tid) pair minted once
+  // per thread via scheme().handle(tid) — exactly like the library's own
+  // structures, so a tid can never be paired with the wrong scheme.
+  void push(Handle handle, std::uint64_t value) {
+    mp::smr::OperationScope scope(handle);
+    Node* node = handle.alloc(value);
     mp::smr::TaggedPtr top = head_.load();
     do {
       node->next.store(top);
-    } while (!head_.compare_exchange_weak(top, smr_.make_link(node)));
+    } while (!head_.compare_exchange_weak(top,
+                                          handle.scheme().make_link(node)));
   }
 
-  bool pop(int tid, std::uint64_t& value_out) {
-    mp::smr::OperationScope scope(smr_, tid);
+  bool pop(Handle handle, std::uint64_t& value_out) {
+    mp::smr::OperationScope scope(handle);
     mp::smr::Guard guard(scope, 0);
     while (true) {
       // Protect the top node before touching its fields.
@@ -60,7 +65,7 @@ class TreiberStack {
       const mp::smr::TaggedPtr next = top->next.load();
       if (head_.compare_exchange_strong(expected, next)) {
         value_out = top->value;
-        smr_.retire(tid, top);  // unlinked by the CAS; safe to retire
+        handle.retire(top);  // unlinked by the CAS; safe to retire
         return true;
       }
     }
@@ -88,16 +93,17 @@ int main() {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
+      const auto handle = stack.scheme().handle(t);
       std::uint64_t local_pushed = 0, local_popped = 0, local_count = 0;
       for (int i = 0; i < kOpsPerThread; ++i) {
         if (i % 2 == 0) {
           const std::uint64_t value =
               static_cast<std::uint64_t>(t) * kOpsPerThread + i;
-          stack.push(t, value);
+          stack.push(handle, value);
           local_pushed += value;
         } else {
           std::uint64_t value = 0;
-          if (stack.pop(t, value)) {
+          if (stack.pop(handle, value)) {
             local_popped += value;
             ++local_count;
           }
@@ -111,8 +117,9 @@ int main() {
   for (auto& thread : threads) thread.join();
 
   // Drain what's left and check value conservation.
+  const auto main_handle = stack.scheme().handle(0);
   std::uint64_t drain_sum = 0, drained = 0, value = 0;
-  while (stack.pop(0, value)) {
+  while (stack.pop(main_handle, value)) {
     drain_sum += value;
     ++drained;
   }

@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "ds/natarajan_tree.hpp"
+#include "smr/oracle.hpp"
 #include "smr/smr.hpp"
 
 namespace {
@@ -30,11 +31,26 @@ int main() {
   mp::smr::Config config;
   config.max_threads = kWriters + kReaders;
   config.slots_per_thread = Index::kRequiredSlots;
+
+  // Attach the protection-discipline oracle. In ordinary builds this is a
+  // zero-cost no-op; under -DSMR_ORACLE=ON every protect/deref/retire in
+  // this example is checked, so the example itself can't silently violate
+  // the discipline it demonstrates. Declared before the index so it
+  // outlives every checked operation.
+  mp::smr::ProtectionOracle oracle(config.max_threads,
+                                   config.slots_per_thread);
+  config.oracle = &oracle;
   Index index(config);
+  if (mp::smr::ProtectionOracle::enabled()) {
+    std::printf("protection oracle: ON (every access is checked)\n");
+  }
 
   // Warm the index with half the key space.
-  for (std::uint64_t key = 0; key < kKeySpace; key += 2) {
-    index.insert(0, key, /*version=*/0);
+  {
+    const auto handle = index.scheme().handle(0);
+    for (std::uint64_t key = 0; key < kKeySpace; key += 2) {
+      index.insert(handle, key, /*version=*/0);
+    }
   }
 
   std::atomic<std::uint64_t> hits{0}, misses{0}, updates{0}, evictions{0};
@@ -42,14 +58,17 @@ int main() {
 
   for (int w = 0; w < kWriters; ++w) {
     threads.emplace_back([&, w] {
-      mp::common::Xoshiro256 rng(1000 + w);
+      const auto handle = index.scheme().handle(w);
+      mp::common::Xoshiro256 rng =
+          mp::common::Xoshiro256::stream(1000, static_cast<std::uint64_t>(w));
       std::uint64_t local_updates = 0, local_evictions = 0;
       for (int i = 0; i < kOpsPerThread; ++i) {
         const std::uint64_t key = rng.next_below(kKeySpace);
         if (rng.next() % 2 == 0) {
-          local_updates += index.insert(w, key, static_cast<std::uint64_t>(i));
+          local_updates +=
+              index.insert(handle, key, static_cast<std::uint64_t>(i));
         } else {
-          local_evictions += index.remove(w, key);
+          local_evictions += index.remove(handle, key);
         }
       }
       updates.fetch_add(local_updates);
@@ -59,11 +78,13 @@ int main() {
   for (int r = 0; r < kReaders; ++r) {
     const int tid = kWriters + r;
     threads.emplace_back([&, tid] {
-      mp::common::Xoshiro256 rng(2000 + tid);
+      const auto handle = index.scheme().handle(tid);
+      mp::common::Xoshiro256 rng = mp::common::Xoshiro256::stream(
+          2000, static_cast<std::uint64_t>(tid));
       std::uint64_t local_hits = 0, local_misses = 0;
       for (int i = 0; i < kOpsPerThread; ++i) {
         std::uint64_t value = 0;
-        if (index.get(tid, rng.next_below(kKeySpace), value)) {
+        if (index.get(handle, rng.next_below(kKeySpace), value)) {
           ++local_hits;
         } else {
           ++local_misses;

@@ -26,17 +26,20 @@ int main() {
   // 2. Create the set. It owns its scheme instance.
   Set set(config);
 
-  // 3. Operate from multiple threads. Each thread uses a distinct thread
-  //    id in [0, max_threads); operations are linearizable.
+  // 3. Operate from multiple threads. Each thread mints a typed handle
+  //    from its distinct thread id in [0, max_threads) — the handle binds
+  //    (scheme, tid) into one value so the two can't be mismatched — and
+  //    passes it to every operation; operations are linearizable.
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&set, t] {
+      const auto handle = set.scheme().handle(t);
       const std::uint64_t base = 1 + static_cast<std::uint64_t>(t) * 1000;
       for (std::uint64_t i = 0; i < 1000; ++i) {
-        set.insert(t, base + i, /*value=*/t);
+        set.insert(handle, base + i, /*value=*/t);
       }
       for (std::uint64_t i = 0; i < 1000; i += 2) {
-        set.remove(t, base + i);
+        set.remove(handle, base + i);
       }
     });
   }

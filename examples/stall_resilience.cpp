@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "ds/fraser_skiplist.hpp"
+#include "smr/guard.hpp"
 #include "smr/smr.hpp"
 
 namespace {
@@ -36,26 +37,36 @@ std::uint64_t wasted_under_stall(const char* name) {
   config.slots_per_thread = Set::kRequiredSlots;
   config.empty_freq = 8;
   Set set(config);
-  for (std::uint64_t key = 1; key <= kPrefill; ++key) set.insert(0, key, key);
+  {
+    const auto handle = set.scheme().handle(0);
+    for (std::uint64_t key = 1; key <= kPrefill; ++key) {
+      set.insert(handle, key, key);
+    }
+  }
 
   // The stalled thread: begins an operation, protects a node as a paused
-  // traversal would, and blocks.
+  // traversal would, and blocks. The typed handle plus OperationScope/Guard
+  // replace the raw start_op/read/end_op calls — the scope ends (and the
+  // protection drops) before the node is deleted.
   auto& scheme = set.scheme();
   const int stall_tid = kChurners;
   std::mutex mutex;
   std::condition_variable cv;
   bool stalled = false, released = false;
   std::thread staller([&] {
-    scheme.start_op(stall_tid);
-    auto* held = scheme.alloc(stall_tid, 0, 0, 1);
-    mp::smr::AtomicTaggedPtr cell(scheme.make_link(held));
-    scheme.read(stall_tid, 0, cell);
-    std::unique_lock lock(mutex);
-    stalled = true;
-    cv.notify_all();
-    cv.wait(lock, [&] { return released; });
-    scheme.end_op(stall_tid);
-    scheme.delete_unlinked(held);
+    const auto handle = scheme.handle(stall_tid);
+    auto* held = handle.alloc(0, 0, 1);
+    {
+      mp::smr::OperationScope scope(handle);
+      mp::smr::Guard guard(scope, 0);
+      mp::smr::AtomicTaggedPtr cell(handle.scheme().make_link(held));
+      guard.protect_ptr(cell);
+      std::unique_lock lock(mutex);
+      stalled = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return released; });
+    }
+    handle.delete_unlinked(held);
   });
   {
     std::unique_lock lock(mutex);
@@ -67,13 +78,15 @@ std::uint64_t wasted_under_stall(const char* name) {
   std::vector<std::thread> churners;
   for (int t = 0; t < kChurners; ++t) {
     churners.emplace_back([&, t] {
-      mp::common::Xoshiro256 rng(7 + t);
+      const auto handle = set.scheme().handle(t);
+      mp::common::Xoshiro256 rng =
+          mp::common::Xoshiro256::stream(7, static_cast<std::uint64_t>(t));
       for (int i = 0; i < kChurnOps; ++i) {
         const std::uint64_t key = 1 + rng.next_below(2 * kPrefill);
         if (rng.next() % 2 == 0) {
-          set.insert(t, key, key);
+          set.insert(handle, key, key);
         } else {
-          set.remove(t, key);
+          set.remove(handle, key);
         }
       }
     });

@@ -38,6 +38,42 @@ class Xoshiro256 {
     return result;
   }
 
+  /// Advance the state by 2^128 steps (the authors' jump polynomial):
+  /// jumping k times from one seed yields 2^64 non-overlapping substreams
+  /// of 2^128 values each. This is the correct way to give parallel
+  /// workers independent streams — seeding generator t with `seed + t*c`
+  /// puts the states at unknown relative phases of the same orbit, so two
+  /// workers' sequences can overlap within a long run.
+  void jump() noexcept {
+    static constexpr std::uint64_t kJump[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        next();
+      }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+  }
+
+  /// Substream `index` of `seed`: the seed's stream jumped `index` times,
+  /// so distinct indices are 2^128 steps apart and cannot overlap.
+  static Xoshiro256 stream(std::uint64_t seed, std::uint64_t index) noexcept {
+    Xoshiro256 rng(seed);
+    for (std::uint64_t i = 0; i < index; ++i) rng.jump();
+    return rng;
+  }
+
   /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
   /// (__int128 is a GCC/Clang extension; fine for this library's targets.)
   std::uint64_t next_below(std::uint64_t bound) noexcept {

@@ -1,0 +1,73 @@
+// Zipf-distributed rank generator for skewed service workloads.
+//
+// The service bench models key popularity the way web caches see it: a few
+// keys absorb most of the traffic. Ranks are drawn with
+// P(rank k) proportional to 1/(k+1)^theta using the Gray et al.
+// "Quickly generating billion-record synthetic databases" (SIGMOD '94)
+// rejection-free approximation — the same sampler YCSB ships — so a draw
+// costs two pow() calls and no table lookup. The harmonic normalizer
+// zeta(n, theta) is computed once at construction (O(n), off the
+// measurement path).
+//
+// Rank 0 is the most popular item. Callers map ranks onto their key space;
+// the service layer's hash routing then spreads the hot ranks across
+// shards, so skew stresses per-shard SMR domains without aliasing every
+// hot key onto one shard.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace mp::common {
+
+class ZipfGenerator {
+ public:
+  /// `n` ranks (must be >= 1), skew `theta` in [0, 1). theta = 0 is
+  /// uniform; theta = 0.99 is the YCSB default ("hot" web-style skew).
+  explicit ZipfGenerator(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    assert(n >= 1);
+    assert(theta >= 0.0 && theta < 1.0);
+    zetan_ = zeta(n_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = zeta(n_ < 2 ? n_ : 2);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+  /// Draw one rank in [0, n). The caller supplies the stream so one
+  /// generator (with its precomputed normalizer) is shareable across
+  /// threads that each own a private Xoshiro256.
+  std::uint64_t next(Xoshiro256& rng) const noexcept {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  double zeta(std::uint64_t n) const noexcept {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace mp::common

@@ -63,22 +63,24 @@ class LatencyHistogram {
   }
 
   /// Value at quantile q in [0, 1]: the representative (midpoint) of the
-  /// first bucket whose cumulative count reaches ceil(q * count). The exact
-  /// max is reported for q high enough to land in the last occupied bucket.
+  /// first bucket whose cumulative count reaches ceil(q * count), clamped
+  /// to the exact max. quantile(1.0) reports the exact max.
   std::uint64_t quantile(double q) const noexcept {
     if (count_ == 0) return 0;
     q = std::clamp(q, 0.0, 1.0);
+    // Only the full quantile pins to the exact max. A rank that merely
+    // lands in the LAST OCCUPIED bucket (seen == count_) must still report
+    // that bucket's representative like any other bucket — returning max_
+    // there collapsed every quantile of a single-bucket distribution (and
+    // any q past the second-to-last bucket's cumulative share) onto the
+    // largest sample ever seen.
+    if (q >= 1.0) return max_;
     const std::uint64_t rank = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
     std::uint64_t seen = 0;
     for (int i = 0; i < kBuckets; ++i) {
       seen += counts_[i];
-      if (seen >= rank) {
-        // In the last occupied bucket the exact max is known — report it,
-        // so quantile(1.0) == max() rather than the bucket midpoint.
-        if (seen == count_) return max_;
-        return std::min(representative(i), max_);
-      }
+      if (seen >= rank) return std::min(representative(i), max_);
     }
     return max_;
   }

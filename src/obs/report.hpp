@@ -7,7 +7,7 @@
 //
 //   {
 //     "schema":  "marginptr-bench-report",
-//     "version": 4,
+//     "version": 5,
 //     "bench":   "<binary name>",
 //     "config":  { free-form run parameters },
 //     "rows": [
@@ -40,10 +40,14 @@ inline constexpr const char* kReportSchema = "marginptr-bench-report";
 /// v3 added the node-pool counters (pool_hits/pool_misses/depot_exchanges,
 /// plus unlinked_frees) and the config "pool" arm; v4 added the background-
 /// reclamation counters (offloaded/inline_fallbacks/bg_snapshots/bg_scans/
-/// peak_inflight) and the config "reclaim" arm. validate_report still
-/// accepts older documents (they predate churn mode / the pool / the
-/// background reclaimer).
-inline constexpr std::uint64_t kReportVersion = 4;
+/// peak_inflight) and the config "reclaim" arm; v5 added the service layer
+/// (src/svc/): rows may carry a per-shard domain breakdown
+///   "shards": [ { "shard": n, "stats": {...}, "waste": {...} }, ... ]
+/// and a latency-SLO verdict
+///   "slo": { "p99_slo_ns": n, "met": b, ... }.
+/// validate_report still accepts older documents (they predate churn mode /
+/// the pool / the background reclaimer / the sharded service).
+inline constexpr std::uint64_t kReportVersion = 5;
 inline constexpr std::uint64_t kMinReportVersion = 1;
 
 inline json::Value to_json(const smr::StatsSnapshot& s) {
@@ -118,6 +122,19 @@ inline json::Value waste_json(std::uint64_t bound_per_thread,
   out["peak_retired"] = peak_retired;
   out["within_bound"] = bounded ? json::Value(peak_retired <= bound_per_thread)
                                 : json::Value(nullptr);
+  return out;
+}
+
+/// One entry of a schema-v5 "shards" array: a single shard's SMR domain
+/// (its stats snapshot and its waste-bound status). The service bench and
+/// svc tests emit one per shard per row.
+inline json::Value shard_json(std::size_t shard,
+                              const smr::StatsSnapshot& stats,
+                              std::uint64_t bound_per_thread) {
+  json::Value out = json::Value::object();
+  out["shard"] = static_cast<std::uint64_t>(shard);
+  out["stats"] = to_json(stats);
+  out["waste"] = waste_json(bound_per_thread, stats.peak_retired);
   return out;
 }
 
@@ -197,6 +214,46 @@ inline bool check(bool ok, const std::string& why, std::string& error) {
   return ok;
 }
 
+/// Version-aware counter check for one "stats" object (shared by top-level
+/// row stats and the per-shard entries of a v5 "shards" array).
+inline void check_stats_counters(const json::Value& stats,
+                                 std::uint64_t version, std::string& error) {
+  check(stats.is_object(), "stats is not an object", error);
+  if (!stats.is_object()) return;
+  const auto require = [&](const char* key) {
+    const json::Value* field = stats.find(key);
+    check(field != nullptr && field->is_number(),
+          std::string("stats missing counter '") + key + "'", error);
+  };
+  for (const char* key :
+       {"fences", "reads", "allocs", "retires", "reclaims", "drained",
+        "empties", "peak_retired", "emergency_empties"}) {
+    require(key);
+  }
+  if (version >= 2) {
+    for (const char* key : {"orphaned", "adopted"}) require(key);
+  }
+  if (version >= 3) {
+    for (const char* key :
+         {"pool_hits", "pool_misses", "depot_exchanges", "unlinked_frees"}) {
+      require(key);
+    }
+  }
+  if (version >= 4) {
+    for (const char* key : {"offloaded", "inline_fallbacks", "bg_snapshots",
+                            "bg_scans", "peak_inflight"}) {
+      require(key);
+    }
+  }
+}
+
+inline void check_waste(const json::Value& waste, std::string& error) {
+  check(waste.is_object() && waste.find("bounded") != nullptr &&
+            waste.find("peak_retired") != nullptr &&
+            waste.find("bound") != nullptr,
+        "waste object incomplete", error);
+}
+
 }  // namespace detail
 
 /// Validate a parsed document against the report schema. Returns an empty
@@ -215,12 +272,8 @@ inline std::string validate_report(const json::Value& root) {
                     version->as_uint() >= kMinReportVersion &&
                     version->as_uint() <= kReportVersion,
                 "version missing or unsupported", error);
-  const bool v2 = version != nullptr && version->is_number() &&
-                  version->as_uint() >= 2;
-  const bool v3 = version != nullptr && version->is_number() &&
-                  version->as_uint() >= 3;
-  const bool v4 = version != nullptr && version->is_number() &&
-                  version->as_uint() >= 4;
+  const std::uint64_t ver =
+      version != nullptr && version->is_number() ? version->as_uint() : 0;
   const json::Value* bench = root.find("bench");
   detail::check(bench != nullptr && bench->is_string() &&
                     !bench->as_string().empty(),
@@ -242,47 +295,49 @@ inline std::string validate_report(const json::Value& root) {
     detail::check(scheme != nullptr && scheme->is_string(),
                   "row missing string 'scheme'", error);
     if (const json::Value* stats = row.find("stats"); stats != nullptr) {
-      detail::check(stats->is_object(), "row stats is not an object", error);
-      for (const char* key :
-           {"fences", "reads", "allocs", "retires", "reclaims", "drained",
-            "empties", "peak_retired", "emergency_empties"}) {
-        const json::Value* field = stats->find(key);
-        detail::check(field != nullptr && field->is_number(),
-                      std::string("stats missing counter '") + key + "'",
-                      error);
-      }
-      if (v2) {
-        for (const char* key : {"orphaned", "adopted"}) {
-          const json::Value* field = stats->find(key);
-          detail::check(field != nullptr && field->is_number(),
-                        std::string("stats missing counter '") + key + "'",
-                        error);
-        }
-      }
-      if (v3) {
-        for (const char* key : {"pool_hits", "pool_misses", "depot_exchanges",
-                                "unlinked_frees"}) {
-          const json::Value* field = stats->find(key);
-          detail::check(field != nullptr && field->is_number(),
-                        std::string("stats missing counter '") + key + "'",
-                        error);
-        }
-      }
-      if (v4) {
-        for (const char* key : {"offloaded", "inline_fallbacks",
-                                "bg_snapshots", "bg_scans", "peak_inflight"}) {
-          const json::Value* field = stats->find(key);
-          detail::check(field != nullptr && field->is_number(),
-                        std::string("stats missing counter '") + key + "'",
-                        error);
+      detail::check_stats_counters(*stats, ver, error);
+    }
+    if (const json::Value* waste = row.find("waste"); waste != nullptr) {
+      detail::check_waste(*waste, error);
+    }
+    // v5: per-shard domain breakdown. Each entry mirrors a standalone
+    // row's stats/waste, keyed by its shard index.
+    if (const json::Value* shards = row.find("shards"); shards != nullptr) {
+      if (detail::check(ver >= 5 && shards->is_array(),
+                        "row 'shards' requires version >= 5 and an array",
+                        error)) {
+        for (const json::Value& entry : shards->as_array()) {
+          if (!detail::check(entry.is_object(),
+                             "shards entry is not an object", error)) {
+            break;
+          }
+          const json::Value* index = entry.find("shard");
+          detail::check(index != nullptr && index->is_number(),
+                        "shards entry missing numeric 'shard'", error);
+          const json::Value* stats = entry.find("stats");
+          if (detail::check(stats != nullptr,
+                            "shards entry missing 'stats'", error)) {
+            detail::check_stats_counters(*stats, ver, error);
+          }
+          if (const json::Value* waste = entry.find("waste");
+              waste != nullptr) {
+            detail::check_waste(*waste, error);
+          }
         }
       }
     }
-    if (const json::Value* waste = row.find("waste"); waste != nullptr) {
-      detail::check(waste->is_object() && waste->find("bounded") != nullptr &&
-                        waste->find("peak_retired") != nullptr &&
-                        waste->find("bound") != nullptr,
-                    "row waste object incomplete", error);
+    // v5: latency-SLO verdict for service rows.
+    if (const json::Value* slo = row.find("slo"); slo != nullptr) {
+      detail::check(ver >= 5 && slo->is_object(),
+                    "row 'slo' requires version >= 5 and an object", error);
+      if (slo->is_object()) {
+        const json::Value* target = slo->find("p99_slo_ns");
+        detail::check(target != nullptr && target->is_number(),
+                      "slo missing numeric 'p99_slo_ns'", error);
+        const json::Value* met = slo->find("met");
+        detail::check(met != nullptr && met->is_bool(),
+                      "slo missing bool 'met'", error);
+      }
     }
     if (const json::Value* latency = row.find("latency_ns");
         latency != nullptr) {

@@ -1,0 +1,333 @@
+// Sharded key-value service layer (DESIGN.md §10): the "millions of
+// users" front-end over the library's concurrent search structures.
+//
+// The paper's waste bound (Theorem 4.2) is stated *per scheme instance* —
+// one domain's stalled reader cannot block another domain's reclamation.
+// Everything below makes that per-domain story first-class at service
+// scale:
+//
+//   * ShardedMap<Structure> owns N shards. Each shard is a complete,
+//     independent SMR domain: its own Structure, its own scheme instance
+//     (so its own protection slots, epochs, retired lists and waste bound),
+//     its own node-pool magazines/depot, and — when the per-shard Config
+//     asks for it — its own BackgroundReclaimer thread. A stall, fault
+//     injector, oracle or tracer attached to one shard never perturbs the
+//     others; Config plumbing, stats, and the WasteWatchdog all resolve
+//     per shard.
+//
+//   * Requests route by key hash (a murmur3-style finalizer, deliberately
+//     distinct from MichaelHashSet's Fibonacci bucket hash so shard choice
+//     and in-shard bucket choice stay decorrelated). Routing is a pure
+//     function of the key — independent of which thread asks, how many
+//     shards' worth of traffic preceded it, or any thread churn — which is
+//     what makes a key findable from any client forever.
+//
+//   * ShardedMap::Client is the async front-end: submit() enqueues a
+//     request into a per-shard pending batch and returns a ticket without
+//     touching any shard; flush() (or hitting the batch limit) executes
+//     each shard's batch back-to-back against that one shard — shard-local
+//     cache/SMR state is touched once per batch, not once per request —
+//     and pushes results into the client's fixed-capacity completion ring.
+//     try_complete() pops them. One OS thread can therefore drive many
+//     in-flight operations: submit k requests, flush, then harvest k
+//     completions, with backpressure (submit() returns nullopt) when the
+//     ring is full instead of unbounded queue growth.
+//
+// Threading contract: a Client belongs to one OS thread (its tid must be a
+// valid tid of every shard's scheme, i.e. < Config::max_threads). Different
+// clients on different threads operate concurrently; the shards' lock-free
+// structures and SMR schemes provide the synchronization.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "smr/chaos.hpp"  // WasteWatchdog
+#include "smr/smr.hpp"
+
+namespace mp::svc {
+
+enum class OpType : std::uint8_t { kGet, kContains, kInsert, kRemove };
+
+/// One service request. `user` is opaque and echoed in the completion —
+/// the closed-loop bench stamps submit deadlines there to measure latency
+/// without a side table.
+struct Request {
+  OpType op = OpType::kGet;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;  ///< insert payload; ignored by other ops
+  std::uint64_t user = 0;   ///< opaque, echoed in the Completion
+};
+
+struct Completion {
+  std::uint64_t ticket = 0;
+  std::uint64_t user = 0;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;  ///< get: the value found (unchanged on miss)
+  OpType op = OpType::kGet;
+  bool ok = false;  ///< get/contains: present; insert: inserted; remove: removed
+};
+
+template <typename Structure>
+class ShardedMap {
+ public:
+  using Scheme = typename Structure::Scheme;
+  using Handle = smr::ThreadHandle<Scheme>;
+  using Key = typename Structure::Key;
+  using Value = typename Structure::Value;
+
+  /// Homogeneous shards: `shard_count` (rounded up to a power of two)
+  /// copies of `config`, extra `args` forwarded to every Structure
+  /// constructor (e.g. MichaelHashSet's bucket count).
+  template <typename... Args>
+  ShardedMap(std::size_t shard_count, const smr::Config& config,
+             Args&&... args)
+      : ShardedMap(std::vector<smr::Config>(round_up_pow2(shard_count),
+                                            config),
+                   std::forward<Args>(args)...) {}
+
+  /// Heterogeneous shards: one Config per shard (count must be a power of
+  /// two). This is how a tracer, fault injector, oracle, or background
+  /// reclaimer is attached to an individual shard's domain.
+  template <typename... Args>
+  explicit ShardedMap(const std::vector<smr::Config>& per_shard,
+                      Args&&... args) {
+    if (per_shard.empty() || (per_shard.size() & (per_shard.size() - 1))) {
+      throw std::invalid_argument(
+          "svc::ShardedMap: shard count must be a nonzero power of two");
+    }
+    shards_.reserve(per_shard.size());
+    for (const smr::Config& config : per_shard) {
+      shards_.push_back(std::make_unique<Structure>(config, args...));
+    }
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Pure function of the key: murmur3's 64-bit finalizer, masked. Stable
+  /// across threads, clients, map instances, and process restarts.
+  std::size_t shard_of(Key key) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(key);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & (shards_.size() - 1);
+  }
+
+  Structure& shard(std::size_t index) noexcept { return *shards_[index]; }
+  const Structure& shard(std::size_t index) const noexcept {
+    return *shards_[index];
+  }
+  Scheme& scheme(std::size_t index) noexcept {
+    return shards_[index]->scheme();
+  }
+  const Scheme& scheme(std::size_t index) const noexcept {
+    return shards_[index]->scheme();
+  }
+
+  /// Stats for one shard's domain (deltas and conservation identities are
+  /// per shard, exactly like a standalone structure's).
+  smr::StatsSnapshot shard_stats(std::size_t index) const {
+    return shards_[index]->scheme().stats_snapshot();
+  }
+
+  /// Service-wide aggregate (peaks max-merge across shards, flows sum).
+  smr::StatsSnapshot stats_total() const {
+    smr::StatsSnapshot total;
+    for (const auto& shard : shards_) {
+      total += shard->scheme().stats_snapshot();
+    }
+    return total;
+  }
+
+  /// Quiesce every shard (between bench phases / at teardown). After this,
+  /// each shard individually satisfies retires == reclaims + drained.
+  void drain_all() noexcept {
+    for (auto& shard : shards_) shard->scheme().drain();
+  }
+
+  /// Every shard's WasteWatchdog invariants, service-wide: the measured
+  /// per-thread retired peak within Theorem 4.2's bound, and (in the bg
+  /// arm) the in-flight backlog within cap + T * bound.
+  bool waste_ok(std::uint64_t slack = 0) const {
+    for (const auto& shard : shards_) {
+      if (!smr::WasteWatchdog<Scheme>(shard->scheme()).ok(slack)) return false;
+    }
+    return true;
+  }
+  bool inflight_ok() const {
+    for (const auto& shard : shards_) {
+      if (!smr::WasteWatchdog<Scheme>(shard->scheme()).inflight_ok()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- Synchronous routed operations (tests, prefill, simple callers) ----
+
+  bool insert(int tid, Key key, Value value) {
+    Structure& s = *shards_[shard_of(key)];
+    return s.insert(s.scheme().handle(tid), key, value);
+  }
+  bool remove(int tid, Key key) {
+    Structure& s = *shards_[shard_of(key)];
+    return s.remove(s.scheme().handle(tid), key);
+  }
+  bool contains(int tid, Key key) {
+    Structure& s = *shards_[shard_of(key)];
+    return s.contains(s.scheme().handle(tid), key);
+  }
+  bool get(int tid, Key key, Value& value_out) {
+    Structure& s = *shards_[shard_of(key)];
+    return s.get(s.scheme().handle(tid), key, value_out);
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->size();
+    return total;
+  }
+
+  // ---- Async front-end ----
+
+  class Client {
+   public:
+    /// `tid` must be < every shard Config's max_threads. `batch_limit` is
+    /// the per-shard pending count that triggers an automatic flush of
+    /// that shard; `ring_capacity` (rounded up to a power of two) bounds
+    /// unharvested completions and hence total in-flight requests.
+    Client(ShardedMap& map, int tid, std::size_t batch_limit = 32,
+           std::size_t ring_capacity = 1024)
+        : map_(&map),
+          tid_(tid),
+          batch_limit_(batch_limit == 0 ? 1 : batch_limit),
+          ring_(round_up_pow2(ring_capacity)) {
+      pending_.resize(map.shard_count());
+      for (auto& batch : pending_) batch.reserve(batch_limit_);
+      handles_.reserve(map.shard_count());
+      for (std::size_t s = 0; s < map.shard_count(); ++s) {
+        handles_.push_back(map.scheme(s).handle(tid));
+      }
+    }
+
+    int tid() const noexcept { return tid_; }
+
+    /// Enqueue one request. Returns its ticket (monotonic from 1), or
+    /// nullopt when admitting it could overflow the completion ring —
+    /// the caller must harvest completions (after a flush) and retry.
+    /// Reaching `batch_limit` pending requests on the target shard flushes
+    /// that one shard inline.
+    std::optional<std::uint64_t> submit(const Request& request) {
+      if (in_flight() >= ring_.size()) return std::nullopt;
+      const std::uint64_t ticket = next_ticket_++;
+      const std::size_t shard = map_->shard_of(request.key);
+      pending_[shard].push_back(PendingOp{request, ticket});
+      if (pending_[shard].size() >= batch_limit_) flush_shard(shard);
+      return ticket;
+    }
+
+    /// Execute every shard's pending batch (shards with work are visited
+    /// once each; their completions land in the ring in submit order
+    /// within a shard).
+    void flush() {
+      for (std::size_t s = 0; s < pending_.size(); ++s) flush_shard(s);
+    }
+
+    /// Pop the oldest unharvested completion. False when none are ready
+    /// (pending requests only complete at a flush).
+    bool try_complete(Completion& out) noexcept {
+      if (ring_tail_ == ring_head_) return false;
+      out = ring_[ring_tail_ & (ring_.size() - 1)];
+      ++ring_tail_;
+      return true;
+    }
+
+    /// Requests submitted but not yet harvested (pending + in the ring).
+    std::size_t in_flight() const noexcept {
+      return static_cast<std::size_t>((next_ticket_ - 1) - ring_tail_);
+    }
+    std::uint64_t submitted() const noexcept { return next_ticket_ - 1; }
+    std::uint64_t completed() const noexcept { return ring_head_; }
+    std::uint64_t batches_flushed() const noexcept { return batches_; }
+
+   private:
+    struct PendingOp {
+      Request request;
+      std::uint64_t ticket;
+    };
+
+    void flush_shard(std::size_t shard) {
+      auto& batch = pending_[shard];
+      if (batch.empty()) return;
+      Structure& structure = map_->shard(shard);
+      const Handle handle = handles_[shard];
+      for (const PendingOp& op : batch) {
+        Completion done;
+        done.ticket = op.ticket;
+        done.user = op.request.user;
+        done.key = op.request.key;
+        done.value = op.request.value;
+        done.op = op.request.op;
+        switch (op.request.op) {
+          case OpType::kGet:
+            done.ok = structure.get(handle, op.request.key, done.value);
+            break;
+          case OpType::kContains:
+            done.ok = structure.contains(handle, op.request.key);
+            break;
+          case OpType::kInsert:
+            done.ok =
+                structure.insert(handle, op.request.key, op.request.value);
+            break;
+          case OpType::kRemove:
+            done.ok = structure.remove(handle, op.request.key);
+            break;
+        }
+        // Cannot overflow: submit() admits at most ring_.size() requests
+        // between the oldest unharvested completion and here.
+        ring_[ring_head_ & (ring_.size() - 1)] = done;
+        ++ring_head_;
+      }
+      batch.clear();
+      ++batches_;
+    }
+
+    ShardedMap* map_;
+    int tid_;
+    std::size_t batch_limit_;
+    std::vector<std::vector<PendingOp>> pending_;
+    std::vector<Handle> handles_;
+    std::vector<Completion> ring_;
+    std::uint64_t ring_head_ = 0;  ///< completions produced
+    std::uint64_t ring_tail_ = 0;  ///< completions harvested
+    std::uint64_t next_ticket_ = 1;
+    std::uint64_t batches_ = 0;
+  };
+
+  /// Mint a client for the calling thread. One client per (thread, map).
+  Client client(int tid, std::size_t batch_limit = 32,
+                std::size_t ring_capacity = 1024) {
+    return Client(*this, tid, batch_limit, ring_capacity);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // unique_ptr, not values: a Structure owns a scheme full of atomics and
+  // per-thread slots and is neither movable nor copyable.
+  std::vector<std::unique_ptr<Structure>> shards_;
+};
+
+}  // namespace mp::svc

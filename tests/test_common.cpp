@@ -71,6 +71,48 @@ TEST(Rng, UniformBitsRoughlyBalanced) {
   EXPECT_NEAR(ones / (1000.0 * 64), 0.5, 0.02);
 }
 
+// Regression: bench workers used to seed additively (`seed + t * 7919`),
+// which starts every worker at an unknown relative phase of the same
+// xoshiro orbit — two streams could overlap within a run. jump() places
+// substreams exactly 2^128 steps apart.
+TEST(Rng, JumpAdvancesToADisjointSubstream) {
+  Xoshiro256 base(42);
+  Xoshiro256 jumped(42);
+  jumped.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (base.next() == jumped.next());
+  EXPECT_LT(equal, 3) << "jumped stream must not track the base stream";
+}
+
+TEST(Rng, JumpIsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamFactoryYieldsIndexSeparatedSubstreams) {
+  // stream(seed, i) == seed-rng jumped i times...
+  Xoshiro256 manual(99);
+  manual.jump();
+  manual.jump();
+  Xoshiro256 stream2 = Xoshiro256::stream(99, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(stream2.next(), manual.next());
+
+  // ...and distinct indices are pairwise decorrelated.
+  Xoshiro256 streams[4] = {
+      Xoshiro256::stream(5, 0), Xoshiro256::stream(5, 1),
+      Xoshiro256::stream(5, 2), Xoshiro256::stream(5, 3)};
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      Xoshiro256 x = streams[a], y = streams[b];
+      int equal = 0;
+      for (int i = 0; i < 200; ++i) equal += (x.next() == y.next());
+      EXPECT_LT(equal, 3) << "streams " << a << " and " << b << " overlap";
+    }
+  }
+}
+
 // ---- Thread registry ----
 
 TEST(ThreadRegistry, AssignsLowestFreeId) {

@@ -117,6 +117,46 @@ TEST(LatencyHistogramTest, MergeEqualsRecordingEverythingInOne) {
   }
 }
 
+// Regression: quantile() used to return the exact max_ for ANY rank that
+// landed in the last occupied bucket (`seen == count_` triggered the
+// max_ short-circuit). With every sample in one bucket, that inflated
+// p50 from the bucket representative to the single largest outlier.
+TEST(LatencyHistogramTest, LastOccupiedBucketReportsRepresentativeNotMax) {
+  // 993 and 1020 share the bucket [992, 1023] (representative 1008).
+  ASSERT_EQ(LatencyHistogram::bucket_for(993),
+            LatencyHistogram::bucket_for(1020));
+  const std::uint64_t rep =
+      LatencyHistogram::representative(LatencyHistogram::bucket_for(993));
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.record(993);
+  for (int i = 0; i < 50; ++i) h.record(1020);
+
+  // Every mid-range quantile lands in the (single, last-occupied) bucket:
+  // it must report the bucket representative like any other bucket would,
+  // not pin to the max.
+  EXPECT_EQ(h.p50(), rep);
+  EXPECT_EQ(h.quantile(0.99), rep);
+  EXPECT_LT(h.p50(), h.max()) << "p50 must not report the extreme outlier";
+  // Only the full quantile is the exact max.
+  EXPECT_EQ(h.quantile(1.0), 1020u);
+}
+
+// Same defect, multi-bucket shape: a tail rank inside the last occupied
+// bucket must honor that bucket's representative, not the global max.
+TEST(LatencyHistogramTest, TailRankInLastBucketIsNotPinnedToMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(100);
+  const std::uint64_t tail = 1 << 20;  // bucket [2^20, 2^20 + 2^16)
+  for (int i = 0; i < 10; ++i) h.record(tail);
+  h.record(tail + 60000);  // a lone extreme within the same bucket region
+  const std::uint64_t max_seen = h.max();
+  ASSERT_EQ(max_seen, tail + 60000);
+  // p95 ranks inside the tail buckets; it must stay near `tail`, well
+  // below the lone extreme the old code snapped to.
+  EXPECT_LT(h.quantile(0.95), max_seen);
+  EXPECT_EQ(h.quantile(1.0), max_seen);
+}
+
 TEST(LatencyHistogramTest, ResetClearsEverything) {
   LatencyHistogram h;
   h.record(12345);

@@ -204,6 +204,135 @@ TEST(ReportTest, VersionThreeDocumentsStillValidate) {
   EXPECT_NE(validate_report(doc), "");
 }
 
+TEST(ReportTest, VersionFourDocumentsStillValidate) {
+  // v4 reports carry the background-reclamation counters but predate the
+  // service layer (v5's "shards"/"slo" rows). They must keep validating —
+  // and a v4 document may not smuggle in v5-only row sections.
+  json::Value stats = json::Value::object();
+  for (const char* key : {"fences", "reads", "allocs", "retires", "reclaims",
+                          "drained", "empties", "peak_retired",
+                          "emergency_empties", "orphaned", "adopted",
+                          "pool_hits", "pool_misses", "depot_exchanges",
+                          "unlinked_frees", "offloaded", "inline_fallbacks",
+                          "bg_snapshots", "bg_scans", "peak_inflight"}) {
+    stats[key] = 1;
+  }
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";
+  row["scheme"] = "MP";
+  row["stats"] = stats;
+  json::Value rows = json::Value::array();
+  rows.push_back(row);
+  json::Value doc = json::Value::object();
+  doc["schema"] = mp::obs::kReportSchema;
+  doc["version"] = std::uint64_t{4};
+  doc["bench"] = "legacy";
+  doc["config"] = json::Value::object();
+  doc["rows"] = rows;
+  EXPECT_EQ(validate_report(doc), "");
+
+  // "shards" is a v5 construct: a v4 document carrying one is malformed.
+  json::Value shard_row = row;
+  json::Value shards = json::Value::array();
+  shards.push_back(mp::obs::shard_json(0, mp::smr::StatsSnapshot{}, 100));
+  shard_row["shards"] = shards;
+  json::Value bad_rows = json::Value::array();
+  bad_rows.push_back(shard_row);
+  doc["rows"] = bad_rows;
+  EXPECT_NE(validate_report(doc), "");
+  doc["version"] = std::uint64_t{5};
+  EXPECT_EQ(validate_report(doc), "");
+}
+
+TEST(ReportTest, VersionFiveShardAndSloRowsValidate) {
+  BenchReport report("svc_unit", "/dev/null");
+  mp::smr::StatsSnapshot stats;
+  stats.retires = 3;
+  json::Value row = json::Value::object();
+  row["figure"] = "svc_closed_loop";
+  row["scheme"] = "EBR";
+  row["stats"] = mp::obs::to_json(stats);
+  json::Value shards = json::Value::array();
+  for (std::size_t s = 0; s < 4; ++s) {
+    shards.push_back(mp::obs::shard_json(s, stats, 1234));
+  }
+  row["shards"] = shards;
+  json::Value slo = json::Value::object();
+  slo["p99_slo_ns"] = std::uint64_t{2000000};
+  slo["met"] = true;
+  row["slo"] = slo;
+  report.add_row(std::move(row));
+  const json::Value doc = report.document();
+  EXPECT_EQ(validate_report(doc), "");
+  EXPECT_EQ(validate_report(json::parse(doc.dump(2))), "");
+}
+
+TEST(ReportTest, ValidatorFlagsMalformedShardAndSloSections) {
+  const auto make_doc = [](json::Value row) {
+    json::Value rows = json::Value::array();
+    rows.push_back(std::move(row));
+    json::Value doc = json::Value::object();
+    doc["schema"] = mp::obs::kReportSchema;
+    doc["version"] = mp::obs::kReportVersion;
+    doc["bench"] = "svc_unit";
+    doc["config"] = json::Value::object();
+    doc["rows"] = rows;
+    return doc;
+  };
+  json::Value base = json::Value::object();
+  base["figure"] = "svc_closed_loop";
+  base["scheme"] = "EBR";
+
+  {  // shards entry without a shard index
+    json::Value entry = json::Value::object();
+    entry["stats"] = mp::obs::to_json(mp::smr::StatsSnapshot{});
+    json::Value shards = json::Value::array();
+    shards.push_back(entry);
+    json::Value row = base;
+    row["shards"] = shards;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // shards entry without stats
+    json::Value entry = json::Value::object();
+    entry["shard"] = std::uint64_t{0};
+    json::Value shards = json::Value::array();
+    shards.push_back(entry);
+    json::Value row = base;
+    row["shards"] = shards;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // shards entry whose stats lack the version's counters
+    json::Value entry = json::Value::object();
+    entry["shard"] = std::uint64_t{0};
+    entry["stats"] = json::Value::object();  // empty counters
+    json::Value shards = json::Value::array();
+    shards.push_back(entry);
+    json::Value row = base;
+    row["shards"] = shards;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // shards must be an array
+    json::Value row = base;
+    row["shards"] = json::Value::object();
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // slo without its target
+    json::Value slo = json::Value::object();
+    slo["met"] = true;
+    json::Value row = base;
+    row["slo"] = slo;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // slo "met" must be a bool
+    json::Value slo = json::Value::object();
+    slo["p99_slo_ns"] = std::uint64_t{1000};
+    slo["met"] = std::uint64_t{1};
+    json::Value row = base;
+    row["slo"] = slo;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+}
+
 TEST(ReportTest, CurrentReportsCarryLifecycleCounters) {
   BenchReport report("unit_test", "/dev/null");
   json::Value row = json::Value::object();

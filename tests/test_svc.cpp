@@ -1,0 +1,440 @@
+// Service layer (src/svc/, DESIGN.md §10):
+//   * shard-count normalization and hash routing as a pure key function;
+//   * per-shard SMR domains: conservation identity per shard after
+//     drain_all(), in-flight cap per shard in the background arm;
+//   * routing stability under thread churn (keys stay findable from any
+//     tid, forever);
+//   * Client async front-end: ticketed submit/flush/try_complete
+//     round-trip, ring backpressure, automatic batch-limit flush;
+//   * golden run of the svc_closed_loop bench binary: schema-v5 report
+//     with per-shard stats arrays and an SLO verdict row.
+//
+// Concurrent cases run EBR (no fence-based read path) so the suite stays
+// TSan-clean: GCC's TSan cannot model the standalone
+// atomic_thread_fence MP/HP read paths rely on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ds/michael_hashset.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "obs/report.hpp"
+#include "svc/sharded_map.hpp"
+
+namespace {
+
+using mp::svc::Completion;
+using mp::svc::OpType;
+using mp::svc::Request;
+
+using HashMap = mp::svc::ShardedMap<mp::ds::MichaelHashSet<mp::smr::EBR>>;
+using TreeMap = mp::svc::ShardedMap<mp::ds::NatarajanTree<mp::smr::EBR>>;
+
+mp::smr::Config make_config(std::size_t max_threads, int slots) {
+  mp::smr::Config config;
+  config.max_threads = max_threads;
+  config.slots_per_thread = slots;
+  return config;
+}
+
+HashMap make_hash_map(std::size_t shards, std::size_t max_threads,
+                      std::size_t buckets = 64) {
+  return HashMap(
+      shards,
+      make_config(max_threads,
+                  mp::ds::MichaelHashSet<mp::smr::EBR>::kRequiredSlots),
+      buckets);
+}
+
+TEST(SvcShardedMapTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(make_hash_map(1, 1).shard_count(), 1u);
+  EXPECT_EQ(make_hash_map(3, 1).shard_count(), 4u);
+  EXPECT_EQ(make_hash_map(4, 1).shard_count(), 4u);
+  EXPECT_EQ(make_hash_map(5, 1).shard_count(), 8u);
+}
+
+TEST(SvcShardedMapTest, HeterogeneousCtorRejectsNonPowerOfTwo) {
+  const auto config = make_config(
+      1, mp::ds::MichaelHashSet<mp::smr::EBR>::kRequiredSlots);
+  EXPECT_THROW(HashMap(std::vector<mp::smr::Config>(3, config), 64),
+               std::invalid_argument);
+  EXPECT_THROW(HashMap(std::vector<mp::smr::Config>{}, 64),
+               std::invalid_argument);
+}
+
+TEST(SvcShardedMapTest, RoutingIsAPureFunctionOfTheKey) {
+  auto a = make_hash_map(4, 2);
+  auto b = make_hash_map(4, 2);
+  std::set<std::size_t> shards_hit;
+  for (std::uint64_t key = 1; key <= 512; ++key) {
+    const std::size_t shard = a.shard_of(key);
+    EXPECT_LT(shard, a.shard_count());
+    // Same key, same shard: across repeated asks, across map instances,
+    // and regardless of the asking tid.
+    EXPECT_EQ(shard, a.shard_of(key));
+    EXPECT_EQ(shard, b.shard_of(key));
+    shards_hit.insert(shard);
+  }
+  // The finalizer must actually spread keys (all four shards populated
+  // from a modest sequential range).
+  EXPECT_EQ(shards_hit.size(), 4u);
+}
+
+TEST(SvcShardedMapTest, SyncOpsLandInTheRoutedShardOnly) {
+  auto map = make_hash_map(4, 2);
+  for (std::uint64_t key = 1; key <= 100; ++key) {
+    EXPECT_TRUE(map.insert(0, key, key * 10));
+    const std::size_t home = map.shard_of(key);
+    for (std::size_t s = 0; s < map.shard_count(); ++s) {
+      const auto handle = map.scheme(s).handle(1);
+      EXPECT_EQ(map.shard(s).contains(handle, key), s == home)
+          << "key " << key << " must live in exactly its routed shard";
+    }
+    std::uint64_t value = 0;
+    EXPECT_TRUE(map.get(1, key, value));
+    EXPECT_EQ(value, key * 10);
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (std::uint64_t key = 1; key <= 100; key += 2) {
+    EXPECT_TRUE(map.remove(0, key));
+  }
+  EXPECT_EQ(map.size(), 50u);
+}
+
+// After drain_all(), every shard's domain individually satisfies the
+// conservation identity retires == reclaims + drained — retired nodes
+// never migrate between shard domains.
+TEST(SvcShardedMapTest, PerShardConservationAfterDrainAll) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 4096;
+  auto map = make_hash_map(4, kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        const std::uint64_t key = 1 + (i * 2654435761u + t) % kKeys;
+        map.insert(t, key, key);
+        map.contains(t, key);
+        map.remove(t, key);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  map.drain_all();
+  std::uint64_t total_retires = 0;
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    const mp::smr::StatsSnapshot stats = map.shard_stats(s);
+    EXPECT_EQ(stats.retires, stats.reclaims + stats.drained)
+        << "shard " << s << " leaked or double-counted retired nodes";
+    total_retires += stats.retires;
+  }
+  EXPECT_GT(total_retires, 0u) << "workload should have retired nodes";
+  const mp::smr::StatsSnapshot total = map.stats_total();
+  EXPECT_EQ(total.retires, total_retires);
+}
+
+// Waves of short-lived worker threads reuse the same tids. Routing is
+// tid-independent, so every key inserted by any past wave stays findable
+// from any tid of any later wave, and the shard_of snapshot never moves.
+TEST(SvcShardedMapTest, RoutingStableUnderThreadChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kWaves = 6;
+  constexpr std::uint64_t kKeysPerWorker = 64;
+  auto map = make_hash_map(4, kThreads);
+
+  std::vector<std::size_t> routing_before;
+  for (std::uint64_t key = 1; key <= kWaves * kThreads * kKeysPerWorker; ++key) {
+    routing_before.push_back(map.shard_of(key));
+  }
+
+  std::atomic<std::uint64_t> next_key{1};
+  std::vector<std::uint64_t> inserted;
+  std::mutex inserted_mutex;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<std::uint64_t> mine;
+        for (std::uint64_t i = 0; i < kKeysPerWorker; ++i) {
+          const std::uint64_t key = next_key.fetch_add(1);
+          ASSERT_TRUE(map.insert(t, key, key));
+          mine.push_back(key);
+        }
+        // Every earlier wave's keys are visible from this wave's tids.
+        std::lock_guard lock(inserted_mutex);
+        for (const std::uint64_t key : inserted) {
+          EXPECT_TRUE(map.contains(t, key));
+        }
+        inserted.insert(inserted.end(), mine.begin(), mine.end());
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  for (std::uint64_t key = 1; key <= inserted.size(); ++key) {
+    EXPECT_TRUE(map.contains(0, key));
+    EXPECT_EQ(map.shard_of(key), routing_before[key - 1])
+        << "thread churn must never re-route key " << key;
+  }
+}
+
+// Background arm: each shard gets its own reclaimer, and each shard's
+// in-flight backlog respects cap + T * bound (WasteWatchdog::inflight_ok).
+TEST(SvcShardedMapTest, BackgroundArmKeepsEveryShardInflightBounded) {
+  constexpr int kThreads = 4;
+  auto config = make_config(
+      kThreads, mp::ds::MichaelHashSet<mp::smr::EBR>::kRequiredSlots);
+  config.background_reclaim = true;
+  HashMap map(4, config, 64);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < 2048; ++i) {
+        const std::uint64_t key = 1 + (i * 40503u + t) % 1024;
+        map.insert(t, key, key);
+        map.remove(t, key);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_TRUE(map.inflight_ok());
+  EXPECT_TRUE(map.waste_ok());
+  map.drain_all();
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    const mp::smr::StatsSnapshot stats = map.shard_stats(s);
+    EXPECT_EQ(stats.retires, stats.reclaims + stats.drained) << "shard " << s;
+  }
+}
+
+TEST(SvcClientTest, SubmitFlushCompleteRoundTrip) {
+  auto map = make_hash_map(4, 1);
+  auto client = map.client(0);
+
+  std::set<std::uint64_t> tickets;
+  for (std::uint64_t key = 1; key <= 20; ++key) {
+    Request request;
+    request.op = OpType::kInsert;
+    request.key = key;
+    request.value = key * 7;
+    request.user = 1000 + key;
+    const auto ticket = client.submit(request);
+    ASSERT_TRUE(ticket.has_value());
+    EXPECT_TRUE(tickets.insert(*ticket).second) << "tickets must be unique";
+  }
+  EXPECT_EQ(client.in_flight(), 20u);
+  client.flush();
+
+  Completion done;
+  std::size_t harvested = 0;
+  while (client.try_complete(done)) {
+    ++harvested;
+    EXPECT_TRUE(tickets.count(done.ticket));
+    EXPECT_EQ(done.op, OpType::kInsert);
+    EXPECT_EQ(done.user, 1000 + done.key) << "user payload must echo back";
+    EXPECT_TRUE(done.ok) << "fresh keys must insert";
+  }
+  EXPECT_EQ(harvested, 20u);
+  EXPECT_EQ(client.in_flight(), 0u);
+  EXPECT_EQ(client.submitted(), 20u);
+  EXPECT_EQ(client.completed(), 20u);
+
+  // Reads see the writes, with values flowing back through completions.
+  for (std::uint64_t key = 1; key <= 20; ++key) {
+    Request request;
+    request.op = OpType::kGet;
+    request.key = key;
+    ASSERT_TRUE(client.submit(request).has_value());
+  }
+  client.flush();
+  harvested = 0;
+  while (client.try_complete(done)) {
+    ++harvested;
+    EXPECT_TRUE(done.ok);
+    EXPECT_EQ(done.value, done.key * 7);
+  }
+  EXPECT_EQ(harvested, 20u);
+}
+
+TEST(SvcClientTest, RingFullAppliesBackpressureUntilHarvest) {
+  auto map = make_hash_map(2, 1);
+  constexpr std::size_t kRing = 8;
+  auto client = map.client(0, /*batch_limit=*/64, /*ring_capacity=*/kRing);
+
+  Request request;
+  request.op = OpType::kInsert;
+  for (std::uint64_t key = 1; key <= kRing; ++key) {
+    request.key = key;
+    request.value = key;
+    ASSERT_TRUE(client.submit(request).has_value());
+  }
+  // Ring-many requests are in flight: the next admit must bounce, flushed
+  // or not — completing it could overwrite an unharvested completion.
+  request.key = kRing + 1;
+  EXPECT_FALSE(client.submit(request).has_value());
+  client.flush();
+  EXPECT_FALSE(client.submit(request).has_value())
+      << "flushing does not free ring space; only harvesting does";
+
+  Completion done;
+  ASSERT_TRUE(client.try_complete(done));
+  const auto ticket = client.submit(request);
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(*ticket, kRing + 1);
+  client.flush();
+  std::size_t harvested = 0;
+  while (client.try_complete(done)) ++harvested;
+  EXPECT_EQ(harvested, kRing);  // 7 from the first batch + 1 late admit
+  EXPECT_EQ(client.in_flight(), 0u);
+}
+
+TEST(SvcClientTest, ReachingBatchLimitFlushesThatShardInline) {
+  auto map = make_hash_map(4, 1);
+  constexpr std::size_t kBatch = 4;
+  auto client = map.client(0, kBatch, /*ring_capacity=*/64);
+
+  // Collect keys that all route to shard 0 so one pending batch fills.
+  std::vector<std::uint64_t> same_shard;
+  for (std::uint64_t key = 1; same_shard.size() < kBatch; ++key) {
+    if (map.shard_of(key) == 0) same_shard.push_back(key);
+  }
+
+  Completion done;
+  Request request;
+  request.op = OpType::kInsert;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    EXPECT_FALSE(client.try_complete(done))
+        << "nothing may complete before the batch limit is reached";
+    request.key = same_shard[i];
+    request.value = same_shard[i];
+    ASSERT_TRUE(client.submit(request).has_value());
+  }
+  // The kBatch-th submit flushed shard 0 inline: completions are ready
+  // without an explicit flush().
+  EXPECT_EQ(client.batches_flushed(), 1u);
+  std::size_t harvested = 0;
+  while (client.try_complete(done)) ++harvested;
+  EXPECT_EQ(harvested, kBatch);
+}
+
+TEST(SvcClientTest, ConcurrentClientsOnDistinctTidsStayCoherent) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 512;
+  auto map = make_hash_map(4, kThreads);
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> completions{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto client = map.client(t, 8, 64);
+      std::uint64_t harvested = 0;
+      Completion done;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        Request request;
+        request.key = 1 + (t * kPerThread + i);
+        request.value = request.key;
+        request.op = (i % 3 == 2) ? OpType::kRemove
+                     : (i % 3 == 1) ? OpType::kContains
+                                    : OpType::kInsert;
+        while (!client.submit(request).has_value()) {
+          client.flush();
+          while (client.try_complete(done)) ++harvested;
+        }
+      }
+      client.flush();
+      while (client.try_complete(done)) ++harvested;
+      completions.fetch_add(harvested);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(completions.load(), kThreads * kPerThread);
+  map.drain_all();
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    const mp::smr::StatsSnapshot stats = map.shard_stats(s);
+    EXPECT_EQ(stats.retires, stats.reclaims + stats.drained) << "shard " << s;
+  }
+}
+
+// The bench's structure arm: a quick smoke over NatarajanTree shards so
+// the svc layer is exercised against both structure families in-tree.
+TEST(SvcShardedMapTest, TreeShardsRouteAndConserve) {
+  TreeMap map(
+      4, make_config(2, mp::ds::NatarajanTree<mp::smr::EBR>::kRequiredSlots));
+  for (std::uint64_t key = 1; key <= 256; ++key) {
+    EXPECT_TRUE(map.insert(0, key, key + 1));
+  }
+  EXPECT_EQ(map.size(), 256u);
+  for (std::uint64_t key = 1; key <= 256; ++key) {
+    std::uint64_t value = 0;
+    EXPECT_TRUE(map.get(1, key, value));
+    EXPECT_EQ(value, key + 1);
+    EXPECT_TRUE(map.remove(1, key));
+  }
+  map.drain_all();
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    const mp::smr::StatsSnapshot stats = map.shard_stats(s);
+    EXPECT_EQ(stats.retires, stats.reclaims + stats.drained) << "shard " << s;
+  }
+}
+
+#ifdef MARGINPTR_SVC_BIN
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Golden run: tiny closed-loop sweep, then validate the emitted schema-v5
+// document — per-shard stats arrays on every row, one SLO verdict row.
+// EBR keeps the spawned binary TSan-compatible when the suite runs
+// instrumented.
+TEST(SvcGoldenBenchTest, ClosedLoopBenchEmitsValidV5Report) {
+  const std::string out = "BENCH_svc_closed_loop_golden_test.json";
+  std::remove(out.c_str());
+  const std::string cmd = std::string(MARGINPTR_SVC_BIN) +
+                          " --shards=4 --clients=2 --schemes=EBR"
+                          " --size=512 --duration-ms=40 --rates=5,10"
+                          " --ring=256 --json-out=" + out;
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string text = slurp(out);
+  ASSERT_FALSE(text.empty()) << "bench must write " << out;
+  const mp::obs::json::Value doc = mp::obs::json::parse(text);
+  EXPECT_EQ(mp::obs::validate_report(doc), "");
+  EXPECT_EQ(doc.find("version")->as_uint(), mp::obs::kReportVersion);
+
+  const auto& rows = doc.find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 3u);  // two load levels + the verdict row
+  std::size_t verdicts = 0;
+  for (const auto& row : rows) {
+    const auto* shards = row.find("shards");
+    ASSERT_NE(shards, nullptr) << "every svc row carries per-shard stats";
+    EXPECT_EQ(shards->as_array().size(), 4u);
+    const auto* slo = row.find("slo");
+    if (row.find("figure")->as_string() == "svc_verdict") {
+      ++verdicts;
+      ASSERT_NE(slo, nullptr);
+      EXPECT_TRUE(slo->find("p99_slo_ns")->is_number());
+      EXPECT_TRUE(slo->find("met")->is_bool());
+    } else {
+      EXPECT_EQ(row.find("figure")->as_string(), "svc_closed_loop");
+      ASSERT_NE(slo, nullptr);
+      EXPECT_TRUE(slo->find("met")->is_bool());
+      EXPECT_TRUE(row.find("inflight_ok")->as_bool())
+          << "per-shard waste watchdog must hold in the golden run";
+    }
+  }
+  EXPECT_EQ(verdicts, 1u);
+  std::remove(out.c_str());
+}
+#endif  // MARGINPTR_SVC_BIN
+
+}  // namespace
