@@ -1,0 +1,521 @@
+// svc_overload: open-loop overload bench for the service resilience layer
+// (src/svc/resilience.hpp, DESIGN.md §11).
+//
+// Phase 1 calibrates: clients drive the sharded map closed-loop (no
+// pacing, no gate, no deadlines) to measure the saturation throughput.
+// Phase 2 offers 2–4x that rate *open-loop*: the arrival clock advances
+// whether or not the service keeps up, every request carries a deadline
+// (--deadline-us past its intended arrival), and each client runs a
+// token-bucket admission gate at its fair share of the calibrated
+// saturation rate. Under overload the correct behavior is typed shedding,
+// not collapse: excess arrivals complete as kRejected at the gate (no
+// shard touched), stale queued work is dropped as kDeadlineExceeded at
+// flush, and a Shedding shard refuses writes with kShedWrite — while
+// *admitted* work still executes at near-saturation throughput with
+// bounded latency.
+//
+// Verdict per multiplier: goodput (executed completions/s) >= 70% of the
+// calibrated saturation rate, with p99-of-admitted (latency over executed
+// completions only, measured from intended arrival so queueing counts)
+// reported alongside. Shard health runs with a capacity scaled to the
+// retire sawtooth (clients * empty_freq), so the Healthy->Degraded->
+// Healthy cycle is genuinely exercised; after the last window the bench
+// drains and re-samples every shard, so a shard that ended the run
+// Degraded records its recovery in the report. Every window asserts each
+// shard's WasteWatchdog invariants — a violation is the only nonzero exit.
+//
+// Output: CSV rows on stdout and a schema-v6 BENCH_svc_overload.json
+// (per-row "status_counts", per-shard "health" transition summaries).
+#include <algorithm>
+#include <cmath>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/zipf.hpp"
+#include "ds/natarajan_tree.hpp"
+#include "harness.hpp"
+#include "svc/resilience.hpp"
+#include "svc/sharded_map.hpp"
+
+namespace {
+
+struct OverloadArgs {
+  std::size_t shards = 4;
+  int clients = 4;
+  std::vector<std::string> schemes;
+  std::size_t size = 20000;
+  int read_pct = 50;
+  double theta = 0.99;
+  std::size_t batch = 16;
+  std::size_t ring = 1024;
+  std::vector<std::uint64_t> multipliers;
+  int calib_ms = 150;
+  int duration_ms = 250;
+  std::uint64_t deadline_us = 5000;
+  double admit_factor = 1.0;
+  bool pool = true;
+  bool reclaim_bg = false;
+  std::string json_out;
+};
+
+struct WindowResult {
+  double offered_kops = 0;
+  double goodput_kops = 0;
+  std::uint64_t client_drops = 0;  ///< open-loop arrivals lost to a full ring
+  mp::svc::StatusCounts counts;
+  mp::obs::LatencyHistogram admitted;  ///< executed completions only
+  bool waste_ok = true;
+  bool inflight_ok = true;
+};
+
+template <typename Rng>
+mp::svc::Request make_request(const OverloadArgs& args,
+                              const mp::common::ZipfGenerator& zipf,
+                              Rng& rng) {
+  mp::svc::Request request;
+  const std::uint64_t key = 1 + zipf.next(rng);
+  const auto coin = static_cast<int>(rng.next() % 100);
+  if (coin < args.read_pct) {
+    request.op = mp::svc::OpType::kGet;
+  } else if (coin < args.read_pct + (100 - args.read_pct) / 2) {
+    request.op = mp::svc::OpType::kInsert;
+    request.value = key;
+  } else {
+    request.op = mp::svc::OpType::kRemove;
+  }
+  request.key = key;
+  return request;
+}
+
+/// Phase 1: closed-loop saturation probe. No pacing, no gate, no
+/// deadlines — just the fastest rate the map sustains through the async
+/// front-end. Returns total kops/s over all clients.
+template <typename Map>
+double calibrate(Map& map, const OverloadArgs& args,
+                 const mp::common::ZipfGenerator& zipf, std::uint64_t seed) {
+  mp::common::SpinBarrier barrier(static_cast<std::size_t>(args.clients) + 1);
+  std::atomic<std::uint64_t> total_completed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(args.clients));
+  for (int c = 0; c < args.clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = map.client(c, args.batch, args.ring);
+      mp::common::Xoshiro256 rng =
+          mp::common::Xoshiro256::stream(seed, static_cast<std::uint64_t>(c));
+      std::uint64_t completed = 0;
+      mp::svc::Completion done;
+      barrier.arrive_and_wait();
+      const std::uint64_t t0 = mp::svc::now_ns();
+      const std::uint64_t end =
+          t0 + static_cast<std::uint64_t>(args.calib_ms) * 1'000'000ULL;
+      while (mp::svc::now_ns() < end) {
+        if (!client.submit(make_request(args, zipf, rng))) {
+          client.flush();
+          while (client.try_complete(done)) ++completed;
+        }
+      }
+      client.flush();
+      while (client.try_complete(done)) ++completed;
+      total_completed.fetch_add(completed, std::memory_order_relaxed);
+    });
+  }
+  barrier.arrive_and_wait();
+  const std::uint64_t t0 = mp::svc::now_ns();
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      static_cast<double>(mp::svc::now_ns() - t0) / 1e9;
+  return static_cast<double>(total_completed.load()) / seconds / 1000.0;
+}
+
+/// Phase 2: one open-loop window at `rate_kops` total offered load. The
+/// arrival clock always advances — a full ring after one flush+harvest
+/// attempt drops the arrival client-side (counted) instead of stalling
+/// the generator, so offered load is honest under overload.
+template <typename Map>
+WindowResult run_window(Map& map, const OverloadArgs& args,
+                        const mp::common::ZipfGenerator& zipf,
+                        double rate_kops, double admit_kops,
+                        std::uint64_t seed) {
+  std::mutex merge_mutex;
+  WindowResult result;
+  result.offered_kops = rate_kops;
+  const double interval_ns =
+      1e9 * static_cast<double>(args.clients) / (rate_kops * 1000.0);
+  const std::uint64_t deadline_budget_ns = args.deadline_us * 1000;
+  mp::svc::AdmissionOptions admission;
+  admission.rate_per_sec = admit_kops * 1000.0 / args.clients;
+  // The bucket must ride out the stretches the client spends executing
+  // flushed batches (during which tokens would otherwise be clipped at
+  // the cap): give it ~5 ms of rate as depth, so admission throttles the
+  // sustained rate, not the duty cycle of the submit loop.
+  admission.burst = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(admission.rate_per_sec * 0.005),
+      static_cast<std::uint64_t>(args.batch) * 2);
+  mp::common::SpinBarrier barrier(static_cast<std::size_t>(args.clients) + 1);
+
+  std::atomic<std::uint64_t> total_executed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(args.clients));
+  for (int c = 0; c < args.clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = map.client(c, args.batch, args.ring, admission);
+      mp::common::Xoshiro256 rng =
+          mp::common::Xoshiro256::stream(seed, static_cast<std::uint64_t>(c));
+      mp::obs::LatencyHistogram local;
+      std::uint64_t executed = 0;
+      std::uint64_t drops = 0;
+      barrier.arrive_and_wait();
+      const std::uint64_t t0 = mp::svc::now_ns();
+      const std::uint64_t end =
+          t0 + static_cast<std::uint64_t>(args.duration_ms) * 1'000'000ULL;
+      const auto harvest = [&]() -> std::uint64_t {
+        std::uint64_t popped = 0;
+        mp::svc::Completion done;
+        if (!client.try_complete(done)) return 0;
+        const std::uint64_t rel = mp::svc::now_ns() - t0;
+        do {
+          ++popped;
+          if (done.executed()) {
+            local.record(rel > done.user ? rel - done.user : 0);
+            ++executed;
+          }
+        } while (client.try_complete(done));
+        return popped;
+      };
+      double next_arrival_ns = 0;
+      // If the generator cannot mint arrivals as fast as the offered rate
+      // (it also executes the admitted work), it would lag real time
+      // unboundedly and every minted deadline would already be expired.
+      // Cap the lag at 1 ms: arrivals beyond it are shed in bulk as
+      // client-side drops, exactly like a kernel socket backlog overflow.
+      constexpr double kMaxLagNs = 1e6;
+      // Throughput rides the batch-limit auto-flush (full batches); the
+      // timed flush below only bounds how long a partial batch can sit,
+      // so it stays well under the deadline without paying a whole-map
+      // flush of near-empty batches on every loop iteration.
+      constexpr std::uint64_t kFlushIntervalNs = 100'000;
+      std::uint64_t last_flush = t0;
+      for (std::uint64_t now = t0; now < end; now = mp::svc::now_ns()) {
+        const double rel_now = static_cast<double>(now - t0);
+        if (rel_now - next_arrival_ns > kMaxLagNs) {
+          const double skipped =
+              std::floor((rel_now - kMaxLagNs - next_arrival_ns) /
+                         interval_ns) + 1;
+          drops += static_cast<std::uint64_t>(skipped);
+          next_arrival_ns += skipped * interval_ns;
+        }
+        std::uint64_t work = 0;
+        while (next_arrival_ns <= rel_now) {
+          mp::svc::Request request = make_request(args, zipf, rng);
+          request.user = static_cast<std::uint64_t>(next_arrival_ns);
+          request.deadline_ns =
+              t0 + static_cast<std::uint64_t>(next_arrival_ns) +
+              deadline_budget_ns;
+          if (!client.submit(request)) {
+            client.flush();
+            harvest();
+            if (!client.submit(request)) ++drops;
+          }
+          next_arrival_ns += interval_ns;  // open loop: never stalls
+          ++work;
+        }
+        if (now - last_flush >= kFlushIntervalNs) {
+          client.flush();
+          last_flush = now;
+          ++work;
+        }
+        work += harvest();
+        // A no-work iteration means this client is paced out (caught up,
+        // nothing to harvest): yield the core instead of spin-polling the
+        // clock — on few-core hosts a spinning peer steals exactly the
+        // cycles another client needs to execute its admitted batch.
+        if (work == 0) std::this_thread::yield();
+      }
+      client.flush();
+      harvest();
+      total_executed.fetch_add(executed, std::memory_order_relaxed);
+      std::lock_guard lock(merge_mutex);
+      result.admitted.merge(local);
+      result.counts += client.status_counts();
+      result.client_drops += drops;
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const std::uint64_t t0 = mp::svc::now_ns();
+  for (auto& worker : workers) worker.join();
+  const double seconds = static_cast<double>(mp::svc::now_ns() - t0) / 1e9;
+  result.goodput_kops =
+      static_cast<double>(total_executed.load()) / seconds / 1000.0;
+  result.waste_ok = map.waste_ok();
+  result.inflight_ok = map.inflight_ok();
+  return result;
+}
+
+template <template <typename> class SchemeT>
+int run_scheme(const char* scheme_name, const OverloadArgs& args,
+               mp::obs::BenchReport& report) {
+  using Map = mp::svc::ShardedMap<mp::ds::NatarajanTree<SchemeT>>;
+  using Scheme = typename Map::Scheme;
+
+  mp::smr::Config config;
+  config.max_threads = static_cast<std::size_t>(args.clients);
+  config.slots_per_thread = mp::ds::NatarajanTree<SchemeT>::kRequiredSlots;
+  config.pool_enabled = args.pool;
+  config.background_reclaim = args.reclaim_bg;
+  Map map(args.shards, config);
+
+  // Health capacity matched to the retire sawtooth: each client's
+  // per-shard retired list oscillates in [0, empty_freq], so a per-shard
+  // backlog of clients * empty_freq is "everyone maxed out at once" —
+  // the default 50%/25% hysteresis band then cycles under a write-heavy
+  // mix instead of sitting pinned at Healthy or Shedding.
+  mp::svc::HealthOptions health;
+  health.capacity_override = static_cast<std::uint64_t>(args.clients) *
+                             config.empty_freq;
+  if (config.background_reclaim) {
+    // The sampled backlog includes nodes parked in the reclaimer's queue;
+    // grant the same in-flight allowance the watchdog's inflight_bound
+    // does, or the bg arm sits pinned at Shedding.
+    health.capacity_override += config.reclaim_inflight_cap;
+  }
+  map.set_health_options(health);
+
+  mp::common::Xoshiro256 prefill_rng(0xF111);
+  std::size_t inserted = 0;
+  while (inserted < args.size) {
+    const std::uint64_t key = 1 + prefill_rng.next_below(2 * args.size);
+    inserted += map.insert(0, key, key) ? 1 : 0;
+  }
+
+  const mp::common::ZipfGenerator zipf(2 * args.size, args.theta);
+  const std::uint64_t waste_bound = Scheme::waste_bound_per_thread(config);
+
+  const double saturation_kops = calibrate(map, args, zipf, 41);
+  map.drain_all();
+  std::printf("svc_overload,%s,calibration,%zu,%d,%.1f\n", scheme_name,
+              map.shard_count(), args.clients, saturation_kops);
+  std::fflush(stdout);
+
+  bool all_invariants_ok = true;
+  bool goodput_ok_at_3x = true;
+  for (std::size_t level = 0; level < args.multipliers.size(); ++level) {
+    const double mult = static_cast<double>(args.multipliers[level]);
+    std::vector<mp::smr::StatsSnapshot> before;
+    before.reserve(map.shard_count());
+    for (std::size_t s = 0; s < map.shard_count(); ++s) {
+      before.push_back(map.shard_stats(s));
+    }
+
+    const WindowResult window =
+        run_window(map, args, zipf, mult * saturation_kops,
+                   args.admit_factor * saturation_kops, 42 + level);
+
+    const double goodput_ratio =
+        saturation_kops > 0 ? window.goodput_kops / saturation_kops : 0;
+    const bool goodput_ok = goodput_ratio >= 0.70;
+    if (mult >= 3.0) goodput_ok_at_3x &= goodput_ok;
+    all_invariants_ok &= window.waste_ok && window.inflight_ok;
+
+    std::printf(
+        "svc_overload,%s,%.0fx,%.0f,%.1f,%.2f,%s,%llu,%llu,%llu,%llu,%s\n",
+        scheme_name, mult, window.offered_kops, window.goodput_kops,
+        goodput_ratio, goodput_ok ? "goodput-ok" : "goodput-LOW",
+        static_cast<unsigned long long>(window.admitted.p99()),
+        static_cast<unsigned long long>(window.counts.rejected),
+        static_cast<unsigned long long>(window.counts.deadline_exceeded),
+        static_cast<unsigned long long>(window.counts.shed_write),
+        window.inflight_ok ? "inflight-ok" : "inflight-VIOLATED");
+    std::fflush(stdout);
+
+    mp::obs::json::Value row = mp::obs::json::Value::object();
+    row["figure"] = "svc_overload";
+    row["structure"] = "bst";
+    row["workload"] = "svc-overload-zipf";
+    row["scheme"] = scheme_name;
+    row["threads"] = static_cast<std::uint64_t>(args.clients);
+    row["multiplier"] = mult;
+    row["saturation_kops"] = saturation_kops;
+    row["offered_kops"] = window.offered_kops;
+    row["goodput_kops"] = window.goodput_kops;
+    row["goodput_ratio"] = goodput_ratio;
+    row["goodput_ok"] = goodput_ok;
+    row["client_drops"] = window.client_drops;
+    row["status_counts"] = mp::obs::status_counts_json(window.counts);
+    mp::obs::json::Value latency = mp::obs::json::Value::object();
+    latency["admitted"] = mp::obs::to_json(window.admitted);
+    row["latency_ns"] = latency;
+    mp::obs::json::Value shards = mp::obs::json::Value::array();
+    mp::smr::StatsSnapshot total;
+    for (std::size_t s = 0; s < map.shard_count(); ++s) {
+      const mp::smr::StatsSnapshot delta = map.shard_stats(s) - before[s];
+      mp::obs::json::Value entry = mp::obs::shard_json(s, delta, waste_bound);
+      const auto& monitor = map.health(s);
+      entry["health"] = mp::obs::health_json(
+          mp::svc::health_state_name(monitor.state()),
+          monitor.degraded_enters(), monitor.shed_enters(),
+          monitor.recoveries());
+      shards.push_back(std::move(entry));
+      total += delta;
+    }
+    row["shards"] = shards;
+    row["stats"] = mp::obs::to_json(total);
+    row["inflight_ok"] = window.inflight_ok;
+    report.add_row(std::move(row));
+
+    // Quiesce, then re-sample health on the empty backlog: a shard that
+    // ended the window Degraded/Shedding observes its recovery here, so
+    // the Degraded->Healthy edge is part of every run's record.
+    map.drain_all();
+    for (std::size_t s = 0; s < map.shard_count(); ++s) {
+      map.sample_health(s, 0);
+    }
+  }
+
+  std::uint64_t recoveries = 0;
+  std::uint64_t degraded_enters = 0;
+  std::uint64_t shed_enters = 0;
+  mp::obs::json::Value verdict = mp::obs::json::Value::object();
+  verdict["figure"] = "svc_overload_verdict";
+  verdict["scheme"] = scheme_name;
+  verdict["structure"] = "bst";
+  verdict["saturation_kops"] = saturation_kops;
+  verdict["goodput_ok_at_3x"] = goodput_ok_at_3x;
+  mp::obs::json::Value shards = mp::obs::json::Value::array();
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    mp::obs::json::Value entry =
+        mp::obs::shard_json(s, map.shard_stats(s), waste_bound);
+    const auto& monitor = map.health(s);
+    entry["health"] = mp::obs::health_json(
+        mp::svc::health_state_name(monitor.state()),
+        monitor.degraded_enters(), monitor.shed_enters(),
+        monitor.recoveries());
+    shards.push_back(std::move(entry));
+    recoveries += monitor.recoveries();
+    degraded_enters += monitor.degraded_enters();
+    shed_enters += monitor.shed_enters();
+  }
+  verdict["shards"] = shards;
+  verdict["degraded_enters"] = degraded_enters;
+  verdict["shed_enters"] = shed_enters;
+  verdict["recoveries"] = recoveries;
+  verdict["recovery_observed"] = recoveries > 0;
+  report.add_row(std::move(verdict));
+
+  std::printf(
+      "svc_overload_verdict,%s,saturation=%.1f kops/s,%s,degraded=%llu,"
+      "shed=%llu,recoveries=%llu\n",
+      scheme_name, saturation_kops,
+      goodput_ok_at_3x ? "goodput-ok" : "goodput-LOW",
+      static_cast<unsigned long long>(degraded_enters),
+      static_cast<unsigned long long>(shed_enters),
+      static_cast<unsigned long long>(recoveries));
+  std::fflush(stdout);
+  return all_invariants_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::common::Cli cli(
+      "open-loop overload bench: calibrate closed-loop saturation, then "
+      "offer 2-4x with deadlines + admission control and measure goodput, "
+      "p99-of-admitted, and shard health transitions");
+  cli.add_int("shards", 4, "shard count (rounded up to a power of two)");
+  cli.add_int("clients", 4, "client threads driving the async front-end");
+  cli.add_string("schemes", "MP", "comma-separated SMR schemes");
+  cli.add_int("size", 20000, "prefill size S (keys drawn from a 2S range)");
+  cli.add_int("read-pct", 50, "percentage of gets (rest: insert/remove)");
+  cli.add_string("theta", "0.99", "Zipf skew in [0, 1)");
+  cli.add_int("batch", 16, "per-shard batch size before an inline flush");
+  cli.add_int("ring", 1024, "completion-ring capacity (bounds in-flight)");
+  cli.add_string("multipliers", "2,3,4",
+                 "overload levels as multiples of calibrated saturation");
+  cli.add_int("calib-ms", 150, "closed-loop calibration window");
+  cli.add_int("duration-ms", 250, "measurement window per overload level");
+  cli.add_int("deadline-us", 5000,
+              "per-request deadline past its intended arrival");
+  cli.add_string("admit-factor", "1.0",
+                 "admission-gate rate as a fraction of saturation");
+  cli.add_string("pool", "on", "node-pool arm: on|off");
+  cli.add_string("reclaim", "fg",
+                 "reclamation arm: fg or bg (per-shard reclaimer threads)");
+  cli.add_bool("full", "paper-scale parameters (large size, 1s windows)");
+  cli.add_string("json-out", "",
+                 "JSON report path (default: BENCH_svc_overload.json)");
+  cli.parse(argc, argv);
+
+  OverloadArgs args;
+  args.shards = static_cast<std::size_t>(cli.get_int("shards"));
+  args.clients = static_cast<int>(cli.get_int("clients"));
+  args.schemes = mp::common::Cli::split_csv(cli.get_string("schemes"));
+  args.size = static_cast<std::size_t>(cli.get_int("size"));
+  args.read_pct = static_cast<int>(cli.get_int("read-pct"));
+  args.theta = std::stod(cli.get_string("theta"));
+  args.batch = static_cast<std::size_t>(cli.get_int("batch"));
+  args.ring = static_cast<std::size_t>(cli.get_int("ring"));
+  for (const auto mult : mp::common::Cli::split_csv_int(
+           cli.get_string("multipliers"))) {
+    args.multipliers.push_back(static_cast<std::uint64_t>(mult));
+  }
+  args.calib_ms = static_cast<int>(cli.get_int("calib-ms"));
+  args.duration_ms = static_cast<int>(cli.get_int("duration-ms"));
+  args.deadline_us = static_cast<std::uint64_t>(cli.get_int("deadline-us"));
+  args.admit_factor = std::stod(cli.get_string("admit-factor"));
+  args.pool = cli.get_string("pool") == "on";
+  args.reclaim_bg = cli.get_string("reclaim") == "bg";
+  args.json_out = cli.get_string("json-out");
+  if (cli.get_bool("full")) {
+    args.size = 200000;
+    args.calib_ms = 500;
+    args.duration_ms = 1000;
+  }
+  if (args.clients < 1 || args.read_pct < 0 || args.read_pct > 100 ||
+      args.theta < 0.0 || args.theta >= 1.0 || args.multipliers.empty() ||
+      args.admit_factor <= 0.0) {
+    std::fprintf(stderr, "svc_overload: invalid arguments\n");
+    return 2;
+  }
+
+  mp::obs::BenchReport report("svc_overload", args.json_out);
+  auto& config = report.config();
+  config["shards"] = static_cast<std::uint64_t>(args.shards);
+  config["clients"] = static_cast<std::uint64_t>(args.clients);
+  config["size"] = args.size;
+  config["read_pct"] = static_cast<std::uint64_t>(args.read_pct);
+  config["theta"] = args.theta;
+  config["batch"] = args.batch;
+  config["ring"] = args.ring;
+  config["calib_ms"] = static_cast<std::uint64_t>(args.calib_ms);
+  config["duration_ms"] = static_cast<std::uint64_t>(args.duration_ms);
+  config["deadline_us"] = args.deadline_us;
+  config["admit_factor"] = args.admit_factor;
+  config["pool"] = args.pool ? "on" : "off";
+  config["pool_effective"] =
+      (args.pool && !mp::smr::kPoolForcedOff) ? "on" : "off";
+  config["reclaim"] = args.reclaim_bg ? "bg" : "fg";
+  mp::obs::json::Value multipliers = mp::obs::json::Value::array();
+  for (const auto mult : args.multipliers) multipliers.push_back(mult);
+  config["multipliers"] = multipliers;
+  mp::obs::json::Value schemes = mp::obs::json::Value::array();
+  for (const auto& s : args.schemes) schemes.push_back(s);
+  config["schemes"] = schemes;
+
+  std::printf(
+      "bench,scheme,level,offered_kops,goodput_kops,goodput_ratio,verdict,"
+      "p99_admitted_ns,rejected,deadline_exceeded,shed_write,inflight\n");
+  int status = 0;
+  for (const std::string& scheme : args.schemes) {
+#define MARGINPTR_SVC_RUN(S) \
+  status |= run_scheme<S>(scheme.c_str(), args, report)
+    MARGINPTR_DISPATCH_SCHEME(scheme, MARGINPTR_SVC_RUN);
+#undef MARGINPTR_SVC_RUN
+  }
+  report.write();
+  std::printf("report: %s\n", report.path().c_str());
+  return status;
+}

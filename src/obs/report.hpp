@@ -44,10 +44,18 @@ inline constexpr const char* kReportSchema = "marginptr-bench-report";
 /// (src/svc/): rows may carry a per-shard domain breakdown
 ///   "shards": [ { "shard": n, "stats": {...}, "waste": {...} }, ... ]
 /// and a latency-SLO verdict
-///   "slo": { "p99_slo_ns": n, "met": b, ... }.
+///   "slo": { "p99_slo_ns": n, "met": b, ... };
+/// v6 added the service resilience layer (svc/resilience.hpp): rows may
+/// carry per-status completion tallies
+///   "status_counts": { "ok": n, "not_found": n, "alloc_failed": n,
+///                      "deadline_exceeded": n, "shed_write": n,
+///                      "rejected": n }
+/// and "shards" entries may carry that shard's health summary
+///   "health": { "state": "healthy"|"degraded"|"shedding",
+///               "degraded_enters": n, "shed_enters": n, "recoveries": n }.
 /// validate_report still accepts older documents (they predate churn mode /
-/// the pool / the background reclaimer / the sharded service).
-inline constexpr std::uint64_t kReportVersion = 5;
+/// the pool / the background reclaimer / the sharded service / resilience).
+inline constexpr std::uint64_t kReportVersion = 6;
 inline constexpr std::uint64_t kMinReportVersion = 1;
 
 inline json::Value to_json(const smr::StatsSnapshot& s) {
@@ -135,6 +143,35 @@ inline json::Value shard_json(std::size_t shard,
   out["shard"] = static_cast<std::uint64_t>(shard);
   out["stats"] = to_json(stats);
   out["waste"] = waste_json(bound_per_thread, stats.peak_retired);
+  return out;
+}
+
+/// A schema-v6 "status_counts" object from anything with the service
+/// layer's six per-status tallies (svc::StatusCounts; templated so obs/
+/// stays independent of svc/).
+template <typename Counts>
+inline json::Value status_counts_json(const Counts& c) {
+  json::Value out = json::Value::object();
+  out["ok"] = c.ok;
+  out["not_found"] = c.not_found;
+  out["alloc_failed"] = c.alloc_failed;
+  out["deadline_exceeded"] = c.deadline_exceeded;
+  out["shed_write"] = c.shed_write;
+  out["rejected"] = c.rejected;
+  return out;
+}
+
+/// A schema-v6 per-shard "health" object: the shard's final state name and
+/// its exact transition counts (svc::HealthMonitor).
+inline json::Value health_json(const char* state,
+                               std::uint64_t degraded_enters,
+                               std::uint64_t shed_enters,
+                               std::uint64_t recoveries) {
+  json::Value out = json::Value::object();
+  out["state"] = state;
+  out["degraded_enters"] = degraded_enters;
+  out["shed_enters"] = shed_enters;
+  out["recoveries"] = recoveries;
   return out;
 }
 
@@ -254,6 +291,33 @@ inline void check_waste(const json::Value& waste, std::string& error) {
         "waste object incomplete", error);
 }
 
+/// v6 "status_counts": all six per-status tallies, numeric.
+inline void check_status_counts(const json::Value& counts,
+                                std::string& error) {
+  if (!check(counts.is_object(), "status_counts is not an object", error)) {
+    return;
+  }
+  for (const char* key : {"ok", "not_found", "alloc_failed",
+                          "deadline_exceeded", "shed_write", "rejected"}) {
+    const json::Value* field = counts.find(key);
+    check(field != nullptr && field->is_number(),
+          std::string("status_counts missing counter '") + key + "'", error);
+  }
+}
+
+/// v6 per-shard "health": a state name plus the exact transition counters.
+inline void check_health(const json::Value& health, std::string& error) {
+  if (!check(health.is_object(), "health is not an object", error)) return;
+  const json::Value* state = health.find("state");
+  check(state != nullptr && state->is_string(),
+        "health missing string 'state'", error);
+  for (const char* key : {"degraded_enters", "shed_enters", "recoveries"}) {
+    const json::Value* field = health.find(key);
+    check(field != nullptr && field->is_number(),
+          std::string("health missing counter '") + key + "'", error);
+  }
+}
+
 }  // namespace detail
 
 /// Validate a parsed document against the report schema. Returns an empty
@@ -323,7 +387,24 @@ inline std::string validate_report(const json::Value& root) {
               waste != nullptr) {
             detail::check_waste(*waste, error);
           }
+          // v6: the shard's health summary.
+          if (const json::Value* health = entry.find("health");
+              health != nullptr) {
+            if (detail::check(
+                    ver >= 6,
+                    "shards entry 'health' requires version >= 6", error)) {
+              detail::check_health(*health, error);
+            }
+          }
         }
+      }
+    }
+    // v6: per-status completion tallies for service rows.
+    if (const json::Value* counts = row.find("status_counts");
+        counts != nullptr) {
+      if (detail::check(ver >= 6,
+                        "row 'status_counts' requires version >= 6", error)) {
+        detail::check_status_counts(*counts, error);
       }
     }
     // v5: latency-SLO verdict for service rows.

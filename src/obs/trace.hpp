@@ -46,6 +46,13 @@ enum class TraceEvent : std::uint8_t {
   kOracleUnprotect,  ///< oracle: (tid, node) reference dropped
   kOracleRetire,     ///< oracle: node retired; arg = node address
   kOracleFree,       ///< oracle: node freed; arg = node address
+  // Service-layer resilience events (svc/resilience.hpp): recorded through
+  // the shard's Config::tracer, so per-shard health history lands in the
+  // same rings as that shard's reclamation events.
+  kHealthTransition,  ///< shard health changed; arg = (old << 8) | new state
+  kAdmissionReject,   ///< client admission gate refused; arg = ticket
+  kDeadlineDrop,      ///< expired op shed at flush; arg = ticket
+  kShedWrite,         ///< write refused by a Shedding shard; arg = ticket
 };
 
 inline const char* trace_event_name(TraceEvent e) noexcept {
@@ -64,6 +71,10 @@ inline const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kOracleUnprotect: return "oracle_unprotect";
     case TraceEvent::kOracleRetire: return "oracle_retire";
     case TraceEvent::kOracleFree: return "oracle_free";
+    case TraceEvent::kHealthTransition: return "health_transition";
+    case TraceEvent::kAdmissionReject: return "admission_reject";
+    case TraceEvent::kDeadlineDrop: return "deadline_drop";
+    case TraceEvent::kShedWrite: return "shed_write";
   }
   return "?";
 }

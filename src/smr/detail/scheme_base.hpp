@@ -409,6 +409,24 @@ class SchemeBase {
     if (reclaimer_ != nullptr) reclaimer_->force_pass();
   }
 
+  /// Degradation hook (svc::HealthMonitor): a retired backlog is pressing
+  /// against the waste bound, reclaim sooner than the schedule would. In
+  /// the background arm this wakes the reclaimer thread early (cheap, the
+  /// caller never scans); in the foreground arm it runs one off-schedule
+  /// empty() pass on the calling thread — exactly the scheduled-pass
+  /// sequence, so every invariant the watchdog checks is preserved.
+  void reclaim_nudge(int tid) {
+    if (reclaimer_ != nullptr) {
+      reclaimer_->wake();
+      return;
+    }
+    adopt_orphans(tid);
+    auto& stats = *stats_[tid];
+    stats.bump(stats.empties);
+    trace_event(tid, obs::TraceEvent::kEmpty, local_[tid]->retired.size());
+    derived().empty(tid);
+  }
+
   /// The node pool (introspection: arm actually in effect, magazine and
   /// depot occupancy).
   const NodePool<Node>& pool() const noexcept { return pool_; }

@@ -129,6 +129,18 @@ class BackgroundReclaimer {
     return inflight_.load(std::memory_order_relaxed);
   }
 
+  /// Early wake (degradation hook, svc::HealthMonitor): nudge the
+  /// reclaimer thread out of its poll sleep so a building backlog is
+  /// scanned now instead of at the next watchdog tick. Safe from any
+  /// thread; a no-op if a pass is already pending.
+  void wake() noexcept {
+    {
+      std::lock_guard<std::mutex> lock(cv_mutex_);
+      kicked_ = true;
+    }
+    cv_.notify_one();
+  }
+
   /// Stop the reclaimer thread and join it. Idempotent; called from every
   /// scheme's destructor (while derived members are still alive) and again
   /// from ~BackgroundReclaimer as a backstop.

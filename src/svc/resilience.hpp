@@ -1,0 +1,389 @@
+// Resilience layer for the sharded service (DESIGN.md §11): typed failure
+// semantics, client-side admission control with retry/backoff, and the
+// per-shard memory-pressure health state machine.
+//
+// The paper's guarantee (Theorem 4.2) is a *bound on wasted memory*, not a
+// promise that the bound is comfortable to live at. Under overload — or
+// under the FaultInjector's bad_alloc bursts and stalls — a deployable
+// service must degrade in typed, observable steps instead of crashing or
+// silently queueing forever:
+//
+//   * Status makes every way a request can end a first-class value. A
+//     structure-op bad_alloc becomes kAllocFailed on that one request (the
+//     rest of the batch proceeds — the exactly-once flush contract in
+//     sharded_map.hpp); an expired deadline becomes kDeadlineExceeded
+//     *without* executing the op (work-shedding under queueing delay); the
+//     admission gate's refusal is kRejected (no shard was touched at all);
+//     a Shedding shard answers writes with kShedWrite while reads flow.
+//
+//   * TokenBucket + AdmissionOptions gate requests per client before any
+//     shard state is touched. RetryPolicy is the matching client loop:
+//     capped exponential backoff with Xoshiro jitter and a bounded retry
+//     budget, so rejected work retries without synchronized stampedes.
+//
+//   * HealthMonitor watches one shard's retired backlog against a capacity
+//     derived from the shard's own waste bound and drives
+//     Healthy -> Degraded -> Shedding with hysteresis (enter thresholds
+//     above exit thresholds, so the state cannot flap at a boundary).
+//     Degraded nudges reclamation early (Scheme::reclaim_nudge); Shedding
+//     stops admitting writes — the service defends the waste bound instead
+//     of only asserting it after the fact.
+//
+// Everything here is header-only and dependency-free beyond <chrono> and
+// the library's own rng/trace headers.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace mp::svc {
+
+/// How a request ended. Everything except kOk/kNotFound means the
+/// structure op did NOT run (kAllocFailed: it ran and threw bad_alloc
+/// before taking effect — the failed insert allocates before linking, so
+/// no mutation happened).
+enum class Status : std::uint8_t {
+  kOk = 0,            ///< executed; get/contains hit, insert/remove took effect
+  kNotFound,          ///< executed; miss / duplicate insert / absent remove
+  kAllocFailed,       ///< structure op threw bad_alloc; no effect; retryable
+  kDeadlineExceeded,  ///< expired before execution; shed at flush
+  kShedWrite,         ///< write refused: target shard is Shedding
+  kRejected,          ///< admission gate refused; no shard touched; retryable
+};
+
+inline const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kAllocFailed: return "alloc_failed";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kShedWrite: return "shed_write";
+    case Status::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+/// True when the structure op actually ran (hit or miss): the two statuses
+/// that carry a meaningful `ok` flag.
+inline bool executed(Status s) noexcept {
+  return s == Status::kOk || s == Status::kNotFound;
+}
+
+/// Monotonic nanoseconds for deadlines and token-bucket refill. Same clock
+/// as obs::Tracer::now_ns, so deadlines and trace records line up.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-status tallies — the bench's v6 `status_counts` object and the
+/// torture tests' conservation checks.
+struct StatusCounts {
+  std::uint64_t ok = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t alloc_failed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t shed_write = 0;
+  std::uint64_t rejected = 0;
+
+  void bump(Status s) noexcept {
+    switch (s) {
+      case Status::kOk: ++ok; break;
+      case Status::kNotFound: ++not_found; break;
+      case Status::kAllocFailed: ++alloc_failed; break;
+      case Status::kDeadlineExceeded: ++deadline_exceeded; break;
+      case Status::kShedWrite: ++shed_write; break;
+      case Status::kRejected: ++rejected; break;
+    }
+  }
+  std::uint64_t total() const noexcept {
+    return ok + not_found + alloc_failed + deadline_exceeded + shed_write +
+           rejected;
+  }
+  std::uint64_t executed() const noexcept { return ok + not_found; }
+
+  StatusCounts& operator+=(const StatusCounts& o) noexcept {
+    ok += o.ok;
+    not_found += o.not_found;
+    alloc_failed += o.alloc_failed;
+    deadline_exceeded += o.deadline_exceeded;
+    shed_write += o.shed_write;
+    rejected += o.rejected;
+    return *this;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Per-client admission gate configuration. Defaults are fully permissive
+/// (rate 0 = unlimited, max_in_flight 0 = bounded only by the completion
+/// ring), so existing callers see no behavior change.
+struct AdmissionOptions {
+  double rate_per_sec = 0.0;      ///< sustained token refill; 0 = unlimited
+  std::uint64_t burst = 64;       ///< bucket depth (instantaneous burst)
+  std::size_t max_in_flight = 0;  ///< extra in-flight cap; 0 = ring only
+};
+
+/// Classic token bucket, single-threaded (a Client belongs to one OS
+/// thread). Refills continuously from elapsed monotonic time; fractional
+/// tokens accumulate so low rates are exact over time.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, std::uint64_t burst)
+      : rate_per_ns_(rate_per_sec / 1e9),
+        burst_(static_cast<double>(burst == 0 ? 1 : burst)),
+        tokens_(burst_) {
+    if (rate_per_sec < 0.0) {
+      throw std::invalid_argument("svc::TokenBucket: negative rate");
+    }
+  }
+
+  /// True (and one token consumed) when the request may proceed. A zero
+  /// rate means the gate is disabled: always admits.
+  bool try_take(std::uint64_t now) noexcept {
+    if (rate_per_ns_ <= 0.0) return true;
+    if (last_ns_ == 0) last_ns_ = now;
+    if (now > last_ns_) {
+      tokens_ = std::min(
+          burst_, tokens_ + static_cast<double>(now - last_ns_) * rate_per_ns_);
+      last_ns_ = now;
+    }
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const noexcept { return tokens_; }
+
+ private:
+  double rate_per_ns_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Capped exponential backoff with jitter and a bounded attempt budget —
+/// the client-side answer to kRejected/kAllocFailed. Jitter draws from the
+/// client's own Xoshiro lane (uniform in [cap/2, cap]), so a fleet of
+/// rejected clients desynchronizes instead of stampeding in lockstep.
+class RetryPolicy {
+ public:
+  struct Options {
+    std::uint64_t base_delay_ns = 1'000;      ///< first retry delay
+    std::uint64_t max_delay_ns = 1'000'000;   ///< cap per attempt
+    std::uint32_t max_attempts = 8;           ///< total tries incl. the first
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  };
+
+  RetryPolicy() : RetryPolicy(Options{}) {}
+  explicit RetryPolicy(const Options& options)
+      : options_(options), rng_(options.seed) {
+    if (options.max_attempts == 0) {
+      throw std::invalid_argument("svc::RetryPolicy: max_attempts must be > 0");
+    }
+    if (options.base_delay_ns == 0 ||
+        options.max_delay_ns < options.base_delay_ns) {
+      throw std::invalid_argument("svc::RetryPolicy: bad delay range");
+    }
+  }
+
+  /// Which failures are worth re-submitting: the gate will refill
+  /// (kRejected) and allocation pressure passes (kAllocFailed). A missed
+  /// deadline or a shed write is the *caller's* policy decision — the
+  /// request may no longer be worth doing — so they are not retryable by
+  /// default.
+  static bool retryable(Status s) noexcept {
+    return s == Status::kRejected || s == Status::kAllocFailed;
+  }
+
+  /// Delay before retry number `attempt` (1-based: attempt 1 is the first
+  /// RE-try). nullopt once the budget is exhausted — the caller must give
+  /// up and surface the failure.
+  std::optional<std::uint64_t> backoff_ns(std::uint32_t attempt) noexcept {
+    if (attempt >= options_.max_attempts) return std::nullopt;
+    // Capped exponential: base, 2*base, 4*base, ... saturating at max.
+    std::uint64_t cap = options_.base_delay_ns;
+    for (std::uint32_t i = 1; i < attempt && cap < options_.max_delay_ns; ++i) {
+      cap = std::min(options_.max_delay_ns, cap * 2);
+    }
+    // Decorrelating jitter: uniform in [cap/2, cap].
+    const std::uint64_t half = cap / 2;
+    return half + rng_.next_below(cap - half + 1);
+  }
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  common::Xoshiro256 rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Memory-pressure health
+// ---------------------------------------------------------------------------
+
+enum class HealthState : std::uint8_t { kHealthy = 0, kDegraded, kShedding };
+
+inline const char* health_state_name(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kShedding: return "shedding";
+  }
+  return "?";
+}
+
+/// Hysteresis thresholds as fractions of the shard's backlog capacity.
+/// Enter thresholds sit above the matching exit thresholds, so a backlog
+/// oscillating around one boundary cannot flap the state.
+struct HealthOptions {
+  double degrade_enter = 0.50;  ///< backlog/capacity >= this: Degraded
+  double degrade_exit = 0.25;   ///< back below this: Healthy again
+  double shed_enter = 0.85;     ///< backlog/capacity >= this: Shedding
+  double shed_exit = 0.60;      ///< back below this: Degraded
+  /// Override the derived capacity (nodes); 0 = derive from the scheme's
+  /// waste_bound_per_thread (or retired_soft_cap when unbounded). If
+  /// neither yields a finite capacity the monitor is passive (always
+  /// Healthy).
+  std::uint64_t capacity_override = 0;
+  /// Rate-limit for reclaim nudges while non-Healthy: at most one nudge
+  /// per this many samples (1 = every sample).
+  std::uint32_t nudge_period = 8;
+
+  void validate() const {
+    const bool ordered = degrade_exit < degrade_enter &&
+                         shed_exit < shed_enter && degrade_enter <= shed_enter;
+    const bool in_range = degrade_exit > 0.0 && shed_enter <= 1.0;
+    if (!ordered || !in_range || nudge_period == 0) {
+      throw std::invalid_argument("svc::HealthOptions: invalid thresholds");
+    }
+  }
+};
+
+/// One shard's Healthy/Degraded/Shedding state machine. update() is called
+/// with the shard's current backlog (retired + reclaimer in-flight) after
+/// every client flush; it is thread-safe (CAS on the packed state) because
+/// many clients flush against the same shard concurrently. Transition
+/// counters are exact: each observed edge increments exactly one counter.
+class HealthMonitor {
+ public:
+  HealthMonitor(std::uint64_t capacity, const HealthOptions& options)
+      : options_(options), capacity_(capacity) {
+    options.validate();
+  }
+
+  /// Passive monitors (capacity 0: no finite bound to defend) never leave
+  /// kHealthy and never ask for nudges.
+  bool active() const noexcept { return capacity_ != 0; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+
+  HealthState state() const noexcept {
+    return static_cast<HealthState>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Feed one backlog sample. Returns the transition, if any, as
+  /// (old, new); nullopt when the state held. State-dependent thresholds
+  /// give the hysteresis: the bar to enter a worse state is higher than
+  /// the bar to leave it.
+  std::optional<std::pair<HealthState, HealthState>> update(
+      std::uint64_t backlog) noexcept {
+    if (!active()) return std::nullopt;
+    const double load =
+        static_cast<double>(backlog) / static_cast<double>(capacity_);
+    std::uint8_t cur = state_.load(std::memory_order_relaxed);
+    for (;;) {
+      const HealthState from = static_cast<HealthState>(cur);
+      const HealthState to = next_state(from, load);
+      if (to == from) return std::nullopt;
+      if (state_.compare_exchange_weak(cur, static_cast<std::uint8_t>(to),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+        switch (to) {
+          case HealthState::kHealthy:
+            recoveries_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case HealthState::kDegraded:
+            if (from == HealthState::kHealthy) {
+              degraded_enters_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          case HealthState::kShedding:
+            shed_enters_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        return std::make_pair(from, to);
+      }
+      // cur was reloaded by the failed CAS; re-derive from the new state.
+    }
+  }
+
+  /// Rate-limited "nudge reclamation now" decision, queried after update()
+  /// whenever the state is not Healthy.
+  bool should_nudge() noexcept {
+    const std::uint32_t n =
+        nudge_clock_.fetch_add(1, std::memory_order_relaxed);
+    return n % options_.nudge_period == 0;
+  }
+
+  /// True when the shard should refuse writes right now.
+  bool shedding() const noexcept {
+    return state() == HealthState::kShedding;
+  }
+
+  // Exact transition counts (for the v6 report's per-shard health object).
+  std::uint64_t degraded_enters() const noexcept {
+    return degraded_enters_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_enters() const noexcept {
+    return shed_enters_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recoveries() const noexcept {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+
+  const HealthOptions& options() const noexcept { return options_; }
+
+ private:
+  HealthState next_state(HealthState from, double load) const noexcept {
+    switch (from) {
+      case HealthState::kHealthy:
+        if (load >= options_.shed_enter) return HealthState::kShedding;
+        if (load >= options_.degrade_enter) return HealthState::kDegraded;
+        return HealthState::kHealthy;
+      case HealthState::kDegraded:
+        if (load >= options_.shed_enter) return HealthState::kShedding;
+        if (load < options_.degrade_exit) return HealthState::kHealthy;
+        return HealthState::kDegraded;
+      case HealthState::kShedding:
+        if (load < options_.degrade_exit) return HealthState::kHealthy;
+        if (load < options_.shed_exit) return HealthState::kDegraded;
+        return HealthState::kShedding;
+    }
+    return from;
+  }
+
+  HealthOptions options_;
+  std::uint64_t capacity_;
+  std::atomic<std::uint8_t> state_{
+      static_cast<std::uint8_t>(HealthState::kHealthy)};
+  std::atomic<std::uint64_t> degraded_enters_{0};
+  std::atomic<std::uint64_t> shed_enters_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint32_t> nudge_clock_{0};
+};
+
+}  // namespace mp::svc

@@ -1,4 +1,4 @@
-// Sharded key-value service layer (DESIGN.md §10): the "millions of
+// Sharded key-value service layer (DESIGN.md §10–§11): the "millions of
 // users" front-end over the library's concurrent search structures.
 //
 // The paper's waste bound (Theorem 4.2) is stated *per scheme instance* —
@@ -33,44 +33,81 @@
 //     completions, with backpressure (submit() returns nullopt) when the
 //     ring is full instead of unbounded queue growth.
 //
+//   * Failure semantics are typed (svc/resilience.hpp): every ticket
+//     completes exactly once with a Status. The flush contract is
+//     exactly-once — a structure-op bad_alloc completes that one request
+//     with kAllocFailed and the batch continues; on any other exception
+//     the executed prefix is removed from the batch before unwinding, so
+//     a retried flush() can never re-execute a completed mutation.
+//     Requests may carry a deadline (expired ops are shed at flush with
+//     kDeadlineExceeded, unexecuted); an optional per-client admission
+//     gate (token bucket + in-flight cap) completes refused requests with
+//     kRejected before any shard is touched; a Shedding shard answers
+//     writes with kShedWrite while still serving reads.
+//
+//   * Each shard has a HealthMonitor sampling its retired backlog (local
+//     retired lists + reclaimer in-flight) against a capacity derived from
+//     the shard's waste bound, after every flush that touched the shard.
+//     Degraded nudges reclamation early (Scheme::reclaim_nudge); Shedding
+//     turns on the write-shedding above. Transitions are traced
+//     (kHealthTransition) through the shard's own tracer.
+//
 // Threading contract: a Client belongs to one OS thread (its tid must be a
 // valid tid of every shard's scheme, i.e. < Config::max_threads). Different
 // clients on different threads operate concurrently; the shards' lock-free
-// structures and SMR schemes provide the synchronization.
+// structures and SMR schemes provide the synchronization. HealthMonitor
+// updates are thread-safe (many clients flush against one shard).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <new>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
-#include "smr/chaos.hpp"  // WasteWatchdog
+#include "obs/trace.hpp"
+#include "smr/chaos.hpp"  // WasteWatchdog, sat_mul
 #include "smr/smr.hpp"
+#include "svc/resilience.hpp"
 
 namespace mp::svc {
 
 enum class OpType : std::uint8_t { kGet, kContains, kInsert, kRemove };
 
+inline bool is_write(OpType op) noexcept {
+  return op == OpType::kInsert || op == OpType::kRemove;
+}
+
 /// One service request. `user` is opaque and echoed in the completion —
-/// the closed-loop bench stamps submit deadlines there to measure latency
-/// without a side table.
+/// the benches stamp intended-arrival deadlines there to measure latency
+/// without a side table. `deadline_ns` (svc::now_ns clock) is optional:
+/// 0 means no deadline; an op whose deadline has passed when its batch is
+/// flushed is shed with kDeadlineExceeded instead of executed.
 struct Request {
   OpType op = OpType::kGet;
   std::uint64_t key = 0;
-  std::uint64_t value = 0;  ///< insert payload; ignored by other ops
-  std::uint64_t user = 0;   ///< opaque, echoed in the Completion
+  std::uint64_t value = 0;        ///< insert payload; ignored by other ops
+  std::uint64_t user = 0;         ///< opaque, echoed in the Completion
+  std::uint64_t deadline_ns = 0;  ///< 0 = none; else svc::now_ns() deadline
 };
 
 struct Completion {
+  using Status = svc::Status;  ///< Completion::Status, per the service API
+
   std::uint64_t ticket = 0;
   std::uint64_t user = 0;
   std::uint64_t key = 0;
   std::uint64_t value = 0;  ///< get: the value found (unchanged on miss)
   OpType op = OpType::kGet;
+  Status status = Status::kOk;  ///< how the request ended (resilience.hpp)
   bool ok = false;  ///< get/contains: present; insert: inserted; remove: removed
+
+  /// The structure op actually ran (`ok` is meaningful).
+  bool executed() const noexcept { return svc::executed(status); }
 };
 
 template <typename Structure>
@@ -105,6 +142,7 @@ class ShardedMap {
     for (const smr::Config& config : per_shard) {
       shards_.push_back(std::make_unique<Structure>(config, args...));
     }
+    rebuild_health(HealthOptions{});
   }
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
@@ -171,6 +209,56 @@ class ShardedMap {
     return true;
   }
 
+  // ---- Memory-pressure health (DESIGN.md §11) ----
+
+  /// Replace every shard's HealthMonitor with one built from `options`.
+  /// Call before traffic starts (monitors are rebuilt, counters reset).
+  void set_health_options(const HealthOptions& options) {
+    options.validate();
+    rebuild_health(options);
+  }
+
+  HealthMonitor& health(std::size_t index) noexcept {
+    return *health_[index];
+  }
+  const HealthMonitor& health(std::size_t index) const noexcept {
+    return *health_[index];
+  }
+  HealthState health_state(std::size_t index) const noexcept {
+    return health_[index]->state();
+  }
+
+  /// Feed one backlog sample (local retired lists + reclaimer in-flight)
+  /// to `index`'s monitor. Clients call this after every flush that
+  /// touched the shard; tests/benches may call it directly to force a
+  /// deterministic observation point. Transitions are traced through the
+  /// shard's own tracer; while non-Healthy, reclamation is nudged (rate
+  /// limited by HealthOptions::nudge_period).
+  void sample_health(std::size_t index, int tid) {
+    HealthMonitor& monitor = *health_[index];
+    if (!monitor.active()) return;
+    Scheme& scheme = shards_[index]->scheme();
+    const std::uint64_t backlog =
+        scheme.retired_backlog() + scheme.reclaim_inflight();
+    if (auto edge = monitor.update(backlog)) {
+      if (obs::Tracer* tracer = scheme.config().tracer) {
+        tracer->record(tid, obs::TraceEvent::kHealthTransition,
+                       (static_cast<std::uint64_t>(edge->first) << 8) |
+                           static_cast<std::uint64_t>(edge->second));
+      }
+    }
+    if (monitor.state() != HealthState::kHealthy && monitor.should_nudge()) {
+      scheme.reclaim_nudge(tid);
+    }
+  }
+
+  /// Detach `tid` from every shard's domain (retired lists to the orphan
+  /// pools, protections cleared). The ThreadRegistry detach-hook target
+  /// for service threads that may die with batches pending.
+  void detach(int tid) {
+    for (auto& shard : shards_) shard->scheme().detach(tid);
+  }
+
   // ---- Synchronous routed operations (tests, prefill, simple callers) ----
 
   bool insert(int tid, Key key, Value value) {
@@ -200,16 +288,27 @@ class ShardedMap {
 
   class Client {
    public:
+    /// Sanity ceilings for the ctor parameters: a ring beyond 2^24 slots
+    /// (16M unharvested completions, ~1 GiB) or a batch limit beyond 2^20
+    /// is a bug in the caller, not a capacity plan.
+    static constexpr std::size_t kMaxRingCapacity = std::size_t{1} << 24;
+    static constexpr std::size_t kMaxBatchLimit = std::size_t{1} << 20;
+
     /// `tid` must be < every shard Config's max_threads. `batch_limit` is
     /// the per-shard pending count that triggers an automatic flush of
-    /// that shard; `ring_capacity` (rounded up to a power of two) bounds
-    /// unharvested completions and hence total in-flight requests.
+    /// that shard (0 is promoted to 1); `ring_capacity` (rounded up to a
+    /// power of two) bounds unharvested completions and hence total
+    /// in-flight requests. `admission` configures the per-client gate
+    /// (default: fully permissive).
     Client(ShardedMap& map, int tid, std::size_t batch_limit = 32,
-           std::size_t ring_capacity = 1024)
+           std::size_t ring_capacity = 1024,
+           const AdmissionOptions& admission = AdmissionOptions{})
         : map_(&map),
           tid_(tid),
-          batch_limit_(batch_limit == 0 ? 1 : batch_limit),
-          ring_(round_up_pow2(ring_capacity)) {
+          batch_limit_(validated_batch_limit(batch_limit)),
+          admission_(admission),
+          bucket_(admission.rate_per_sec, admission.burst),
+          ring_(round_up_pow2(validated_ring_capacity(ring_capacity))) {
       pending_.resize(map.shard_count());
       for (auto& batch : pending_) batch.reserve(batch_limit_);
       handles_.reserve(map.shard_count());
@@ -223,12 +322,30 @@ class ShardedMap {
     /// Enqueue one request. Returns its ticket (monotonic from 1), or
     /// nullopt when admitting it could overflow the completion ring —
     /// the caller must harvest completions (after a flush) and retry.
-    /// Reaching `batch_limit` pending requests on the target shard flushes
-    /// that one shard inline.
+    /// When the admission gate refuses (token bucket dry or the in-flight
+    /// cap reached), the request still gets a ticket but completes
+    /// immediately with kRejected — no shard is touched. Reaching
+    /// `batch_limit` pending requests on the target shard flushes that
+    /// one shard inline.
     std::optional<std::uint64_t> submit(const Request& request) {
       if (in_flight() >= ring_.size()) return std::nullopt;
-      const std::uint64_t ticket = next_ticket_++;
       const std::size_t shard = map_->shard_of(request.key);
+      if (!admit()) {
+        const std::uint64_t ticket = next_ticket_++;
+        Completion done;
+        done.ticket = ticket;
+        done.user = request.user;
+        done.key = request.key;
+        done.value = request.value;
+        done.op = request.op;
+        done.status = Status::kRejected;
+        if (obs::Tracer* tracer = map_->scheme(shard).config().tracer) {
+          tracer->record(tid_, obs::TraceEvent::kAdmissionReject, ticket);
+        }
+        push_completion(done);
+        return ticket;
+      }
+      const std::uint64_t ticket = next_ticket_++;
       pending_[shard].push_back(PendingOp{request, ticket});
       if (pending_[shard].size() >= batch_limit_) flush_shard(shard);
       return ticket;
@@ -258,54 +375,126 @@ class ShardedMap {
     std::uint64_t completed() const noexcept { return ring_head_; }
     std::uint64_t batches_flushed() const noexcept { return batches_; }
 
+    /// Per-status tallies over every completion this client produced
+    /// (including still-unharvested ones).
+    const StatusCounts& status_counts() const noexcept { return counts_; }
+
    private:
     struct PendingOp {
       Request request;
       std::uint64_t ticket;
     };
 
+    static std::size_t validated_batch_limit(std::size_t batch_limit) {
+      if (batch_limit > kMaxBatchLimit) {
+        throw std::invalid_argument("svc::Client: batch_limit too large");
+      }
+      return batch_limit == 0 ? 1 : batch_limit;
+    }
+    static std::size_t validated_ring_capacity(std::size_t ring_capacity) {
+      if (ring_capacity > kMaxRingCapacity) {
+        throw std::invalid_argument("svc::Client: ring_capacity too large");
+      }
+      return ring_capacity;
+    }
+
+    bool admit() noexcept {
+      if (admission_.max_in_flight != 0 &&
+          in_flight() >= admission_.max_in_flight) {
+        return false;
+      }
+      return bucket_.try_take(now_ns());
+    }
+
+    // Cannot overflow: submit() admits at most ring_.size() requests
+    // between the oldest unharvested completion and here.
+    void push_completion(const Completion& done) noexcept {
+      counts_.bump(done.status);
+      ring_[ring_head_ & (ring_.size() - 1)] = done;
+      ++ring_head_;
+    }
+
+    /// Exactly-once contract: every pending op completes into the ring at
+    /// most once, and an op leaves the batch in the same step that its
+    /// completion is pushed. A structure-op bad_alloc completes that one
+    /// request with kAllocFailed and the batch continues. Any other
+    /// exception unwinds — but only after the executed prefix has been
+    /// erased from the batch, so a retried flush() resumes at the first
+    /// unexecuted op and can never re-execute a completed mutation.
     void flush_shard(std::size_t shard) {
       auto& batch = pending_[shard];
       if (batch.empty()) return;
       Structure& structure = map_->shard(shard);
       const Handle handle = handles_[shard];
-      for (const PendingOp& op : batch) {
-        Completion done;
-        done.ticket = op.ticket;
-        done.user = op.request.user;
-        done.key = op.request.key;
-        done.value = op.request.value;
-        done.op = op.request.op;
-        switch (op.request.op) {
-          case OpType::kGet:
-            done.ok = structure.get(handle, op.request.key, done.value);
-            break;
-          case OpType::kContains:
-            done.ok = structure.contains(handle, op.request.key);
-            break;
-          case OpType::kInsert:
-            done.ok =
-                structure.insert(handle, op.request.key, op.request.value);
-            break;
-          case OpType::kRemove:
-            done.ok = structure.remove(handle, op.request.key);
-            break;
+      obs::Tracer* tracer = map_->scheme(shard).config().tracer;
+      const bool shedding = map_->health(shard).shedding();
+      const std::uint64_t now = now_ns();
+      std::size_t done_count = 0;
+      try {
+        for (; done_count < batch.size(); ++done_count) {
+          const PendingOp& op = batch[done_count];
+          Completion done;
+          done.ticket = op.ticket;
+          done.user = op.request.user;
+          done.key = op.request.key;
+          done.value = op.request.value;
+          done.op = op.request.op;
+          if (op.request.deadline_ns != 0 && op.request.deadline_ns <= now) {
+            done.status = Status::kDeadlineExceeded;
+            if (tracer != nullptr) {
+              tracer->record(tid_, obs::TraceEvent::kDeadlineDrop, op.ticket);
+            }
+          } else if (shedding && is_write(op.request.op)) {
+            done.status = Status::kShedWrite;
+            if (tracer != nullptr) {
+              tracer->record(tid_, obs::TraceEvent::kShedWrite, op.ticket);
+            }
+          } else {
+            try {
+              switch (op.request.op) {
+                case OpType::kGet:
+                  done.ok = structure.get(handle, op.request.key, done.value);
+                  break;
+                case OpType::kContains:
+                  done.ok = structure.contains(handle, op.request.key);
+                  break;
+                case OpType::kInsert:
+                  done.ok = structure.insert(handle, op.request.key,
+                                             op.request.value);
+                  break;
+                case OpType::kRemove:
+                  done.ok = structure.remove(handle, op.request.key);
+                  break;
+              }
+              done.status = done.ok ? Status::kOk : Status::kNotFound;
+            } catch (const std::bad_alloc&) {
+              // The op had no effect (structures allocate before linking);
+              // complete this one request and keep going.
+              done.status = Status::kAllocFailed;
+              done.ok = false;
+            }
+          }
+          push_completion(done);
         }
-        // Cannot overflow: submit() admits at most ring_.size() requests
-        // between the oldest unharvested completion and here.
-        ring_[ring_head_ & (ring_.size() - 1)] = done;
-        ++ring_head_;
+      } catch (...) {
+        batch.erase(batch.begin(),
+                    batch.begin() + static_cast<std::ptrdiff_t>(done_count));
+        throw;
       }
       batch.clear();
       ++batches_;
+      map_->sample_health(shard, tid_);
     }
 
     ShardedMap* map_;
     int tid_;
     std::size_t batch_limit_;
+    AdmissionOptions admission_;
+    TokenBucket bucket_;
     std::vector<std::vector<PendingOp>> pending_;
     std::vector<Handle> handles_;
     std::vector<Completion> ring_;
+    StatusCounts counts_;
     std::uint64_t ring_head_ = 0;  ///< completions produced
     std::uint64_t ring_tail_ = 0;  ///< completions harvested
     std::uint64_t next_ticket_ = 1;
@@ -314,20 +503,62 @@ class ShardedMap {
 
   /// Mint a client for the calling thread. One client per (thread, map).
   Client client(int tid, std::size_t batch_limit = 32,
-                std::size_t ring_capacity = 1024) {
-    return Client(*this, tid, batch_limit, ring_capacity);
+                std::size_t ring_capacity = 1024,
+                const AdmissionOptions& admission = AdmissionOptions{}) {
+    return Client(*this, tid, batch_limit, ring_capacity, admission);
   }
 
  private:
-  static std::size_t round_up_pow2(std::size_t n) noexcept {
+  static std::size_t round_up_pow2(std::size_t n) {
+    constexpr std::size_t kMaxPow2 =
+        (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+    if (n > kMaxPow2) {
+      throw std::invalid_argument(
+          "svc: size does not round up to a representable power of two");
+    }
     std::size_t p = 1;
     while (p < n) p <<= 1;
     return p;
   }
 
+  /// Backlog capacity defended by `config`'s shard: the explicit override,
+  /// else T * the scheme's per-thread waste bound (Theorem 4.2), else
+  /// T * retired_soft_cap for unbounded schemes running with a soft cap,
+  /// else 0 (passive monitor — nothing finite to defend). In the
+  /// background-reclaim arm the sampled backlog includes the reclaimer's
+  /// in-flight nodes, so the capacity gets the same allowance the
+  /// watchdog's inflight_bound grants (the in-flight cap on top).
+  static std::uint64_t health_capacity(const smr::Config& config,
+                                       const HealthOptions& options) {
+    if (options.capacity_override != 0) return options.capacity_override;
+    const std::uint64_t threads =
+        static_cast<std::uint64_t>(config.max_threads);
+    const std::uint64_t inflight_allowance =
+        config.background_reclaim ? config.reclaim_inflight_cap : 0;
+    const std::uint64_t per = Scheme::waste_bound_per_thread(config);
+    if (per != smr::kUnboundedWaste) {
+      return smr::sat_add(smr::sat_mul(per, threads), inflight_allowance);
+    }
+    if (config.retired_soft_cap != 0) {
+      return smr::sat_add(smr::sat_mul(config.retired_soft_cap, threads),
+                          inflight_allowance);
+    }
+    return 0;
+  }
+
+  void rebuild_health(const HealthOptions& options) {
+    health_.clear();
+    health_.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      health_.push_back(std::make_unique<HealthMonitor>(
+          health_capacity(shard->scheme().config(), options), options));
+    }
+  }
+
   // unique_ptr, not values: a Structure owns a scheme full of atomics and
   // per-thread slots and is neither movable nor copyable.
   std::vector<std::unique_ptr<Structure>> shards_;
+  std::vector<std::unique_ptr<HealthMonitor>> health_;
 };
 
 }  // namespace mp::svc

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "obs/report.hpp"
+#include "svc/resilience.hpp"  // StatusCounts for the v6 row tests
 
 namespace {
 
@@ -265,6 +266,152 @@ TEST(ReportTest, VersionFiveShardAndSloRowsValidate) {
   const json::Value doc = report.document();
   EXPECT_EQ(validate_report(doc), "");
   EXPECT_EQ(validate_report(json::parse(doc.dump(2))), "");
+}
+
+TEST(ReportTest, VersionFiveDocumentsStillValidate) {
+  // v5 reports carry shards/slo rows but predate the resilience layer
+  // (v6's "status_counts" row section and per-shard "health"). They must
+  // keep validating — and a v5 document may not smuggle in v6 sections.
+  mp::smr::StatsSnapshot stats;
+  json::Value row = json::Value::object();
+  row["figure"] = "svc_closed_loop";
+  row["scheme"] = "EBR";
+  row["stats"] = mp::obs::to_json(stats);
+  json::Value shards = json::Value::array();
+  shards.push_back(mp::obs::shard_json(0, stats, 100));
+  row["shards"] = shards;
+  json::Value rows = json::Value::array();
+  rows.push_back(row);
+  json::Value doc = json::Value::object();
+  doc["schema"] = mp::obs::kReportSchema;
+  doc["version"] = std::uint64_t{5};
+  doc["bench"] = "legacy";
+  doc["config"] = json::Value::object();
+  doc["rows"] = rows;
+  EXPECT_EQ(validate_report(doc), "");
+
+  // "status_counts" is a v6 construct: a v5 document carrying one is
+  // malformed; the same document claiming v6 validates.
+  json::Value v6_row = row;
+  v6_row["status_counts"] = mp::obs::status_counts_json(mp::svc::StatusCounts{});
+  json::Value v6_rows = json::Value::array();
+  v6_rows.push_back(v6_row);
+  doc["rows"] = v6_rows;
+  EXPECT_NE(validate_report(doc), "");
+  doc["version"] = std::uint64_t{6};
+  EXPECT_EQ(validate_report(doc), "");
+
+  // Likewise a per-shard "health" object.
+  json::Value shard_entry = mp::obs::shard_json(0, stats, 100);
+  shard_entry["health"] = mp::obs::health_json("healthy", 0, 0, 0);
+  json::Value health_shards = json::Value::array();
+  health_shards.push_back(shard_entry);
+  json::Value health_row = row;
+  health_row["shards"] = health_shards;
+  json::Value health_rows = json::Value::array();
+  health_rows.push_back(health_row);
+  doc["rows"] = health_rows;
+  doc["version"] = std::uint64_t{5};
+  EXPECT_NE(validate_report(doc), "");
+  doc["version"] = std::uint64_t{6};
+  EXPECT_EQ(validate_report(doc), "");
+}
+
+TEST(ReportTest, VersionSixStatusCountsAndHealthRoundTrip) {
+  BenchReport report("svc_resilience_unit", "/dev/null");
+  mp::svc::StatusCounts counts;
+  counts.ok = 10;
+  counts.rejected = 3;
+  counts.shed_write = 1;
+  json::Value row = json::Value::object();
+  row["figure"] = "svc_overload";
+  row["scheme"] = "EBR";
+  row["stats"] = mp::obs::to_json(mp::smr::StatsSnapshot{});
+  row["status_counts"] = mp::obs::status_counts_json(counts);
+  json::Value shards = json::Value::array();
+  json::Value entry = mp::obs::shard_json(0, mp::smr::StatsSnapshot{}, 100);
+  entry["health"] = mp::obs::health_json("degraded", 2, 1, 1);
+  shards.push_back(entry);
+  row["shards"] = shards;
+  report.add_row(std::move(row));
+
+  const json::Value doc = report.document();
+  EXPECT_EQ(doc.find("version")->as_uint(), 6u);
+  EXPECT_EQ(validate_report(doc), "");
+  // The serialized form parses back to a valid document with the tallies
+  // intact.
+  const json::Value parsed = json::parse(doc.dump(2));
+  EXPECT_EQ(validate_report(parsed), "");
+  const json::Value* round =
+      parsed.find("rows")->as_array()[0].find("status_counts");
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->find("ok")->as_uint(), 10u);
+  EXPECT_EQ(round->find("rejected")->as_uint(), 3u);
+  EXPECT_EQ(round->find("shed_write")->as_uint(), 1u);
+  const json::Value* health =
+      parsed.find("rows")->as_array()[0].find("shards")->as_array()[0].find(
+          "health");
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->find("state")->as_string(), "degraded");
+  EXPECT_EQ(health->find("degraded_enters")->as_uint(), 2u);
+}
+
+TEST(ReportTest, ValidatorFlagsMalformedStatusCountsAndHealth) {
+  const auto make_doc = [](json::Value row) {
+    json::Value rows = json::Value::array();
+    rows.push_back(std::move(row));
+    json::Value doc = json::Value::object();
+    doc["schema"] = mp::obs::kReportSchema;
+    doc["version"] = std::uint64_t{6};
+    doc["bench"] = "svc_unit";
+    doc["config"] = json::Value::object();
+    doc["rows"] = rows;
+    return doc;
+  };
+  json::Value base = json::Value::object();
+  base["figure"] = "svc_overload";
+  base["scheme"] = "EBR";
+
+  {  // status_counts must be an object
+    json::Value row = base;
+    row["status_counts"] = json::Value::array();
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // status_counts missing one of the six tallies
+    json::Value counts = json::Value::object();
+    for (const char* key :
+         {"ok", "not_found", "alloc_failed", "deadline_exceeded",
+          "rejected"}) {  // no "shed_write"
+      counts[key] = std::uint64_t{0};
+    }
+    json::Value row = base;
+    row["status_counts"] = counts;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // health without a state name
+    json::Value health = json::Value::object();
+    health["degraded_enters"] = std::uint64_t{0};
+    health["shed_enters"] = std::uint64_t{0};
+    health["recoveries"] = std::uint64_t{0};
+    json::Value entry = mp::obs::shard_json(0, mp::smr::StatsSnapshot{}, 10);
+    entry["health"] = health;
+    json::Value shards = json::Value::array();
+    shards.push_back(entry);
+    json::Value row = base;
+    row["shards"] = shards;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // health counters must be numeric
+    json::Value health = mp::obs::health_json("shedding", 0, 0, 0);
+    health["recoveries"] = "many";
+    json::Value entry = mp::obs::shard_json(0, mp::smr::StatsSnapshot{}, 10);
+    entry["health"] = health;
+    json::Value shards = json::Value::array();
+    shards.push_back(entry);
+    json::Value row = base;
+    row["shards"] = shards;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
 }
 
 TEST(ReportTest, ValidatorFlagsMalformedShardAndSloSections) {

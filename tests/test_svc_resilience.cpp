@@ -1,0 +1,967 @@
+// Service-layer resilience (src/svc/resilience.hpp, DESIGN.md §11):
+//   * typed Status semantics and the StatusCounts bookkeeping;
+//   * TokenBucket refill arithmetic and RetryPolicy backoff/budget;
+//   * HealthMonitor hysteresis, exact transition counters, passive mode;
+//   * exactly-once flush under injected bad_alloc (the regression for the
+//     old flush_shard, which double-executed a batch prefix after an
+//     exception unwound mid-loop);
+//   * deadlines, admission rejection, and write-shedding end to end
+//     through Client;
+//   * ctor guards: absurd ring/batch sizes and the round_up_pow2 overflow;
+//   * client-thread death mid-service (ThreadLease churn): orphaned
+//     retired lists are adopted, no ticket ever completes twice;
+//   * the full torture: FaultInjector bad_alloc bursts + stalls + thread
+//     deaths through concurrent clients, with waste/in-flight invariants
+//     polled live and per-shard conservation + oracle cleanliness after;
+//   * a golden run of the svc_overload bench validating its schema-v6
+//     report (status_counts + per-shard health objects).
+//
+// Concurrent cases run EBR (no fence-based read path) so the suite stays
+// TSan-clean (see test_svc.cpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_registry.hpp"
+#include "ds/michael_hashset.hpp"
+#include "ds_test_util.hpp"
+#include "obs/report.hpp"
+#include "svc/sharded_map.hpp"
+
+namespace {
+
+using mp::common::ThreadLease;
+using mp::common::ThreadRegistry;
+using mp::smr::ChaosOptions;
+using mp::smr::FaultInjector;
+using mp::svc::AdmissionOptions;
+using mp::svc::Completion;
+using mp::svc::HealthMonitor;
+using mp::svc::HealthOptions;
+using mp::svc::HealthState;
+using mp::svc::OpType;
+using mp::svc::Request;
+using mp::svc::RetryPolicy;
+using mp::svc::Status;
+using mp::svc::StatusCounts;
+using mp::svc::TokenBucket;
+
+using HashMap = mp::svc::ShardedMap<mp::ds::MichaelHashSet<mp::smr::EBR>>;
+
+mp::smr::Config svc_config(std::size_t max_threads) {
+  mp::smr::Config config;
+  config.max_threads = max_threads;
+  config.slots_per_thread =
+      mp::ds::MichaelHashSet<mp::smr::EBR>::kRequiredSlots;
+  return config;
+}
+
+Request make_request(OpType op, std::uint64_t key, std::uint64_t value = 0) {
+  Request request;
+  request.op = op;
+  request.key = key;
+  request.value = value;
+  return request;
+}
+
+// ---- Status & StatusCounts ----
+
+TEST(ResilienceStatusTest, NamesAndExecutedClassification) {
+  EXPECT_STREQ(mp::svc::status_name(Status::kOk), "ok");
+  EXPECT_STREQ(mp::svc::status_name(Status::kNotFound), "not_found");
+  EXPECT_STREQ(mp::svc::status_name(Status::kAllocFailed), "alloc_failed");
+  EXPECT_STREQ(mp::svc::status_name(Status::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(mp::svc::status_name(Status::kShedWrite), "shed_write");
+  EXPECT_STREQ(mp::svc::status_name(Status::kRejected), "rejected");
+  // Exactly the two statuses whose `ok` flag is meaningful report executed.
+  EXPECT_TRUE(mp::svc::executed(Status::kOk));
+  EXPECT_TRUE(mp::svc::executed(Status::kNotFound));
+  EXPECT_FALSE(mp::svc::executed(Status::kAllocFailed));
+  EXPECT_FALSE(mp::svc::executed(Status::kDeadlineExceeded));
+  EXPECT_FALSE(mp::svc::executed(Status::kShedWrite));
+  EXPECT_FALSE(mp::svc::executed(Status::kRejected));
+}
+
+TEST(ResilienceStatusTest, CountsBumpTotalAndMerge) {
+  StatusCounts counts;
+  counts.bump(Status::kOk);
+  counts.bump(Status::kOk);
+  counts.bump(Status::kNotFound);
+  counts.bump(Status::kRejected);
+  EXPECT_EQ(counts.ok, 2u);
+  EXPECT_EQ(counts.not_found, 1u);
+  EXPECT_EQ(counts.rejected, 1u);
+  EXPECT_EQ(counts.total(), 4u);
+  EXPECT_EQ(counts.executed(), 3u);
+
+  StatusCounts other;
+  other.bump(Status::kAllocFailed);
+  other.bump(Status::kShedWrite);
+  other.bump(Status::kDeadlineExceeded);
+  counts += other;
+  EXPECT_EQ(counts.total(), 7u);
+  EXPECT_EQ(counts.executed(), 3u);
+  EXPECT_EQ(counts.alloc_failed, 1u);
+  EXPECT_EQ(counts.shed_write, 1u);
+  EXPECT_EQ(counts.deadline_exceeded, 1u);
+}
+
+// ---- TokenBucket ----
+
+TEST(ResilienceTokenBucketTest, ZeroRateIsAlwaysPermissive) {
+  TokenBucket bucket(0.0, 4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.try_take(static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(ResilienceTokenBucketTest, BurstDrainsThenRefillsFromElapsedTime) {
+  // 1000 tokens/s == 1 token per millisecond; exact in double arithmetic.
+  TokenBucket bucket(1000.0, 3);
+  const std::uint64_t t0 = 1'000'000;
+  EXPECT_TRUE(bucket.try_take(t0));
+  EXPECT_TRUE(bucket.try_take(t0));
+  EXPECT_TRUE(bucket.try_take(t0));
+  EXPECT_FALSE(bucket.try_take(t0)) << "burst exhausted, no time elapsed";
+  // 2ms later: exactly two tokens back.
+  const std::uint64_t t1 = t0 + 2'000'000;
+  EXPECT_TRUE(bucket.try_take(t1));
+  EXPECT_TRUE(bucket.try_take(t1));
+  EXPECT_FALSE(bucket.try_take(t1));
+  // Refill clamps at the burst depth, no matter how long the idle gap.
+  const std::uint64_t t2 = t1 + 3'600'000'000'000ULL;
+  EXPECT_TRUE(bucket.try_take(t2));
+  EXPECT_TRUE(bucket.try_take(t2));
+  EXPECT_TRUE(bucket.try_take(t2));
+  EXPECT_FALSE(bucket.try_take(t2));
+}
+
+TEST(ResilienceTokenBucketTest, ZeroBurstPromotedNegativeRateThrows) {
+  TokenBucket bucket(1000.0, 0);  // promoted to a depth of one
+  EXPECT_TRUE(bucket.try_take(1'000'000));
+  EXPECT_FALSE(bucket.try_take(1'000'000));
+  EXPECT_THROW(TokenBucket(-1.0, 4), std::invalid_argument);
+}
+
+// ---- RetryPolicy ----
+
+TEST(ResilienceRetryPolicyTest, OnlyGateAndAllocFailuresAreRetryable) {
+  EXPECT_TRUE(RetryPolicy::retryable(Status::kRejected));
+  EXPECT_TRUE(RetryPolicy::retryable(Status::kAllocFailed));
+  EXPECT_FALSE(RetryPolicy::retryable(Status::kOk));
+  EXPECT_FALSE(RetryPolicy::retryable(Status::kNotFound));
+  EXPECT_FALSE(RetryPolicy::retryable(Status::kDeadlineExceeded));
+  EXPECT_FALSE(RetryPolicy::retryable(Status::kShedWrite));
+}
+
+TEST(ResilienceRetryPolicyTest, BackoffIsCappedExponentialWithJitter) {
+  RetryPolicy::Options options;
+  options.base_delay_ns = 1'000;
+  options.max_delay_ns = 8'000;
+  options.max_attempts = 5;
+  RetryPolicy policy(options);
+  for (std::uint32_t attempt = 1; attempt < 5; ++attempt) {
+    // Cap doubles per attempt, saturating at max: 1000, 2000, 4000, 8000.
+    const std::uint64_t cap =
+        std::min<std::uint64_t>(8'000, 1'000ULL << (attempt - 1));
+    for (int draw = 0; draw < 32; ++draw) {
+      const auto delay = policy.backoff_ns(attempt);
+      ASSERT_TRUE(delay.has_value());
+      EXPECT_GE(*delay, cap / 2) << "attempt " << attempt;
+      EXPECT_LE(*delay, cap) << "attempt " << attempt;
+    }
+  }
+  EXPECT_FALSE(policy.backoff_ns(5).has_value()) << "budget exhausted";
+  EXPECT_FALSE(policy.backoff_ns(100).has_value());
+}
+
+TEST(ResilienceRetryPolicyTest, OptionValidation) {
+  RetryPolicy::Options options;
+  options.max_attempts = 0;
+  EXPECT_THROW(RetryPolicy{options}, std::invalid_argument);
+  options = RetryPolicy::Options{};
+  options.base_delay_ns = 0;
+  EXPECT_THROW(RetryPolicy{options}, std::invalid_argument);
+  options = RetryPolicy::Options{};
+  options.max_delay_ns = options.base_delay_ns - 1;
+  EXPECT_THROW(RetryPolicy{options}, std::invalid_argument);
+}
+
+// ---- HealthMonitor ----
+
+TEST(HealthMonitorTest, PassiveMonitorNeverLeavesHealthy) {
+  HealthMonitor monitor(0, HealthOptions{});
+  EXPECT_FALSE(monitor.active());
+  EXPECT_FALSE(monitor.update(std::numeric_limits<std::uint64_t>::max())
+                   .has_value());
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_FALSE(monitor.shedding());
+  EXPECT_EQ(monitor.recoveries(), 0u);
+}
+
+TEST(HealthMonitorTest, HysteresisEdgesAndExactCounters) {
+  // Capacity 100 with the default band: degrade 50/25, shed 85/60.
+  HealthMonitor monitor(100, HealthOptions{});
+  EXPECT_TRUE(monitor.active());
+  EXPECT_EQ(monitor.capacity(), 100u);
+
+  // Healthy -> Degraded exactly at the enter threshold.
+  EXPECT_FALSE(monitor.update(49).has_value());
+  auto edge = monitor.update(50);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->first, HealthState::kHealthy);
+  EXPECT_EQ(edge->second, HealthState::kDegraded);
+
+  // Inside the hysteresis band the state holds; below the exit it recovers.
+  EXPECT_FALSE(monitor.update(49).has_value());
+  EXPECT_FALSE(monitor.update(25).has_value());
+  edge = monitor.update(24);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->second, HealthState::kHealthy);
+
+  // A spike jumps Healthy -> Shedding directly (no intermediate Degraded).
+  edge = monitor.update(85);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->first, HealthState::kHealthy);
+  EXPECT_EQ(edge->second, HealthState::kShedding);
+  EXPECT_TRUE(monitor.shedding());
+
+  // Shedding holds at its exit threshold, steps down just below it.
+  EXPECT_FALSE(monitor.update(60).has_value());
+  edge = monitor.update(59);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->first, HealthState::kShedding);
+  EXPECT_EQ(edge->second, HealthState::kDegraded);
+
+  // Degraded re-enters Shedding at the shed threshold, then drains all
+  // the way: Shedding -> Healthy directly once below the degrade exit.
+  EXPECT_FALSE(monitor.update(84).has_value());
+  ASSERT_TRUE(monitor.update(85).has_value());
+  edge = monitor.update(10);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->first, HealthState::kShedding);
+  EXPECT_EQ(edge->second, HealthState::kHealthy);
+
+  // Every observed edge incremented exactly one counter.
+  EXPECT_EQ(monitor.degraded_enters(), 1u) << "only Healthy->Degraded edges";
+  EXPECT_EQ(monitor.shed_enters(), 2u);
+  EXPECT_EQ(monitor.recoveries(), 2u);
+}
+
+TEST(HealthMonitorTest, NudgeIsRateLimitedByPeriod) {
+  HealthOptions options;
+  options.nudge_period = 3;
+  HealthMonitor monitor(100, options);
+  int nudges = 0;
+  for (int i = 0; i < 9; ++i) nudges += monitor.should_nudge();
+  EXPECT_EQ(nudges, 3) << "one nudge per period of samples";
+  options.nudge_period = 1;
+  HealthMonitor eager(100, options);
+  EXPECT_TRUE(eager.should_nudge());
+  EXPECT_TRUE(eager.should_nudge());
+}
+
+TEST(HealthMonitorTest, OptionValidationRejectsBrokenBands) {
+  HealthOptions options;
+  options.degrade_exit = options.degrade_enter;  // no hysteresis gap
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = HealthOptions{};
+  options.shed_enter = 1.5;  // beyond capacity
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = HealthOptions{};
+  options.degrade_enter = 0.9;  // degrade band above the shed band
+  options.degrade_exit = 0.8;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = HealthOptions{};
+  options.nudge_period = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(HealthOptions{}.validate());
+}
+
+// ---- Ctor guards (round_up_pow2 overflow, absurd client parameters) ----
+
+TEST(ResilienceClientLimitsTest, ShardCountBeyondLargestPow2Throws) {
+  const auto config = svc_config(1);
+  // Would previously spin round_up_pow2's doubling loop forever: no power
+  // of two >= SIZE_MAX/2 + 2 is representable.
+  constexpr std::size_t kOver =
+      (std::numeric_limits<std::size_t>::max() >> 1) + 2;
+  EXPECT_THROW(HashMap(kOver, config, 16), std::invalid_argument);
+  EXPECT_THROW(HashMap(std::numeric_limits<std::size_t>::max(), config, 16),
+               std::invalid_argument);
+}
+
+TEST(ResilienceClientLimitsTest, AbsurdRingOrBatchParametersThrow) {
+  HashMap map(1, svc_config(1), 16);
+  EXPECT_THROW(map.client(0, HashMap::Client::kMaxBatchLimit + 1, 64),
+               std::invalid_argument);
+  EXPECT_THROW(map.client(0, 8, HashMap::Client::kMaxRingCapacity + 1),
+               std::invalid_argument);
+  // The documented ceilings themselves are legal (batch side only; a
+  // max-size ring would be a 1 GiB allocation).
+  EXPECT_NO_THROW(map.client(0, HashMap::Client::kMaxBatchLimit, 64));
+}
+
+TEST(ResilienceClientLimitsTest, ZeroBatchLimitPromotedToImmediateFlush) {
+  HashMap map(1, svc_config(1), 16);
+  auto client = map.client(0, /*batch_limit=*/0, /*ring_capacity=*/8);
+  ASSERT_TRUE(client.submit(make_request(OpType::kInsert, 7, 70)).has_value());
+  EXPECT_EQ(client.batches_flushed(), 1u) << "limit 0 must behave as 1";
+  Completion done;
+  ASSERT_TRUE(client.try_complete(done));
+  EXPECT_EQ(done.status, Status::kOk);
+}
+
+// ---- Exactly-once flush under injected bad_alloc ----
+
+TEST(ResilienceFlushTest, AllocFailureCompletesThatRequestAndBatchContinues) {
+  ChaosOptions chaos;
+  chaos.seed = 42;
+  chaos.alloc_failure_period = 1;  // every allocation fails while armed
+  FaultInjector injector(chaos, 2);
+  injector.set_armed(false);
+
+  auto config = svc_config(2);
+  config.fault_injector = &injector;
+  HashMap map(1, config, 32);
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    ASSERT_TRUE(map.insert(0, key, key * 11));
+  }
+
+  auto client = map.client(1, /*batch_limit=*/64, /*ring_capacity=*/64);
+  std::set<std::uint64_t> tickets;
+  // Interleave reads of present keys with inserts of fresh keys: the
+  // inserts allocate (and will fail), the reads do not.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto t = client.submit(make_request(OpType::kGet, 1 + i));
+    ASSERT_TRUE(t.has_value());
+    tickets.insert(*t);
+    t = client.submit(make_request(OpType::kInsert, 100 + i, i));
+    ASSERT_TRUE(t.has_value());
+    tickets.insert(*t);
+  }
+  ASSERT_EQ(tickets.size(), 8u);
+
+  injector.set_armed(true);
+  client.flush();
+  injector.set_armed(false);
+
+  Completion done;
+  std::set<std::uint64_t> completed;
+  std::size_t gets = 0, failed_inserts = 0;
+  while (client.try_complete(done)) {
+    EXPECT_TRUE(tickets.count(done.ticket));
+    EXPECT_TRUE(completed.insert(done.ticket).second)
+        << "ticket " << done.ticket << " completed twice";
+    if (done.op == OpType::kGet) {
+      ++gets;
+      EXPECT_EQ(done.status, Status::kOk) << "reads do not allocate";
+      EXPECT_EQ(done.value, done.key * 11);
+    } else {
+      ++failed_inserts;
+      EXPECT_EQ(done.status, Status::kAllocFailed)
+          << "every armed allocation must fail";
+      EXPECT_FALSE(done.ok);
+      EXPECT_FALSE(done.executed());
+    }
+  }
+  EXPECT_EQ(gets, 4u);
+  EXPECT_EQ(failed_inserts, 4u) << "the batch continues past each bad_alloc";
+  EXPECT_EQ(map.size(), 4u) << "failed inserts must have no effect";
+  EXPECT_EQ(client.status_counts().alloc_failed, 4u);
+
+  // The batch fully completed: a second flush is a no-op.
+  client.flush();
+  EXPECT_FALSE(client.try_complete(done));
+
+  // Pressure passed (disarmed): the RetryPolicy-style resubmit succeeds
+  // exactly once per key.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        client.submit(make_request(OpType::kInsert, 100 + i, i)).has_value());
+  }
+  client.flush();
+  std::size_t retried_ok = 0;
+  while (client.try_complete(done)) {
+    EXPECT_EQ(done.status, Status::kOk);
+    ++retried_ok;
+  }
+  EXPECT_EQ(retried_ok, 4u);
+  EXPECT_EQ(map.size(), 8u);
+}
+
+TEST(ResilienceFlushTest, RandomAllocFaultsPreserveTicketAndEffectIdentity) {
+  ChaosOptions chaos;
+  chaos.seed = 0xBADA110C;
+  chaos.alloc_failure_period = 3;
+  FaultInjector injector(chaos, 1);
+  injector.set_armed(false);  // construction outside the fault window
+
+  auto config = svc_config(1);
+  config.fault_injector = &injector;
+  HashMap map(1, config, 64);
+  auto client = map.client(0, /*batch_limit=*/16, /*ring_capacity=*/128);
+  injector.set_armed(true);
+
+  std::set<std::uint64_t> completed;
+  std::size_t ok = 0, failed = 0;
+  Completion done;
+  for (std::uint64_t key = 1; key <= 96; ++key) {
+    ASSERT_TRUE(
+        client.submit(make_request(OpType::kInsert, key, key)).has_value());
+    while (client.try_complete(done)) {
+      EXPECT_TRUE(completed.insert(done.ticket).second);
+      EXPECT_TRUE(done.status == Status::kOk ||
+                  done.status == Status::kAllocFailed)
+          << "fresh-key inserts either take effect or fail to allocate";
+      (done.status == Status::kOk ? ok : failed) += 1;
+    }
+  }
+  client.flush();
+  injector.set_armed(false);
+  while (client.try_complete(done)) {
+    EXPECT_TRUE(completed.insert(done.ticket).second);
+    (done.status == Status::kOk ? ok : failed) += 1;
+  }
+  EXPECT_EQ(completed.size(), 96u) << "every ticket exactly once";
+  EXPECT_GT(failed, 0u) << "period-3 faults must really fire";
+  EXPECT_EQ(map.size(), ok) << "effects match kOk completions exactly";
+  EXPECT_EQ(injector.total().alloc_failures, failed)
+      << "one kAllocFailed completion per injected failure";
+}
+
+// ---- Deadlines ----
+
+TEST(ResilienceDeadlineTest, ExpiredOpsAreShedUnexecutedAtFlush) {
+  HashMap map(1, svc_config(1), 16);
+  auto client = map.client(0, /*batch_limit=*/64, /*ring_capacity=*/16);
+
+  Request expired = make_request(OpType::kInsert, 1, 10);
+  expired.deadline_ns = mp::svc::now_ns() - 1;
+  Request live = make_request(OpType::kInsert, 2, 20);
+  live.deadline_ns = mp::svc::now_ns() + 60'000'000'000ULL;  // one minute
+  Request untimed = make_request(OpType::kInsert, 3, 30);
+
+  ASSERT_TRUE(client.submit(expired).has_value());
+  ASSERT_TRUE(client.submit(live).has_value());
+  ASSERT_TRUE(client.submit(untimed).has_value());
+  client.flush();
+
+  Completion done;
+  std::size_t harvested = 0;
+  while (client.try_complete(done)) {
+    ++harvested;
+    if (done.key == 1) {
+      EXPECT_EQ(done.status, Status::kDeadlineExceeded);
+      EXPECT_FALSE(done.executed());
+    } else {
+      EXPECT_EQ(done.status, Status::kOk);
+    }
+  }
+  EXPECT_EQ(harvested, 3u);
+  EXPECT_EQ(map.size(), 2u) << "the expired insert must never execute";
+  EXPECT_FALSE(map.contains(0, 1));
+  EXPECT_EQ(client.status_counts().deadline_exceeded, 1u);
+}
+
+// ---- Admission control ----
+
+TEST(ResilienceAdmissionTest, DryTokenBucketRejectsBeforeTouchingAnyShard) {
+  HashMap map(1, svc_config(1), 16);
+  AdmissionOptions admission;
+  admission.rate_per_sec = 1e-6;  // refills one token per ~11.6 days
+  admission.burst = 2;
+  auto client = map.client(0, 64, 16, admission);
+
+  std::set<std::uint64_t> tickets;
+  for (std::uint64_t key = 1; key <= 5; ++key) {
+    const auto t = client.submit(make_request(OpType::kInsert, key, key));
+    ASSERT_TRUE(t.has_value()) << "rejection still mints a ticket";
+    tickets.insert(*t);
+  }
+  ASSERT_EQ(tickets.size(), 5u);
+
+  // The three refusals completed immediately, before any flush.
+  Completion done;
+  std::size_t rejected = 0;
+  while (client.try_complete(done)) {
+    ++rejected;
+    EXPECT_EQ(done.status, Status::kRejected);
+    EXPECT_TRUE(RetryPolicy::retryable(done.status));
+  }
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_EQ(map.size(), 0u) << "rejected requests must not touch a shard";
+
+  client.flush();
+  std::size_t admitted = 0;
+  while (client.try_complete(done)) {
+    ++admitted;
+    EXPECT_EQ(done.status, Status::kOk);
+  }
+  EXPECT_EQ(admitted, 2u) << "the burst-admitted pair executes normally";
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(client.status_counts().rejected, 3u);
+  EXPECT_EQ(client.status_counts().ok, 2u);
+}
+
+TEST(ResilienceAdmissionTest, InFlightCapRejectsUntilCompletionsAreHarvested) {
+  HashMap map(1, svc_config(1), 16);
+  AdmissionOptions admission;
+  admission.max_in_flight = 3;
+  auto client = map.client(0, 64, 16, admission);
+
+  for (std::uint64_t key = 1; key <= 3; ++key) {
+    ASSERT_TRUE(client.submit(make_request(OpType::kInsert, key, key)));
+  }
+  // At the cap: the fourth request is refused without touching the shard.
+  ASSERT_TRUE(client.submit(make_request(OpType::kInsert, 4, 4)));
+  Completion done;
+  ASSERT_TRUE(client.try_complete(done));
+  EXPECT_EQ(done.status, Status::kRejected);
+  EXPECT_EQ(done.key, 4u);
+
+  client.flush();
+  std::size_t harvested = 0;
+  while (client.try_complete(done)) {
+    ++harvested;
+    EXPECT_EQ(done.status, Status::kOk);
+  }
+  EXPECT_EQ(harvested, 3u);
+  // Below the cap again: the retried key admits and executes.
+  ASSERT_TRUE(client.submit(make_request(OpType::kInsert, 4, 4)));
+  client.flush();
+  ASSERT_TRUE(client.try_complete(done));
+  EXPECT_EQ(done.status, Status::kOk);
+  EXPECT_EQ(map.size(), 4u);
+}
+
+// ---- Write shedding ----
+
+TEST(ResilienceSheddingTest, SheddingShardRefusesWritesServesReadsRecovers) {
+  HashMap map(1, svc_config(1), 16);
+  HealthOptions options;
+  options.capacity_override = 100;
+  map.set_health_options(options);
+  ASSERT_TRUE(map.insert(0, 1, 10));
+
+  // Force the shard's monitor over the shed threshold.
+  auto edge = map.health(0).update(90);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->second, HealthState::kShedding);
+  EXPECT_EQ(map.health_state(0), HealthState::kShedding);
+
+  auto client = map.client(0, 64, 16);
+  ASSERT_TRUE(client.submit(make_request(OpType::kInsert, 2, 20)));
+  ASSERT_TRUE(client.submit(make_request(OpType::kRemove, 1)));
+  ASSERT_TRUE(client.submit(make_request(OpType::kGet, 1)));
+  client.flush();
+
+  Completion done;
+  std::size_t harvested = 0;
+  while (client.try_complete(done)) {
+    ++harvested;
+    if (mp::svc::is_write(done.op)) {
+      EXPECT_EQ(done.status, Status::kShedWrite);
+      EXPECT_FALSE(done.executed());
+    } else {
+      EXPECT_EQ(done.status, Status::kOk) << "reads flow while shedding";
+      EXPECT_EQ(done.value, 10u);
+    }
+  }
+  EXPECT_EQ(harvested, 3u);
+  EXPECT_EQ(map.size(), 1u) << "shed writes must have no effect";
+  EXPECT_TRUE(map.contains(0, 1));
+
+  // The flush itself re-sampled health on the (tiny) real backlog, so the
+  // shard has already recovered; writes flow again.
+  EXPECT_EQ(map.health_state(0), HealthState::kHealthy);
+  EXPECT_GE(map.health(0).recoveries(), 1u);
+  ASSERT_TRUE(client.submit(make_request(OpType::kInsert, 2, 20)));
+  client.flush();
+  ASSERT_TRUE(client.try_complete(done));
+  EXPECT_EQ(done.status, Status::kOk);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+// ---- Client-thread death mid-service ----
+
+// Workers lease dense tids from a ThreadRegistry whose detach hook detaches
+// the tid from every shard (retired lists to the orphan pools). On an
+// injected death the worker abandons its client with batches still pending
+// (those tickets are simply lost, never executed), harvests what already
+// completed, and re-registers as a fresh leaseholder with a new client.
+// Across the churn: no ticket completes twice, effects counted from
+// harvested completions match the final map size exactly, and the orphaned
+// backlog drains through adoption + drain_all.
+TEST(ResilienceChurnTest, ClientDeathMidServiceAdoptsOrphansNoDoubleEffects) {
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 3000;
+  ChaosOptions chaos;
+  chaos.seed = 0xC11E27;
+  chaos.thread_death_period = 211;
+  FaultInjector injector(chaos, kThreads);
+
+  auto config = svc_config(kThreads);
+  config.empty_freq = 8;
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
+  HashMap map(2, config, 64);
+  ThreadRegistry registry(kThreads);
+  registry.set_detach_hook(
+      [](void* context, int tid) { static_cast<HashMap*>(context)->detach(tid); },
+      &map);
+
+  std::atomic<std::uint64_t> ok_inserts{0}, ok_removes{0}, departures{0};
+  std::atomic<std::uint64_t> harvested_total{0}, submitted_total{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      mp::common::Xoshiro256 rng(0x5EED + static_cast<std::uint64_t>(t));
+      std::uint64_t local_ok_inserts = 0, local_ok_removes = 0;
+      std::uint64_t local_harvested = 0, local_submitted = 0;
+      std::uint64_t local_departures = 0;
+      auto lease = std::make_unique<ThreadLease>(registry);
+      auto client = std::make_unique<HashMap::Client>(
+          map.client(lease->tid(), 16, 64));
+      std::set<std::uint64_t> seen;  // tickets of the current client
+
+      Completion done;
+      const auto harvest = [&] {
+        while (client->try_complete(done)) {
+          ++local_harvested;
+          EXPECT_TRUE(seen.insert(done.ticket).second)
+              << "ticket " << done.ticket << " completed twice";
+          if (done.status == Status::kOk) {
+            local_ok_inserts += done.op == OpType::kInsert;
+            local_ok_removes += done.op == OpType::kRemove;
+          }
+        }
+      };
+
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Request request;
+        request.key = 1 + rng.next_below(512);
+        const auto coin = static_cast<int>(rng.next() % 100);
+        request.op = coin < 40   ? OpType::kInsert
+                     : coin < 70 ? OpType::kRemove
+                                 : OpType::kContains;
+        request.value = request.key;
+        while (!client->submit(request).has_value()) {
+          client->flush();
+          harvest();
+        }
+        ++local_submitted;
+        if (i % 32 == 0) harvest();
+        if (injector.should_die(lease->tid())) {
+          // Die with batches pending: harvest what already completed, then
+          // drop the client and lease. Pending tickets are lost, not
+          // re-executed; detach orphans the tid's retired lists.
+          harvest();
+          local_submitted -= client->submitted() - client->completed();
+          client.reset();
+          lease.reset();  // detach first: the registry is at capacity
+          lease = std::make_unique<ThreadLease>(registry);
+          client = std::make_unique<HashMap::Client>(
+              map.client(lease->tid(), 16, 64));
+          seen.clear();
+          ++local_departures;
+        }
+      }
+      client->flush();
+      harvest();
+      EXPECT_EQ(client->completed(), client->submitted());
+      EXPECT_EQ(client->status_counts().total(), client->completed());
+      ok_inserts.fetch_add(local_ok_inserts);
+      ok_removes.fetch_add(local_ok_removes);
+      departures.fetch_add(local_departures);
+      harvested_total.fetch_add(local_harvested);
+      submitted_total.fetch_add(local_submitted);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_GT(departures.load(), 0u) << "injected deaths must really fire";
+  EXPECT_EQ(departures.load(), injector.total().thread_deaths);
+  EXPECT_EQ(harvested_total.load(), submitted_total.load())
+      << "every non-lost ticket completes exactly once";
+  EXPECT_EQ(map.size(), ok_inserts.load() - ok_removes.load())
+      << "map content must equal harvested effects — no double execution";
+
+  map.drain_all();
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    EXPECT_EQ(map.scheme(s).orphan_count(), 0u) << "shard " << s;
+    const mp::smr::StatsSnapshot stats = map.shard_stats(s);
+    EXPECT_EQ(stats.retires, stats.reclaims + stats.drained) << "shard " << s;
+  }
+  oracle.expect_clean();
+}
+
+// ---- The full torture ----
+
+// Every resilience mechanism at once: a shared FaultInjector drives
+// bad_alloc bursts, mid-operation stalls and thread deaths through three
+// concurrent clients over two EBR shards, some requests carry deadlines,
+// an in-flight admission cap forces typed rejections, and harvested
+// kRejected/kAllocFailed completions are resubmitted through RetryPolicy.
+// Live invariants: waste_ok (with delay/adoption slack) and inflight_ok
+// polled during the run; afterwards per-shard conservation, adopted-orphan
+// drainage, exact effect accounting, and oracle cleanliness.
+TEST(ResilienceTortureTest, FaultStormThroughClientsKeepsEveryInvariant) {
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 2500;
+  ChaosOptions chaos;
+  chaos.seed = 0x7087;
+  chaos.stall_period = 257;
+  chaos.stall_iterations = 8;
+  chaos.alloc_failure_period = 211;
+  chaos.alloc_failure_burst = 3;
+  chaos.delay_reclamation_period = 13;
+  chaos.thread_death_period = 401;
+  FaultInjector injector(chaos, kThreads);
+  injector.set_armed(false);  // construction/prefill outside the window
+
+  constexpr std::size_t kShards = 2;
+  std::vector<mp::smr::Config> configs;
+  std::vector<std::unique_ptr<mp::test::OracleAttachment>> oracles;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    auto config = svc_config(kThreads);
+    config.empty_freq = 8;
+    config.fault_injector = &injector;
+    oracles.push_back(std::make_unique<mp::test::OracleAttachment>());
+    oracles.back()->attach(config);
+    configs.push_back(config);
+  }
+  HashMap map(configs, 64);
+  ThreadRegistry registry(kThreads);
+  registry.set_detach_hook(
+      [](void* context, int tid) { static_cast<HashMap*>(context)->detach(tid); },
+      &map);
+
+  std::atomic<std::uint64_t> ok_inserts{0}, ok_removes{0};
+  std::atomic<std::uint64_t> rejected{0}, alloc_failed{0}, expired{0};
+  std::atomic<std::uint64_t> departures{0}, retries{0};
+  std::atomic<bool> invariant_violated{false};
+
+  const auto waste_slack = [&] {
+    // Injected reclamation delays widen the bound by one empty_freq buffer
+    // each; adoption concentrates orphaned backlogs onto survivors.
+    return static_cast<std::uint64_t>(8) * injector.total().delayed_empties +
+           map.stats_total().orphaned;
+  };
+
+  injector.set_armed(true);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      mp::common::Xoshiro256 rng(0xF00D + static_cast<std::uint64_t>(t));
+      RetryPolicy::Options retry_options;
+      retry_options.max_attempts = 4;
+      retry_options.seed = 0x9E37 + static_cast<std::uint64_t>(t);
+      RetryPolicy policy(retry_options);
+      AdmissionOptions admission;
+      admission.max_in_flight = 48;
+
+      auto lease = std::make_unique<ThreadLease>(registry);
+      auto client = std::make_unique<HashMap::Client>(
+          map.client(lease->tid(), 16, 64, admission));
+      std::set<std::uint64_t> seen;
+      std::vector<std::pair<Request, std::uint32_t>> retry_queue;
+
+      std::uint64_t local_ok_inserts = 0, local_ok_removes = 0;
+      std::uint64_t local_departures = 0;
+      Completion done;
+      const auto harvest = [&] {
+        while (client->try_complete(done)) {
+          EXPECT_TRUE(seen.insert(done.ticket).second)
+              << "ticket " << done.ticket << " completed twice";
+          switch (done.status) {
+            case Status::kOk:
+              local_ok_inserts += done.op == OpType::kInsert;
+              local_ok_removes += done.op == OpType::kRemove;
+              break;
+            case Status::kRejected:
+            case Status::kAllocFailed: {
+              (done.status == Status::kRejected ? rejected : alloc_failed)
+                  .fetch_add(1);
+              // The RetryPolicy loop: resubmit within the attempt budget
+              // (the backoff delay is irrelevant to the semantics under
+              // test, so it is not slept).
+              Request again;
+              again.op = done.op;
+              again.key = done.key;
+              again.value = done.value;
+              const auto attempt = static_cast<std::uint32_t>(done.user + 1);
+              if (policy.backoff_ns(attempt).has_value()) {
+                again.user = attempt;
+                retry_queue.emplace_back(again, attempt);
+                retries.fetch_add(1);
+              }
+              break;
+            }
+            case Status::kDeadlineExceeded:
+              expired.fetch_add(1);
+              break;
+            default:
+              break;
+          }
+        }
+      };
+      const auto submit_with_backpressure = [&](const Request& request) {
+        while (!client->submit(request).has_value()) {
+          client->flush();
+          harvest();
+        }
+      };
+
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Request request;
+        request.key = 1 + rng.next_below(256);
+        const auto coin = static_cast<int>(rng.next() % 100);
+        request.op = coin < 40   ? OpType::kInsert
+                     : coin < 70 ? OpType::kRemove
+                     : coin < 90 ? OpType::kGet
+                                 : OpType::kContains;
+        request.value = request.key;
+        if (i % 8 == 0) {
+          // A tight deadline: under injected stalls some of these expire
+          // in the pending batch and are shed unexecuted.
+          request.deadline_ns = mp::svc::now_ns() + 200'000;
+        }
+        submit_with_backpressure(request);
+        for (auto& [again, attempt] : retry_queue) {
+          submit_with_backpressure(again);
+        }
+        retry_queue.clear();
+        if (i % 32 == 0) harvest();
+        if (i % 512 == 0) {
+          if (!map.waste_ok(waste_slack()) || !map.inflight_ok()) {
+            invariant_violated.store(true);
+          }
+        }
+        if (injector.should_die(lease->tid())) {
+          harvest();
+          client.reset();
+          lease.reset();  // detach first: the registry is at capacity
+          lease = std::make_unique<ThreadLease>(registry);
+          client = std::make_unique<HashMap::Client>(
+              map.client(lease->tid(), 16, 64, admission));
+          seen.clear();
+          retry_queue.clear();
+          ++local_departures;
+        }
+      }
+      client->flush();
+      harvest();
+      EXPECT_EQ(client->completed(), client->submitted());
+      EXPECT_EQ(client->status_counts().total(), client->completed());
+      ok_inserts.fetch_add(local_ok_inserts);
+      ok_removes.fetch_add(local_ok_removes);
+      departures.fetch_add(local_departures);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  injector.set_armed(false);
+
+  // The storm really happened.
+  const FaultInjector::Counters total = injector.total();
+  EXPECT_GT(total.alloc_failures, 0u);
+  EXPECT_GT(total.stalls, 0u);
+  EXPECT_GT(total.thread_deaths, 0u);
+  EXPECT_EQ(departures.load(), total.thread_deaths);
+  EXPECT_GT(alloc_failed.load(), 0u)
+      << "injected bad_alloc must surface as typed completions";
+  EXPECT_GT(retries.load(), 0u) << "the retry loop must really run";
+
+  EXPECT_FALSE(invariant_violated.load())
+      << "waste/inflight invariants must hold throughout the storm";
+  EXPECT_TRUE(map.waste_ok(waste_slack()));
+  EXPECT_TRUE(map.inflight_ok());
+  EXPECT_EQ(map.size(), ok_inserts.load() - ok_removes.load())
+      << "typed failures must have no effect; kOk effects exactly once";
+
+  map.drain_all();
+  for (std::size_t s = 0; s < map.shard_count(); ++s) {
+    EXPECT_EQ(map.scheme(s).orphan_count(), 0u) << "shard " << s;
+    const mp::smr::StatsSnapshot stats = map.shard_stats(s);
+    EXPECT_EQ(stats.retires, stats.reclaims + stats.drained) << "shard " << s;
+  }
+  for (const auto& oracle : oracles) oracle->expect_clean();
+}
+
+// ---- Golden run: svc_overload's schema-v6 report ----
+
+#ifdef MARGINPTR_SVC_OVERLOAD_BIN
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Tiny overload sweep, then validate the emitted schema-v6 document: a
+// status_counts object and per-shard health objects on every load row,
+// plus the overload verdict row. Goodput itself is not asserted — the
+// windows here are far too small to be meaningful — only the schema and
+// the invariant-gated exit code. EBR keeps the spawned binary
+// TSan-compatible when the suite runs instrumented.
+TEST(ResilienceGoldenBenchTest, OverloadBenchEmitsValidV6Report) {
+  const std::string out = "BENCH_svc_overload_golden_test.json";
+  std::remove(out.c_str());
+  const std::string cmd = std::string(MARGINPTR_SVC_OVERLOAD_BIN) +
+                          " --shards=2 --clients=2 --schemes=EBR"
+                          " --size=512 --calib-ms=40 --duration-ms=60"
+                          " --multipliers=2 --json-out=" + out;
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string text = slurp(out);
+  ASSERT_FALSE(text.empty()) << "bench must write " << out;
+  const mp::obs::json::Value doc = mp::obs::json::parse(text);
+  EXPECT_EQ(mp::obs::validate_report(doc), "");
+  EXPECT_EQ(doc.find("version")->as_uint(), 6u);
+
+  const auto& rows = doc.find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 2u);  // one load window + the verdict row
+  std::size_t verdicts = 0;
+  for (const auto& row : rows) {
+    const auto& shards = row.find("shards")->as_array();
+    ASSERT_EQ(shards.size(), 2u);
+    for (const auto& shard : shards) {
+      const auto* health = shard.find("health");
+      ASSERT_NE(health, nullptr) << "every shard entry carries health";
+      EXPECT_TRUE(health->find("state")->is_string());
+      EXPECT_TRUE(health->find("recoveries")->is_number());
+      EXPECT_TRUE(health->find("degraded_enters")->is_number());
+      EXPECT_TRUE(health->find("shed_enters")->is_number());
+    }
+    if (row.find("figure")->as_string() == "svc_overload_verdict") {
+      ++verdicts;
+      EXPECT_TRUE(row.find("recovery_observed")->is_bool());
+      EXPECT_TRUE(row.find("goodput_ok_at_3x")->is_bool());
+    } else {
+      EXPECT_EQ(row.find("figure")->as_string(), "svc_overload");
+      const auto* counts = row.find("status_counts");
+      ASSERT_NE(counts, nullptr);
+      EXPECT_TRUE(counts->find("ok")->is_number());
+      EXPECT_TRUE(counts->find("rejected")->is_number());
+      EXPECT_TRUE(counts->find("shed_write")->is_number());
+      EXPECT_TRUE(row.find("inflight_ok")->as_bool())
+          << "per-shard waste watchdog must hold in the golden run";
+    }
+  }
+  EXPECT_EQ(verdicts, 1u);
+  std::remove(out.c_str());
+}
+#endif  // MARGINPTR_SVC_OVERLOAD_BIN
+
+}  // namespace
