@@ -44,6 +44,32 @@ inline constexpr Workload kReadDominated{5, 5, "read-dom"};
 inline constexpr Workload kWriteDominated{50, 50, "write-dom"};
 inline constexpr Workload kReadOnly{0, 0, "read-only"};
 
+/// Median cost of one steady_clock read, calibrated once per process from
+/// ~1k back-to-back reads. The chained-timestamp capture in run_workload
+/// charges each op exactly one clock read; subtracting this recovers the
+/// op's own latency (a ~20 ns vDSO read is a visible bias on sub-100 ns
+/// reads). Median, not min: the min underestimates whenever the TSC path
+/// pipelines two adjacent reads more tightly than a read embedded in real
+/// work.
+inline std::uint64_t clock_read_overhead_ns() {
+  static const std::uint64_t overhead = [] {
+    constexpr int kSamples = 1001;
+    std::vector<std::uint64_t> deltas(kSamples);
+    auto prev = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSamples; ++i) {
+      const auto now = std::chrono::steady_clock::now();
+      deltas[i] = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now - prev)
+              .count());
+      prev = now;
+    }
+    std::nth_element(deltas.begin(), deltas.begin() + kSamples / 2,
+                     deltas.end());
+    return deltas[kSamples / 2];
+  }();
+  return overhead;
+}
+
 /// Per-operation-type latency histograms (merged across worker threads).
 struct OpLatency {
   obs::LatencyHistogram contains;
@@ -155,7 +181,10 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
       barrier.arrive_and_wait();
       // Chained timestamps: each op's end is the next op's start, so
       // latency capture costs one clock read per op (~20 ns on Linux
-      // vDSO), not two.
+      // vDSO), not two. That one read's calibrated cost is subtracted
+      // from every sample (floored at 0) so histograms report op time,
+      // not op + clock time.
+      const std::uint64_t clock_cost = clock_read_overhead_ns();
       auto prev = std::chrono::steady_clock::now();
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t key = 1 + rng.next_below(key_range);
@@ -172,9 +201,10 @@ RunResult run_workload(DS& ds, int threads, const Workload& workload,
           hist = &local.contains;
         }
         const auto now = std::chrono::steady_clock::now();
-        hist->record(static_cast<std::uint64_t>(
+        const std::uint64_t raw = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(now - prev)
-                .count()));
+                .count());
+        hist->record(raw > clock_cost ? raw - clock_cost : 0);
         prev = now;
         ++ops;
         if (churn != 0 && ops % churn == 0) {
@@ -230,6 +260,7 @@ struct BenchArgs {
   int runs = 1;
   std::size_t max_threads = 0;    ///< scheme slot capacity
   std::uint64_t churn = 0;        ///< ops per worker between departures (0=off)
+  std::uint64_t scan_quantum = 0; ///< deamortized reclamation quantum (0=off)
   bool pool = true;               ///< node-pool arm (--pool on|off)
   bool reclaim_bg = false;        ///< reclamation arm (--reclaim fg|bg)
   std::string json_out;           ///< report path ("" = BENCH_<name>.json)
@@ -250,6 +281,9 @@ struct BenchArgs {
     cli.add_int("churn", 0,
                 "thread churn: each worker detaches and re-registers every N "
                 "ops (0 = immortal workers)");
+    cli.add_int("scan-quantum", 0,
+                "deamortized reclamation: max retired nodes examined per "
+                "increment (0 = monolithic passes; else must be >= 2)");
     cli.add_string("pool", "on",
                    "node-pool allocation arm: on (per-thread magazines + "
                    "global depot) or off (system allocator)");
@@ -271,6 +305,7 @@ struct BenchArgs {
     args.duration_ms = static_cast<int>(cli.get_int("duration-ms"));
     args.margin = static_cast<std::uint32_t>(cli.get_int("margin"));
     args.churn = static_cast<std::uint64_t>(cli.get_int("churn"));
+    args.scan_quantum = static_cast<std::uint64_t>(cli.get_int("scan-quantum"));
     const std::string pool = cli.get_string("pool");
     if (pool != "on" && pool != "off") {
       std::fprintf(stderr, "--pool must be 'on' or 'off' (got '%s')\n",
@@ -304,6 +339,7 @@ struct BenchArgs {
     config.margin = margin;
     config.pool_enabled = pool;
     config.background_reclaim = reclaim_bg;
+    config.scan_quantum = scan_quantum;
     return config;
   }
 };
@@ -317,6 +353,7 @@ inline void fill_report_config(obs::BenchReport& report,
   config["runs"] = static_cast<std::uint64_t>(args.runs);
   config["margin"] = static_cast<std::uint64_t>(args.margin);
   config["churn"] = args.churn;
+  config["scan_quantum"] = args.scan_quantum;
   config["pool"] = args.pool ? "on" : "off";
   // The arm that actually ran: ASan builds force the pool off.
   config["pool_effective"] =

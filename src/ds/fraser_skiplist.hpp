@@ -103,6 +103,11 @@ class FraserSkipList {
     assert(&handle.scheme() == &smr_);
     return get(handle.tid(), key, value_out);
   }
+  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    assert(&handle.scheme() == &smr_);
+    return get_many(handle.tid(), keys, count, values, found);
+  }
   bool insert(Handle handle, Key key, Value value) {
     assert(&handle.scheme() == &smr_);
     return insert(handle.tid(), key, value);
@@ -126,6 +131,28 @@ class FraserSkipList {
     if (node == nullptr) return false;
     value_out = node->value;
     return true;
+  }
+
+  /// Multi-key lookup under ONE operation bracket (DESIGN.md §12): K
+  /// read-only descents share a single start_op/end_op — and under MP a
+  /// single margin installation often covers consecutive descents the same
+  /// way it covers consecutive levels. Each key linearizes at its own
+  /// search, like get(); the batch is not atomic across keys. found[i] /
+  /// values[i] mirror get()'s out-params; returns the hit count.
+  std::size_t get_many(int tid, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      assert(keys[i] > kMinKey && keys[i] < kMaxKey);
+      Node* node = search(tid, keys[i]);
+      found[i] = node != nullptr;
+      if (node != nullptr) {
+        values[i] = node->value;
+        ++hits;
+      }
+    }
+    return hits;
   }
 
   bool insert(int tid, Key key, Value value) {
@@ -404,6 +431,9 @@ class FraserSkipList {
           return below.mark() == 0 ? curr_node : nullptr;
         }
         const TaggedPtr next = smr_.read(tid, spare_slot, curr_node->next[level]);
+        // The successor's key and next word are the next loads on this
+        // level; start the fetch while the mark check resolves.
+        __builtin_prefetch(next.template ptr<Node>());
         if (next.mark() != 0) {
           TaggedPtr expected = curr;
           const TaggedPtr desired = next.without_mark();

@@ -91,6 +91,11 @@ class MichaelHashSet {
     assert(&handle.scheme() == &smr_);
     return get(handle.tid(), key, value_out);
   }
+  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    assert(&handle.scheme() == &smr_);
+    return get_many(handle.tid(), keys, count, values, found);
+  }
   bool insert(Handle handle, Key key, Value value) {
     assert(&handle.scheme() == &smr_);
     return insert(handle.tid(), key, value);
@@ -114,6 +119,47 @@ class MichaelHashSet {
     if (seek.curr_node->key != key) return false;
     value_out = seek.curr_node->value;
     return true;
+  }
+
+  /// Multi-key lookup under ONE operation bracket (DESIGN.md §12). The
+  /// batch runs in chunks of kPrefetchChunk keys with a software-pipelined
+  /// warm-up: first each key's bucket head line, then each bucket's first
+  /// chain node, then the protected seeks — so the K independent bucket
+  /// walks overlap their cache misses instead of serializing them. The
+  /// warm-up only *loads pointer values* and prefetches the lines they
+  /// name; no unprotected dereference happens (prefetching a freed line is
+  /// harmless), so SMR safety is untouched. Each key still linearizes at
+  /// its own seek, like get(). Returns the hit count.
+  std::size_t get_many(int tid, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    std::size_t hits = 0;
+    for (std::size_t base = 0; base < count; base += kPrefetchChunk) {
+      const std::size_t n =
+          count - base < kPrefetchChunk ? count - base : kPrefetchChunk;
+      Node* heads[kPrefetchChunk];
+      for (std::size_t j = 0; j < n; ++j) {
+        heads[j] = heads_[bucket_of(keys[base + j])].head;
+        __builtin_prefetch(&heads[j]->next);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        __builtin_prefetch(heads[j]
+                               ->next.load(std::memory_order_relaxed)
+                               .template ptr<Node>());
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t i = base + j;
+        assert(keys[i] > kMinKey && keys[i] < kMaxKey);
+        const Seek seek = locate(tid, keys[i]);
+        const bool hit = seek.curr_node->key == keys[i];
+        found[i] = hit;
+        if (hit) {
+          values[i] = seek.curr_node->value;
+          ++hits;
+        }
+      }
+    }
+    return hits;
   }
 
   bool insert(int tid, Key key, Value value) {
@@ -186,6 +232,11 @@ class MichaelHashSet {
 
  private:
   using TaggedPtr = smr::TaggedPtr;
+
+  /// get_many pipeline width: enough independent bucket walks in flight to
+  /// saturate typical miss-level parallelism without spilling the warm-up
+  /// array out of registers/L1.
+  static constexpr std::size_t kPrefetchChunk = 16;
 
   struct Bucket {
     Node* head = nullptr;

@@ -89,6 +89,11 @@ class MichaelList {
     assert(&handle.scheme() == &smr_);
     return get(handle.tid(), key, value_out);
   }
+  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    assert(&handle.scheme() == &smr_);
+    return get_many(handle.tid(), keys, count, values, found);
+  }
   bool insert(Handle handle, Key key, Value value) {
     assert(&handle.scheme() == &smr_);
     return insert(handle.tid(), key, value);
@@ -114,6 +119,29 @@ class MichaelList {
     if (seek.curr_node->key != key) return false;
     value_out = seek.curr_node->value;
     return true;
+  }
+
+  /// Multi-key lookup under ONE start_op/end_op bracket (DESIGN.md §12):
+  /// found[i] says whether keys[i] was present and values[i] holds its
+  /// value when it was. Returns the hit count. Each key linearizes at its
+  /// own seek's final clean pointer load, exactly like get(); the batch is
+  /// NOT atomic across keys — it just amortizes the operation bracket
+  /// (fences, epoch announcement) over the whole batch.
+  std::size_t get_many(int tid, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      assert(keys[i] > kMinKey && keys[i] < kMaxKey);
+      const Seek seek = locate(tid, keys[i]);
+      const bool hit = seek.curr_node->key == keys[i];
+      found[i] = hit;
+      if (hit) {
+        values[i] = seek.curr_node->value;
+        ++hits;
+      }
+    }
+    return hits;
   }
 
   /// Insert key; returns false if already present.
@@ -233,6 +261,9 @@ class MichaelList {
       Node* curr_node = curr.template ptr<Node>();
       assert(curr_node != nullptr);  // the tail sentinel terminates seeks
       const TaggedPtr next = smr_.read(tid, next_slot, curr_node->next);
+      // The successor's key and next word are the very next loads; issue
+      // the fetch now so it overlaps the mark check (nullptr is a no-op).
+      __builtin_prefetch(next.template ptr<Node>());
       if (next.mark() != 0) {
         // curr is logically deleted: splice it out or restart.
         TaggedPtr expected = curr;

@@ -116,6 +116,11 @@ class NatarajanTree {
     assert(&handle.scheme() == &smr_);
     return get(handle.tid(), key, value_out);
   }
+  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    assert(&handle.scheme() == &smr_);
+    return get_many(handle.tid(), keys, count, values, found);
+  }
   bool insert(Handle handle, Key key, Value value) {
     assert(&handle.scheme() == &smr_);
     return insert(handle.tid(), key, value);
@@ -141,6 +146,28 @@ class NatarajanTree {
     if (sr.leaf->key != key) return false;
     value_out = sr.leaf->value;
     return true;
+  }
+
+  /// Multi-key lookup under ONE operation bracket (DESIGN.md §12): K seeks
+  /// share a single start_op/end_op. Each key linearizes at its own seek,
+  /// like get(); the batch is not atomic across keys. found[i] / values[i]
+  /// mirror get()'s out-params; returns the hit count.
+  std::size_t get_many(int tid, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    std::size_t hits = 0;
+    SeekRecord sr;
+    for (std::size_t i = 0; i < count; ++i) {
+      assert(keys[i] < kInf0);
+      seek(tid, keys[i], sr);
+      const bool hit = sr.leaf->key == keys[i];
+      found[i] = hit;
+      if (hit) {
+        values[i] = sr.leaf->value;
+        ++hits;
+      }
+    }
+    return hits;
   }
 
   bool insert(int tid, Key key, Value value) {
@@ -306,6 +333,9 @@ class NatarajanTree {
       }
       const TaggedPtr current = smr_.read(tid, spare, *down);
       if (current.is_null()) return;  // node is a leaf; search ends
+      // The child's key and edge words are the next loads; overlap the
+      // fetch with the mark check.
+      __builtin_prefetch(current.template ptr<Node>());
       if (current.mark() != 0) {
         // A deletion is pending below this node: help prune it, using the
         // current (protected) record with `node` in the parent role, then

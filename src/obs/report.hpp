@@ -53,9 +53,15 @@ inline constexpr const char* kReportSchema = "marginptr-bench-report";
 /// and "shards" entries may carry that shard's health summary
 ///   "health": { "state": "healthy"|"degraded"|"shedding",
 ///               "degraded_enters": n, "shed_enters": n, "recoveries": n }.
+/// v7 added deamortized reclamation (DESIGN.md §12): "stats" gained the
+/// bounded-increment counters scan_increments / cursor_carryover plus the
+/// max_pause_ns high-water, "config" gained scan_quantum, and latency
+/// histograms gained an explicit "p100" alias of "max" so tail-gate
+/// tooling can key on percentile names uniformly.
 /// validate_report still accepts older documents (they predate churn mode /
-/// the pool / the background reclaimer / the sharded service / resilience).
-inline constexpr std::uint64_t kReportVersion = 6;
+/// the pool / the background reclaimer / the sharded service / resilience /
+/// deamortization).
+inline constexpr std::uint64_t kReportVersion = 7;
 inline constexpr std::uint64_t kMinReportVersion = 1;
 
 inline json::Value to_json(const smr::StatsSnapshot& s) {
@@ -85,6 +91,9 @@ inline json::Value to_json(const smr::StatsSnapshot& s) {
   out["bg_snapshots"] = s.bg_snapshots;
   out["bg_scans"] = s.bg_scans;
   out["peak_inflight"] = s.peak_inflight;
+  out["scan_increments"] = s.scan_increments;
+  out["cursor_carryover"] = s.cursor_carryover;
+  out["max_pause_ns"] = s.max_pause_ns;
   return out;
 }
 
@@ -97,6 +106,7 @@ inline json::Value to_json(const LatencyHistogram& h) {
   out["p90"] = h.p90();
   out["p99"] = h.p99();
   out["p999"] = h.p999();
+  out["p100"] = h.max();  // v7: percentile-named alias for tail tooling
   return out;
 }
 
@@ -116,6 +126,7 @@ inline json::Value to_json(const smr::Config& c) {
   out["background_reclaim"] = c.background_reclaim;
   out["reclaim_inflight_cap"] = c.reclaim_inflight_cap;
   out["reclaim_poll_ms"] = static_cast<std::uint64_t>(c.reclaim_poll_ms);
+  out["scan_quantum"] = c.scan_quantum;
   return out;
 }
 
@@ -282,6 +293,12 @@ inline void check_stats_counters(const json::Value& stats,
       require(key);
     }
   }
+  if (version >= 7) {
+    for (const char* key :
+         {"scan_increments", "cursor_carryover", "max_pause_ns"}) {
+      require(key);
+    }
+  }
 }
 
 inline void check_waste(const json::Value& waste, std::string& error) {
@@ -433,6 +450,14 @@ inline std::string validate_report(const json::Value& root) {
           detail::check(field != nullptr && field->is_number(),
                         "latency histogram for '" + op + "' missing '" +
                             key + "'",
+                        error);
+        }
+        // v7: the explicit p100 alias of max.
+        if (ver >= 7) {
+          const json::Value* p100 = hist.find("p100");
+          detail::check(p100 != nullptr && p100->is_number(),
+                        "latency histogram for '" + op +
+                            "' missing 'p100' (required at version >= 7)",
                         error);
         }
       }

@@ -37,6 +37,7 @@ enum class TraceEvent : std::uint8_t {
   kAdopt,            ///< orphan batches adopted; arg = nodes taken over
   kOffload,          ///< batch handed to the reclaimer; arg = batch size
   kBgScan,           ///< reclaimer scanned a batch; arg = nodes scanned
+  kScanStep,         ///< bounded cursor/chunk increment; arg = nodes examined
   // ProtectionOracle lifecycle events (smr/oracle.hpp): recorded only in
   // SMR_ORACLE builds with an oracle attached. All carry arg = node
   // address, so a violation report can grep the rings for one node's
@@ -66,6 +67,7 @@ inline const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kAdopt: return "adopt";
     case TraceEvent::kOffload: return "offload";
     case TraceEvent::kBgScan: return "bg_scan";
+    case TraceEvent::kScanStep: return "scan_step";
     case TraceEvent::kOracleAlloc: return "oracle_alloc";
     case TraceEvent::kOracleProtect: return "oracle_protect";
     case TraceEvent::kOracleUnprotect: return "oracle_unprotect";

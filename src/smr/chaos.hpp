@@ -287,19 +287,37 @@ class FaultInjector {
   std::unique_ptr<common::Padded<Lane>[]> lanes_;
 };
 
+/// Per-thread waste ceiling under deamortized reclamation (Config::
+/// scan_quantum = Q != 0, DESIGN.md §12). A resumable pass over a list of
+/// L nodes completes within ceil(L/Q) retires (one bounded step per
+/// retire), during which up to ceil(L/Q) new nodes arrive — so successive
+/// pass-start sizes obey L' <= base + ceil(L/Q), whose fixed point is
+/// below base * Q/(Q-1) + 1 for Q >= 2 (Config::validate rejects Q == 1).
+/// Adding one quantum absorbs the worst-case step phase offset. With
+/// quantum 0 (monolithic passes) the base bound is returned unchanged.
+inline std::uint64_t deamortized_waste_bound(std::uint64_t base,
+                                             std::uint64_t quantum) noexcept {
+  if (quantum == 0 || base == kUnboundedWaste) return base;
+  return sat_add(sat_add(base, base / (quantum - 1) + 1), quantum);
+}
+
 /// Runtime enforcement of a scheme's theoretical wasted-memory bound:
 /// compares the measured per-thread `peak_retired` high-water mark against
-/// Scheme::waste_bound_per_thread(config). Schemes without a finite bound
-/// (kUnboundedWaste) trivially pass — the point is that MP and HP must
-/// never exceed theirs, no matter what the FaultInjector does.
+/// Scheme::waste_bound_per_thread(config) — widened by the carry-over term
+/// above when the Config runs the deamortized cursor. Schemes without a
+/// finite bound (kUnboundedWaste) trivially pass — the point is that MP and
+/// HP must never exceed theirs, no matter what the FaultInjector does.
 template <typename Scheme>
 class WasteWatchdog {
  public:
   explicit WasteWatchdog(const Scheme& scheme) : scheme_(scheme) {}
 
-  /// Theoretical per-thread bound for this scheme under its Config.
+  /// Theoretical per-thread bound for this scheme under its Config
+  /// (including the deamortized carry-over term when scan_quantum != 0).
   std::uint64_t bound() const noexcept {
-    return Scheme::waste_bound_per_thread(scheme_.config());
+    return deamortized_waste_bound(
+        Scheme::waste_bound_per_thread(scheme_.config()),
+        scheme_.config().scan_quantum);
   }
 
   /// Highest retired-list high-water observed by any thread so far.

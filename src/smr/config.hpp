@@ -131,6 +131,20 @@ struct Config {
   /// nodes blocked by a since-released protection are eventually freed.
   std::uint32_t reclaim_poll_ms = 1;
 
+  /// Deamortized reclamation (DESIGN.md §12): upper bound on retired nodes
+  /// examined per reclamation increment. 0 (the default) keeps the legacy
+  /// monolithic behavior — every scheduled/emergency pass scans the whole
+  /// retired list in one go. A nonzero quantum turns each pass into a
+  /// resumable per-thread cursor that examines at most `scan_quantum` nodes
+  /// per retire() against a cached protection snapshot (re-collected only
+  /// on epoch advance), and chunks the background reclaimer's pass at the
+  /// same granularity so stop()/drain() interleave at quantum boundaries.
+  /// Must be 0 or >= 2: with quantum 1 the pass examines one node per
+  /// retire while each retire adds one, so a pass over L nodes never
+  /// terminates ahead of the next scheduled pass and the backlog
+  /// recurrence L' = bound + L/quantum diverges.
+  std::uint64_t scan_quantum = 0;
+
   /// The pool arm this build actually runs: pool_enabled, minus the ASan
   /// force-off.
   bool pool_effective() const noexcept {
@@ -192,6 +206,10 @@ struct Config {
       fail("pool_magazine_cap must be in [1, 2^20]");
     }
     if (reclaim_poll_ms == 0) fail("reclaim_poll_ms must be positive");
+    if (scan_quantum == 1) {
+      fail("scan_quantum must be 0 (monolithic passes) or >= 2 (a quantum "
+           "of 1 cannot outpace the one-node-per-retire inflow)");
+    }
     if (background_reclaim) {
       if (reclaim_inflight_cap == 0) {
         fail("reclaim_inflight_cap must be positive");

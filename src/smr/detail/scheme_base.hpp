@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <new>
@@ -88,6 +89,8 @@ class SchemeBase {
     stop_reclaimer();
     drain();
     for (std::size_t i = 0; i < config_.max_threads; ++i) {
+      auto& cursor = local_[i]->cursor;
+      if (cursor.snapshot != nullptr) cursor.snapshot_deleter(cursor.snapshot);
       delete local_[i]->spare.load(std::memory_order_relaxed);
     }
   }
@@ -154,6 +157,7 @@ class SchemeBase {
     trace_event(tid, obs::TraceEvent::kRetire, local.retired.size());
     FaultInjector* chaos = config_.fault_injector;
     if (chaos != nullptr) chaos->point(tid, ChaosPoint::kRetire);
+    const bool incremental = config_.scan_quantum != 0;
     bool emptied = false;
     if (++local.retire_counter % config_.empty_freq == 0) {
       if (chaos != nullptr && chaos->delay_reclamation(tid)) {
@@ -170,16 +174,22 @@ class SchemeBase {
           stats.bump(stats.empties);
           stats.bump(stats.inline_fallbacks);
           trace_event(tid, obs::TraceEvent::kEmpty, local.retired.size());
-          derived().empty(tid);
+          run_reclaim_increment(tid, incremental);
           emptied = true;
         }
       } else {
         adopt_orphans(tid);
         stats.bump(stats.empties);
         trace_event(tid, obs::TraceEvent::kEmpty, local.retired.size());
-        derived().empty(tid);
+        run_reclaim_increment(tid, incremental);
         emptied = true;
       }
+    } else if (incremental && local.cursor.active) {
+      // Continuation: one bounded step per retire while a pass is open, so
+      // a pass over L nodes completes within ceil(L/quantum) retires and
+      // no single operation ever absorbs more than O(quantum) scan work.
+      run_reclaim_increment(tid, true);
+      emptied = true;  // an increment ran; no emergency work on top of it
     }
     if (config_.retired_soft_cap == 0) return;
     if (local.retired.size() < config_.retired_soft_cap) {
@@ -191,7 +201,7 @@ class SchemeBase {
     stats.bump(stats.empties);
     stats.bump(stats.emergency_empties);
     trace_event(tid, obs::TraceEvent::kEmergencyEmpty, local.retired.size());
-    derived().empty(tid);
+    run_reclaim_increment(tid, incremental);
     if (local.retired.size() >= config_.retired_soft_cap) {
       // The pass was futile (e.g. a stalled peer pins everything): back
       // off exponentially, capped so retire() latency stays bounded.
@@ -272,6 +282,9 @@ class SchemeBase {
     if (local.retired.empty()) return;
     auto* batch = new OrphanBatch;
     batch->nodes.swap(local.retired);
+    // An open cursor pass indexed the list just handed over; invalidate it
+    // so the tid's next leaseholder starts from a clean pass.
+    cursor_reset(tid);
     sync_retired(tid);
     auto& stats = *stats_[tid];
     stats.bump(stats.orphaned, batch->nodes.size());
@@ -424,7 +437,9 @@ class SchemeBase {
     auto& stats = *stats_[tid];
     stats.bump(stats.empties);
     trace_event(tid, obs::TraceEvent::kEmpty, local_[tid]->retired.size());
-    derived().empty(tid);
+    // Deamortized configs keep the nudge bounded too: begin (or continue)
+    // a cursor pass with one quantum step instead of a monolithic scan.
+    run_reclaim_increment(tid, config_.scan_quantum != 0);
   }
 
   /// The node pool (introspection: arm actually in effect, magazine and
@@ -483,6 +498,7 @@ class SchemeBase {
         ++freed;
       }
       local.retired.clear();
+      cursor_reset(static_cast<int>(i));
       sync_retired(static_cast<int>(i));
     }
     // The orphan pool is part of the backlog too: without this, batches
@@ -612,8 +628,29 @@ class SchemeBase {
     OrphanBatch* next = nullptr;
   };
 
+  /// Resumable bounded-increment reclamation pass (Config::scan_quantum,
+  /// DESIGN.md §12). Partitions the owner's retired list into three
+  /// regions:
+  ///   [0, pos)       survivors this pass (protected when examined)
+  ///   [pos, limit)   retired before the snapshot, not yet examined
+  ///   [limit, size)  retired after the snapshot — the next pass's input
+  /// The protection snapshot is cached across steps and re-collected only
+  /// when the scheme's epoch advances mid-pass. It is stored type-erased:
+  /// Derived::Snapshot is still incomplete when the base instantiates
+  /// PerThread, so the concrete type is only named inside the template
+  /// member functions below (where Derived is complete).
+  struct ScanCursor {
+    std::size_t pos = 0;
+    std::size_t limit = 0;
+    bool active = false;
+    std::uint64_t snapshot_epoch = 0;
+    void* snapshot = nullptr;
+    void (*snapshot_deleter)(void*) noexcept = nullptr;
+  };
+
   struct PerThread {
     std::vector<Node*> retired;
+    ScanCursor cursor;
     /// retired.size(), mirrored after every mutation so foreign threads
     /// (retired_backlog, retired_count, the waste watchdog) never touch the
     /// vector's internals concurrently with the owner's push_back.
@@ -871,6 +908,119 @@ class SchemeBase {
     sync_retired(tid);
   }
 
+  // ---- Deamortized reclamation: the resumable ScanCursor (DESIGN.md §12) --
+
+  /// Monotonic clock read for the max_pause_ns high-water mark. Only ever
+  /// called around actual reclamation work (pass starts, cursor steps,
+  /// monolithic empties) — never on the retire() fast path.
+  static std::uint64_t pause_clock_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// One unit of foreground reclamation on the calling thread, timed into
+  /// max_pause_ns either way: the legacy monolithic empty() when
+  /// `incremental` is false, otherwise begin-or-continue the resumable
+  /// cursor pass with one bounded step. This is the only place retire(),
+  /// the emergency path, and reclaim_nudge() run scan work, so the
+  /// amortized-vs-deamortized A/B reads one stat.
+  void run_reclaim_increment(int tid, bool incremental) {
+    auto& stats = *stats_[tid];
+    const std::uint64_t start = pause_clock_ns();
+    if (incremental) {
+      if (!local_[tid]->cursor.active) cursor_begin_pass(tid);
+      cursor_step(tid);
+    } else {
+      derived().empty(tid);
+    }
+    stats.bump_max(stats.max_pause_ns, pause_clock_ns() - start);
+  }
+
+  /// Open a cursor pass over everything currently buffered: collect the
+  /// protection snapshot into the per-thread cache (lazily allocated here,
+  /// where Derived — and hence Derived::Snapshot — is complete) and freeze
+  /// the examination window at the current list size. Nodes retired after
+  /// this point land beyond `limit` and are never filtered against this
+  /// snapshot — the ordering that makes the cached snapshot sound (the
+  /// same release/acquire argument the background reclaimer's one-snapshot
+  /// -many-batches scan rests on).
+  template <typename D = Derived>
+  void cursor_begin_pass(int tid) {
+    auto& local = *local_[tid];
+    auto& cursor = local.cursor;
+    using Snap = typename D::Snapshot;
+    if (cursor.snapshot == nullptr) {
+      cursor.snapshot = new Snap();
+      cursor.snapshot_deleter = +[](void* p) noexcept {
+        delete static_cast<Snap*>(p);
+      };
+    }
+    derived().collect_snapshot(*static_cast<Snap*>(cursor.snapshot));
+    cursor.snapshot_epoch = derived().epoch_now();
+    cursor.pos = 0;
+    cursor.limit = local.retired.size();
+    cursor.active = cursor.limit != 0;
+  }
+
+  /// Examine at most Config::scan_quantum unexamined nodes against the
+  /// cached snapshot, carrying survivors in place. The snapshot is
+  /// re-collected only when the scheme's epoch advanced mid-pass (a fresh
+  /// collection can only widen what is freeable for nodes retired before
+  /// the original one, so mid-pass refresh is sound and lets epoch-horizon
+  /// schemes make progress a stale horizon would block).
+  template <typename D = Derived>
+  void cursor_step(int tid) {
+    auto& local = *local_[tid];
+    auto& cursor = local.cursor;
+    if (!cursor.active) return;
+    auto* snap = static_cast<typename D::Snapshot*>(cursor.snapshot);
+    const std::uint64_t epoch = derived().epoch_now();
+    if (epoch != cursor.snapshot_epoch) {
+      derived().collect_snapshot(*snap);
+      cursor.snapshot_epoch = epoch;
+    }
+    auto& retired = local.retired;
+    auto& stats = *stats_[tid];
+    const std::uint64_t quantum = config_.scan_quantum;
+    std::uint64_t examined = 0;
+    while (cursor.pos < cursor.limit && examined < quantum) {
+      Node* node = retired[cursor.pos];
+      ++examined;
+      if (derived().snapshot_protects(node, *snap)) {
+        ++cursor.pos;
+      } else {
+        // O(1) multiset removal across the three regions: the hole takes
+        // the last unexamined node, whose slot takes the overall tail
+        // (both moves degenerate to self-assignment at the boundaries).
+        retired[cursor.pos] = retired[cursor.limit - 1];
+        retired[cursor.limit - 1] = retired.back();
+        retired.pop_back();
+        --cursor.limit;
+        free_node(tid, node);
+      }
+    }
+    stats.bump(stats.scan_increments);
+    trace_event(tid, obs::TraceEvent::kScanStep, examined);
+    if (cursor.pos >= cursor.limit) {
+      cursor.active = false;
+    } else {
+      stats.bump(stats.cursor_carryover, cursor.limit - cursor.pos);
+    }
+    sync_retired(tid);
+  }
+
+  /// Invalidate `tid`'s in-flight cursor pass: the retired list it indexed
+  /// was swapped or cleared (detach handover, offload, drain). The cached
+  /// snapshot allocation is kept — it is scratch, reused by the next pass.
+  void cursor_reset(int tid) noexcept {
+    auto& cursor = local_[tid]->cursor;
+    cursor.pos = 0;
+    cursor.limit = 0;
+    cursor.active = false;
+  }
+
   // ---- Background-reclaimer plumbing (driven via friendship by
   // BackgroundReclaimer, except stop_reclaimer/try_offload) ----
 
@@ -900,6 +1050,8 @@ class SchemeBase {
       batch->origin = tid;
     }
     batch->nodes.swap(local.retired);
+    // The swap emptied the list an open cursor pass was indexing.
+    cursor_reset(tid);
     sync_retired(tid);
     auto& stats = *stats_[tid];
     stats.bump(stats.offloaded, batch->nodes.size());

@@ -162,6 +162,11 @@ class HE : public detail::SchemeBase<Node, HE<Node>> {
     snapshot.eras.reserve(this->config().max_threads *
                           static_cast<std::size_t>(per_thread));
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      // Each thread's eras live on their own padded line; fetch the next
+      // line while this one's loads retire.
+      if (t + 1 < this->config().max_threads) {
+        __builtin_prefetch(&slots_[t + 1]);
+      }
       for (int i = 0; i < per_thread; ++i) {
         const std::uint64_t era =
             slots_[t]->eras[i].load(std::memory_order_acquire);

@@ -150,6 +150,11 @@ class HP : public detail::SchemeBase<Node, HP<Node>> {
     snapshot.hazards.reserve(this->config().max_threads *
                              static_cast<std::size_t>(per_thread));
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      // Each thread's slots live on their own padded line; fetch the next
+      // line while this one's loads retire.
+      if (t + 1 < this->config().max_threads) {
+        __builtin_prefetch(&slots_[t + 1]);
+      }
       for (int i = 0; i < per_thread; ++i) {
         const Node* hazard =
             slots_[t]->hazard[i].load(std::memory_order_acquire);

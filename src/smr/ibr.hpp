@@ -156,6 +156,10 @@ class IBR : public detail::SchemeBase<Node, IBR<Node>> {
     snapshot.reservations.clear();
     snapshot.reservations.reserve(this->config().max_threads);
     for (std::size_t t = 0; t < this->config().max_threads; ++t) {
+      // One padded line per thread; fetch the next while this one loads.
+      if (t + 1 < this->config().max_threads) {
+        __builtin_prefetch(&slots_[t + 1]);
+      }
       const std::uint64_t lower =
           slots_[t]->lower.load(std::memory_order_acquire);
       const std::uint64_t upper =

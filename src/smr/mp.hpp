@@ -427,6 +427,9 @@ class MP : public detail::SchemeBase<Node, MP<Node>> {
     snapshot.margin_entries.reserve(slot_total);
     snapshot.hazard_entries.reserve(slot_total);
     for (std::size_t t = 0; t < threads; ++t) {
+      // Each thread's slot block is its own padded line; fetch the next
+      // block while this one's epoch/margin/hazard loads retire.
+      if (t + 1 < threads) __builtin_prefetch(&slots_[t + 1]);
       auto& slots = *slots_[t];
       const std::uint64_t epoch = slots.epoch.load(std::memory_order_acquire);
       for (int i = 0; i < per_thread; ++i) {

@@ -76,6 +76,7 @@ class BackgroundReclaimer {
                       ThreadStats& bg_stats)
       : scheme_(scheme),
         poll_ms_(config.reclaim_poll_ms),
+        quantum_(config.scan_quantum),
         bg_stats_(bg_stats),
         thread_([this] { run(); }) {}
 
@@ -145,6 +146,10 @@ class BackgroundReclaimer {
   /// scheme's destructor (while derived members are still alive) and again
   /// from ~BackgroundReclaimer as a backstop.
   void stop_and_join() noexcept {
+    // The atomic flag is what a chunked pass checks between quanta, so a
+    // stop interrupts it at the next chunk boundary instead of waiting
+    // out the whole backlog scan.
+    stop_flag_.store(true, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(cv_mutex_);
       stop_ = true;
@@ -177,6 +182,7 @@ class BackgroundReclaimer {
       ++taken;
     }
     backlog_.clear();
+    ++backlog_gen_;  // tells a yielded chunked pass its index state is stale
     if (taken != 0) inflight_.fetch_sub(taken, std::memory_order_relaxed);
     return taken;
   }
@@ -204,9 +210,21 @@ class BackgroundReclaimer {
 
   /// One wakeup: drain the queue, adopt orphans, take ONE protection
   /// snapshot, scan everything against it. Serialized with drain_pending()
-  /// by pass_mutex_.
+  /// by pass_mutex_. With Config::scan_quantum set, the backlog scan runs
+  /// in quantum-bounded chunks and yields pass_mutex_ between them, so a
+  /// concurrent drain_pending()/stop interleaves at a chunk boundary
+  /// instead of waiting out the whole pass (DESIGN.md §12).
   void pass() {
-    std::lock_guard<std::mutex> lock(pass_mutex_);
+    std::unique_lock<std::mutex> lock(pass_mutex_);
+    // A chunked pass on another thread (force_pass vs. the reclaimer
+    // thread) may be parked at a yield point; its snapshot/index state
+    // cannot tolerate a second pass mutating the backlog underneath it.
+    if (pass_active_) return;
+    pass_active_ = true;
+    struct ActiveGuard {
+      bool& flag;
+      ~ActiveGuard() { flag = false; }  // runs before `lock` unlocks
+    } active_guard{pass_active_};
     // Order matters: the queue exchange and orphan adoption happen BEFORE
     // the snapshot, so every node scanned was retired before the snapshot
     // was taken (release push / acquire pop) — a protection announced
@@ -225,16 +243,79 @@ class BackgroundReclaimer {
     scheme_.collect_snapshot(snapshot);
     bg_stats_.bump(bg_stats_.bg_snapshots);
     bg_stats_.bump_max(bg_stats_.peak_inflight, inflight());
-    std::uint64_t freed = 0;
-    if (!backlog_.empty()) {
-      freed += scan_backlog(snapshot);
+    if (quantum_ == 0) {
+      // Legacy monolithic pass: one uninterrupted scan under the mutex.
+      std::uint64_t freed = 0;
+      if (!backlog_.empty()) {
+        freed += scan_backlog(snapshot);
+      }
+      while (batch != nullptr) {
+        RetiredBatch<Node>* next = batch->next;
+        freed += scan_batch(batch, snapshot);
+        batch = next;
+      }
+      if (freed != 0) inflight_.fetch_sub(freed, std::memory_order_relaxed);
+      return;
     }
+    chunked_scan(lock, batch, snapshot);
+  }
+
+  /// Deamortized arm of pass(): splice every queued batch into the backlog
+  /// (all of those nodes predate the snapshot — release push / acquire
+  /// exchange), then compact the backlog in chunks of <= quantum_ nodes,
+  /// dropping and re-taking pass_mutex_ between chunks. New offloads land
+  /// in queue_ (picked up by the NEXT pass), so only drain_pending() can
+  /// mutate the backlog at a yield point — detected via backlog_gen_.
+  void chunked_scan(std::unique_lock<std::mutex>& lock,
+                    RetiredBatch<Node>* batch,
+                    const typename Scheme::Snapshot& snapshot) {
     while (batch != nullptr) {
       RetiredBatch<Node>* next = batch->next;
-      freed += scan_batch(batch, snapshot);
+      backlog_.insert(backlog_.end(), batch->nodes.begin(),
+                      batch->nodes.end());
+      scheme_.recycle_batch_shell(batch);
       batch = next;
     }
-    if (freed != 0) inflight_.fetch_sub(freed, std::memory_order_relaxed);
+    const std::uint64_t generation = backlog_gen_;
+    // Three-region compaction, same scheme as the foreground ScanCursor:
+    // [0, pos) survivors, [pos, limit) unexamined, [limit, size) unused
+    // here (drain_pending is the only other backlog writer and it aborts
+    // the pass). Each free is an O(1) swap-remove.
+    std::size_t pos = 0;
+    std::size_t limit = backlog_.size();
+    const std::uint64_t scanned = limit;
+    while (pos < limit) {
+      std::uint64_t examined = 0;
+      std::uint64_t freed = 0;
+      while (pos < limit && examined < quantum_) {
+        Node* node = backlog_[pos];
+        ++examined;
+        if (scheme_.snapshot_protects(node, snapshot)) {
+          ++pos;
+        } else {
+          backlog_[pos] = backlog_[limit - 1];
+          backlog_[limit - 1] = backlog_.back();
+          backlog_.pop_back();
+          --limit;
+          scheme_.bg_free(node);
+          ++freed;
+        }
+      }
+      if (freed != 0) inflight_.fetch_sub(freed, std::memory_order_relaxed);
+      bg_stats_.bump(bg_stats_.scan_increments);
+      scheme_.bg_trace(obs::TraceEvent::kScanStep, examined);
+      if (pos >= limit) break;
+      bg_stats_.bump(bg_stats_.cursor_carryover, limit - pos);
+      // Quantum boundary: let stop_and_join()/drain_pending() in.
+      lock.unlock();
+      lock.lock();
+      if (stop_flag_.load(std::memory_order_relaxed) ||
+          backlog_gen_ != generation) {
+        return;  // drained or stopping; whatever remains is theirs
+      }
+    }
+    bg_stats_.bump(bg_stats_.bg_scans);
+    scheme_.bg_trace(obs::TraceEvent::kBgScan, scanned);
   }
 
   /// In-place compaction of the carried-over backlog against `snapshot`.
@@ -275,6 +356,8 @@ class BackgroundReclaimer {
 
   Scheme& scheme_;
   const std::uint32_t poll_ms_;
+  /// Config::scan_quantum: 0 = monolithic passes, else chunk size.
+  const std::uint64_t quantum_;
   /// The reclaimer thread's own stats shard (single-writer: this thread,
   /// plus construction-time zeroes). Producer counters stay on the
   /// producers' shards.
@@ -289,6 +372,15 @@ class BackgroundReclaimer {
   std::vector<Node*> backlog_;
 
   std::mutex pass_mutex_;
+  /// Guarded by pass_mutex_: true while any pass (possibly parked at a
+  /// chunk yield) is in flight; a second caller backs off instead of
+  /// interleaving with it.
+  bool pass_active_ = false;
+  /// Guarded by pass_mutex_: bumped by drain_pending() so a yielded
+  /// chunked pass knows the backlog was cleared out from under it.
+  std::uint64_t backlog_gen_ = 0;
+  /// Checked between chunks (no cv_mutex_ needed mid-pass).
+  std::atomic<bool> stop_flag_{false};
   std::mutex cv_mutex_;
   std::condition_variable cv_;
   bool kicked_ = false;

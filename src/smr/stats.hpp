@@ -47,6 +47,10 @@ struct ThreadStats {
   std::atomic<std::uint64_t> bg_snapshots{0};  ///< reclaimer protection snapshots
   std::atomic<std::uint64_t> bg_scans{0};      ///< batches scanned per snapshot
   std::atomic<std::uint64_t> peak_inflight{0}; ///< queued+backlog high-water
+  // Deamortized reclamation (Config::scan_quantum, DESIGN.md §12).
+  std::atomic<std::uint64_t> scan_increments{0}; ///< bounded cursor/chunk steps
+  std::atomic<std::uint64_t> cursor_carryover{0}; ///< nodes left unexamined at a yield
+  std::atomic<std::uint64_t> max_pause_ns{0};  ///< longest single reclamation pause
 
   void bump(std::atomic<std::uint64_t>& counter,
             std::uint64_t by = 1) noexcept {
@@ -113,6 +117,16 @@ struct StatsSnapshot {
   /// watchdog's in-flight bound (reclaim_inflight_cap + T * per-thread
   /// bound) checks against this.
   std::uint64_t peak_inflight = 0;
+  /// Deamortized reclamation (Config::scan_quantum != 0): bounded scan
+  /// steps taken (foreground cursor steps plus background chunks), nodes a
+  /// yielding cursor step left unexamined for the next increment (summed
+  /// over yields — an amortization measure, not a population), and the
+  /// longest single reclamation pause in nanoseconds (max-merged like the
+  /// other high-water marks; also recorded for monolithic passes, so an
+  /// amortized-vs-deamortized A/B reads it directly).
+  std::uint64_t scan_increments = 0;
+  std::uint64_t cursor_carryover = 0;
+  std::uint64_t max_pause_ns = 0;
   /// Nodes freed by drain() (teardown / between bench phases). Kept apart
   /// from `reclaims`: drain runs on one thread over every thread's retired
   /// list, so bumping the per-thread reclaim counters would violate their
@@ -147,6 +161,10 @@ struct StatsSnapshot {
     bg_scans += t.bg_scans.load(std::memory_order_relaxed);
     peak_inflight = std::max(
         peak_inflight, t.peak_inflight.load(std::memory_order_relaxed));
+    scan_increments += t.scan_increments.load(std::memory_order_relaxed);
+    cursor_carryover += t.cursor_carryover.load(std::memory_order_relaxed);
+    max_pause_ns = std::max(
+        max_pause_ns, t.max_pause_ns.load(std::memory_order_relaxed));
     return *this;
   }
 
@@ -176,6 +194,9 @@ struct StatsSnapshot {
     bg_snapshots += rhs.bg_snapshots;
     bg_scans += rhs.bg_scans;
     peak_inflight = std::max(peak_inflight, rhs.peak_inflight);
+    scan_increments += rhs.scan_increments;
+    cursor_carryover += rhs.cursor_carryover;
+    max_pause_ns = std::max(max_pause_ns, rhs.max_pause_ns);
     drained += rhs.drained;
     return *this;
   }
@@ -217,6 +238,9 @@ struct StatsSnapshot {
     out.bg_snapshots = sat_sub(bg_snapshots, rhs.bg_snapshots);
     out.bg_scans = sat_sub(bg_scans, rhs.bg_scans);
     // peak_inflight is a high-water mark like peak_retired: keep the lhs.
+    out.scan_increments = sat_sub(scan_increments, rhs.scan_increments);
+    out.cursor_carryover = sat_sub(cursor_carryover, rhs.cursor_carryover);
+    // max_pause_ns is a high-water mark: keep the lhs.
     out.drained = sat_sub(drained, rhs.drained);
     return out;
   }

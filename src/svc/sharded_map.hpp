@@ -351,6 +351,52 @@ class ShardedMap {
       return ticket;
     }
 
+    /// Enqueue `count` gets that flush fuses into per-shard get_many
+    /// batches: consecutive multi-get ops against one shard execute under
+    /// a single SMR operation bracket with the structure's batched read
+    /// path (DESIGN.md §12). Every key gets its own ticket (consecutive
+    /// from the returned first one) and its own completion, exactly like
+    /// `count` submit() calls. Admission is all-or-nothing: nullopt when
+    /// the ring cannot absorb all `count` completions; the gate charges
+    /// the call as ONE unit (one token), and a refusal completes every
+    /// key with kRejected.
+    std::optional<std::uint64_t> submit_multi_get(
+        const Key* keys, std::size_t count, std::uint64_t user = 0,
+        std::uint64_t deadline_ns = 0) {
+      if (count == 0) return std::nullopt;
+      if (in_flight() + count > ring_.size()) return std::nullopt;
+      const std::uint64_t first_ticket = next_ticket_;
+      if (!admit()) {
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::uint64_t ticket = next_ticket_++;
+          Completion done;
+          done.ticket = ticket;
+          done.user = user;
+          done.key = keys[i];
+          done.op = OpType::kGet;
+          done.status = Status::kRejected;
+          if (obs::Tracer* tracer =
+                  map_->scheme(map_->shard_of(keys[i])).config().tracer) {
+            tracer->record(tid_, obs::TraceEvent::kAdmissionReject, ticket);
+          }
+          push_completion(done);
+        }
+        return first_ticket;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        Request request;
+        request.op = OpType::kGet;
+        request.key = keys[i];
+        request.user = user;
+        request.deadline_ns = deadline_ns;
+        const std::size_t shard = map_->shard_of(keys[i]);
+        const std::uint64_t ticket = next_ticket_++;
+        pending_[shard].push_back(PendingOp{request, ticket, true});
+        if (pending_[shard].size() >= batch_limit_) flush_shard(shard);
+      }
+      return first_ticket;
+    }
+
     /// Execute every shard's pending batch (shards with work are visited
     /// once each; their completions land in the ring in submit order
     /// within a shard).
@@ -383,7 +429,12 @@ class ShardedMap {
     struct PendingOp {
       Request request;
       std::uint64_t ticket;
+      bool multi_get = false;  ///< from submit_multi_get: fusable at flush
     };
+
+    /// Longest run fused into one get_many call (bounds the flush path's
+    /// stack scratch; longer runs just split into several calls).
+    static constexpr std::size_t kMultiGetRun = 64;
 
     static std::size_t validated_batch_limit(std::size_t batch_limit) {
       if (batch_limit > kMaxBatchLimit) {
@@ -433,6 +484,17 @@ class ShardedMap {
       try {
         for (; done_count < batch.size(); ++done_count) {
           const PendingOp& op = batch[done_count];
+          // A live multi-get op heads a fusable run: execute the whole run
+          // with one get_many call (reads are idempotent, so completing
+          // several ops per loop step keeps the exactly-once erase logic
+          // honest — a retry after a later throw re-runs only reads).
+          if (op.multi_get && op.request.op == OpType::kGet &&
+              !(op.request.deadline_ns != 0 && op.request.deadline_ns <= now)) {
+            done_count +=
+                flush_multi_get_run(structure, handle, batch, done_count, now) -
+                1;
+            continue;
+          }
           Completion done;
           done.ticket = op.ticket;
           done.user = op.request.user;
@@ -484,6 +546,42 @@ class ShardedMap {
       batch.clear();
       ++batches_;
       map_->sample_health(shard, tid_);
+    }
+
+    /// Execute the maximal run (<= kMultiGetRun) of consecutive live
+    /// multi-get ops starting at `start` as ONE structure.get_many call
+    /// and push one completion per key. Returns the run length (>= 1; the
+    /// caller verified batch[start] qualifies).
+    std::size_t flush_multi_get_run(Structure& structure, Handle handle,
+                                    const std::vector<PendingOp>& batch,
+                                    std::size_t start, std::uint64_t now) {
+      Key keys[kMultiGetRun];
+      Value values[kMultiGetRun];
+      bool found[kMultiGetRun];
+      std::size_t n = 0;
+      while (start + n < batch.size() && n < kMultiGetRun) {
+        const PendingOp& op = batch[start + n];
+        if (!op.multi_get || op.request.op != OpType::kGet) break;
+        if (op.request.deadline_ns != 0 && op.request.deadline_ns <= now) {
+          break;  // expired key: let the main loop shed it individually
+        }
+        keys[n] = op.request.key;
+        ++n;
+      }
+      structure.get_many(handle, keys, n, values, found);
+      for (std::size_t j = 0; j < n; ++j) {
+        const PendingOp& op = batch[start + j];
+        Completion done;
+        done.ticket = op.ticket;
+        done.user = op.request.user;
+        done.key = op.request.key;
+        done.value = found[j] ? values[j] : op.request.value;
+        done.op = OpType::kGet;
+        done.ok = found[j];
+        done.status = found[j] ? Status::kOk : Status::kNotFound;
+        push_completion(done);
+      }
+      return n;
     }
 
     ShardedMap* map_;

@@ -336,7 +336,7 @@ TEST(ReportTest, VersionSixStatusCountsAndHealthRoundTrip) {
   report.add_row(std::move(row));
 
   const json::Value doc = report.document();
-  EXPECT_EQ(doc.find("version")->as_uint(), 6u);
+  EXPECT_EQ(doc.find("version")->as_uint(), mp::obs::kReportVersion);
   EXPECT_EQ(validate_report(doc), "");
   // The serialized form parses back to a valid document with the tallies
   // intact.
@@ -354,6 +354,145 @@ TEST(ReportTest, VersionSixStatusCountsAndHealthRoundTrip) {
   ASSERT_NE(health, nullptr);
   EXPECT_EQ(health->find("state")->as_string(), "degraded");
   EXPECT_EQ(health->find("degraded_enters")->as_uint(), 2u);
+}
+
+TEST(ReportTest, VersionSixDocumentsStillValidate) {
+  // v6 reports predate deamortization (v7's scan_increments /
+  // cursor_carryover / max_pause_ns stats counters and the histogram
+  // "p100" alias). They must keep validating as v6 — and be rejected if
+  // they claim v7 without the new fields.
+  json::Value stats = json::Value::object();
+  for (const char* key :
+       {"fences", "reads", "allocs", "retires", "reclaims", "drained",
+        "empties", "peak_retired", "emergency_empties", "orphaned",
+        "adopted", "pool_hits", "pool_misses", "depot_exchanges",
+        "unlinked_frees", "offloaded", "inline_fallbacks", "bg_snapshots",
+        "bg_scans", "peak_inflight"}) {
+    stats[key] = std::uint64_t{1};
+  }
+  json::Value hist = json::Value::object();
+  for (const char* key :
+       {"count", "mean", "max", "p50", "p90", "p99", "p999"}) {
+    hist[key] = std::uint64_t{1};  // no "p100": a v6 writer never emits it
+  }
+  json::Value latency = json::Value::object();
+  latency["contains"] = hist;
+  json::Value row = json::Value::object();
+  row["figure"] = "fig0";
+  row["scheme"] = "MP";
+  row["stats"] = stats;
+  row["latency_ns"] = latency;
+  json::Value rows = json::Value::array();
+  rows.push_back(row);
+  json::Value doc = json::Value::object();
+  doc["schema"] = mp::obs::kReportSchema;
+  doc["version"] = std::uint64_t{6};
+  doc["bench"] = "legacy";
+  doc["config"] = json::Value::object();
+  doc["rows"] = rows;
+  EXPECT_EQ(validate_report(doc), "");
+
+  // The same document claiming v7 lacks the bounded-increment counters.
+  doc["version"] = std::uint64_t{7};
+  EXPECT_NE(validate_report(doc), "");
+}
+
+TEST(ReportTest, VersionSevenTailFieldsRoundTrip) {
+  // A current report carries the deamortization counters, the scan_quantum
+  // config arm, and per-histogram p100 — and survives a serialize/parse
+  // round trip with the tail fields intact.
+  BenchReport report("latency_pauses_unit", "/dev/null");
+  mp::smr::Config config;
+  config.scan_quantum = 32;
+  report.config()["smr"] = mp::obs::to_json(config);
+
+  mp::smr::StatsSnapshot stats;
+  stats.scan_increments = 17;
+  stats.cursor_carryover = 5;
+  stats.max_pause_ns = 12345;
+  mp::obs::LatencyHistogram hist;
+  hist.record(100);
+  hist.record(90000);
+  json::Value latency = json::Value::object();
+  latency["get"] = mp::obs::to_json(hist);
+  json::Value row = json::Value::object();
+  row["figure"] = "pause_ab";
+  row["scheme"] = "MP";
+  row["stats"] = mp::obs::to_json(stats);
+  row["latency_ns"] = latency;
+  report.add_row(std::move(row));
+
+  const json::Value doc = report.document();
+  EXPECT_EQ(doc.find("version")->as_uint(), 7u);
+  EXPECT_EQ(validate_report(doc), "");
+  const json::Value parsed = json::parse(doc.dump(2));
+  EXPECT_EQ(validate_report(parsed), "");
+  const json::Value& round = parsed.find("rows")->as_array()[0];
+  EXPECT_EQ(round.find("stats")->find("scan_increments")->as_uint(), 17u);
+  EXPECT_EQ(round.find("stats")->find("cursor_carryover")->as_uint(), 5u);
+  EXPECT_EQ(round.find("stats")->find("max_pause_ns")->as_uint(), 12345u);
+  const json::Value* get_hist = round.find("latency_ns")->find("get");
+  ASSERT_NE(get_hist, nullptr);
+  // p100 is an alias of max, pinned equal by construction.
+  EXPECT_EQ(get_hist->find("p100")->as_uint(),
+            get_hist->find("max")->as_uint());
+  EXPECT_EQ(parsed.find("config")
+                ->find("smr")
+                ->find("scan_quantum")
+                ->as_uint(),
+            32u);
+}
+
+TEST(ReportTest, ValidatorFlagsMissingTailFieldsAtVersionSeven) {
+  const auto make_doc = [](json::Value row) {
+    json::Value rows = json::Value::array();
+    rows.push_back(std::move(row));
+    json::Value doc = json::Value::object();
+    doc["schema"] = mp::obs::kReportSchema;
+    doc["version"] = std::uint64_t{7};
+    doc["bench"] = "pause_unit";
+    doc["config"] = json::Value::object();
+    doc["rows"] = rows;
+    return doc;
+  };
+
+  {  // a stats object without one of the new counters
+    json::Value stats = mp::obs::to_json(mp::smr::StatsSnapshot{});
+    json::Value pruned = json::Value::object();
+    for (const auto& [key, value] : stats.as_object()) {
+      if (std::string(key) != "max_pause_ns") pruned[key] = value;
+    }
+    json::Value row = json::Value::object();
+    row["figure"] = "pause_ab";
+    row["scheme"] = "MP";
+    row["stats"] = pruned;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // a histogram without p100
+    json::Value hist = json::Value::object();
+    for (const char* key :
+         {"count", "mean", "max", "p50", "p90", "p99", "p999"}) {
+      hist[key] = std::uint64_t{1};
+    }
+    json::Value latency = json::Value::object();
+    latency["get"] = hist;
+    json::Value row = json::Value::object();
+    row["figure"] = "pause_ab";
+    row["scheme"] = "MP";
+    row["latency_ns"] = latency;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+  {  // p100 present but non-numeric
+    json::Value hist = mp::obs::to_json(mp::obs::LatencyHistogram{});
+    hist["p100"] = "huge";
+    json::Value latency = json::Value::object();
+    latency["tail"] = hist;
+    json::Value row = json::Value::object();
+    row["figure"] = "pause_ab";
+    row["scheme"] = "MP";
+    row["latency_ns"] = latency;
+    EXPECT_NE(validate_report(make_doc(row)), "");
+  }
 }
 
 TEST(ReportTest, ValidatorFlagsMalformedStatusCountsAndHealth) {

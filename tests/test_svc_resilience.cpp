@@ -928,7 +928,7 @@ TEST(ResilienceGoldenBenchTest, OverloadBenchEmitsValidV6Report) {
   ASSERT_FALSE(text.empty()) << "bench must write " << out;
   const mp::obs::json::Value doc = mp::obs::json::parse(text);
   EXPECT_EQ(mp::obs::validate_report(doc), "");
-  EXPECT_EQ(doc.find("version")->as_uint(), 6u);
+  EXPECT_EQ(doc.find("version")->as_uint(), mp::obs::kReportVersion);
 
   const auto& rows = doc.find("rows")->as_array();
   ASSERT_EQ(rows.size(), 2u);  // one load window + the verdict row
