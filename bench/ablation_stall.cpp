@@ -58,12 +58,13 @@ void run_stall(const char* scheme_name, int threads, std::size_t size,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       mp::common::Xoshiro256 rng(99 + static_cast<std::uint64_t>(t));
+      const auto handle = ds.scheme().handle(t);
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t key = 1 + rng.next_below(2 * size);
         if (rng.next() % 2 == 0) {
-          ds.insert(t, key, key);
+          ds.insert(handle, key, key);
         } else {
-          ds.remove(t, key);
+          ds.remove(handle, key);
         }
       }
     });

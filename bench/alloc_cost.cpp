@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
       "alloc_cost: allocate+retire cycle cost, pool-on vs pool-off (both "
       "arms always run; --size is cycles per thread)",
       /*default_size=*/200000, /*full_size=*/2000000,
-      /*default_schemes=*/"EBR,HP,MP");
+      /*default_schemes=*/"EBR,HP,MP,Hyaline,Stampit");
   mp::obs::BenchReport report("alloc_cost", args.json_out);
   mp::bench::fill_report_config(report, args);
   std::printf(
@@ -86,12 +86,14 @@ int main(int argc, char** argv) {
   for (const auto& scheme_name : args.schemes) {
     for (int threads : args.thread_counts) {
       ArmResult arm[2];  // [0] = pool off, [1] = pool on
+      mp::obs::json::Value caps;
       for (int pool = 0; pool < 2; ++pool) {
         auto config = args.config(/*required_slots=*/1);
         config.pool_enabled = pool != 0;
 #define MARGINPTR_RUN(S)                                                  \
   arm[pool] = run_arm<S<BenchNode>>(                                      \
-      config, threads, static_cast<std::uint64_t>(args.size))
+      config, threads, static_cast<std::uint64_t>(args.size));            \
+  caps = mp::bench::scheme_capabilities<S<BenchNode>>()
         MARGINPTR_DISPATCH_SCHEME(scheme_name, MARGINPTR_RUN);
 #undef MARGINPTR_RUN
         const auto& stats = arm[pool].stats;
@@ -113,6 +115,7 @@ int main(int argc, char** argv) {
         row["ns_per_cycle"] = arm[pool].ns_per_cycle;
         row["mcycles_per_sec"] = arm[pool].mcycles_per_sec;
         row["stats"] = mp::obs::to_json(stats);
+        row["capabilities"] = caps;
         report.add_row(std::move(row));
       }
       const double ratio = arm[1].ns_per_cycle == 0

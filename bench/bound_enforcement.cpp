@@ -92,12 +92,13 @@ void run_bound(const char* scheme_name, int threads, std::size_t size,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       mp::common::Xoshiro256 rng(99 + static_cast<std::uint64_t>(t));
+      const auto handle = ds.scheme().handle(t);
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t key = 1 + rng.next_below(2 * size);
         if (rng.next() % 2 == 0) {
-          ds.insert(t, key, key);
+          ds.insert(handle, key, key);
         } else {
-          ds.remove(t, key);
+          ds.remove(handle, key);
         }
       }
     });
@@ -152,7 +153,8 @@ int main(int argc, char** argv) {
   cli.add_int("size", 2000, "prefill size S");
   cli.add_int("duration-ms", 500, "churn window while stalled");
   cli.add_int("soft-cap", 0, "Config::retired_soft_cap (0 = disabled)");
-  cli.add_string("schemes", "EBR,IBR,HE,DTA,HP,MP", "schemes to compare");
+  cli.add_string("schemes", "EBR,IBR,HE,DTA,HP,MP,Hyaline,Stampit",
+                 "schemes to compare");
   cli.add_string("json-out", "",
                  "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);

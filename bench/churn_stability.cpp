@@ -101,6 +101,7 @@ void run_churn(const char* scheme_name, int threads, std::size_t size,
   row["stats"] = mp::obs::to_json(stats);
   row["waste"] = mp::obs::waste_json(Scheme::waste_bound_per_thread(config),
                                      stats.peak_retired);
+  row["capabilities"] = mp::bench::scheme_capabilities<Scheme>();
   auto backlog_series = mp::obs::json::Value::array();
   for (const auto& sample : samples) backlog_series.push_back(sample.backlog);
   row["backlog_series"] = backlog_series;
@@ -117,7 +118,8 @@ int main(int argc, char** argv) {
   cli.add_int("windows", 8, "checkpoint windows per scheme");
   cli.add_int("window-ms", 150, "measurement window length");
   cli.add_int("churn", 2000, "ops per worker between departures");
-  cli.add_string("schemes", "EBR,IBR,HE,DTA,HP,MP", "schemes to compare");
+  cli.add_string("schemes", "EBR,IBR,HE,DTA,HP,MP,Hyaline,Stampit",
+                 "schemes to compare");
   cli.add_string("json-out", "",
                  "JSON report path (default: BENCH_<bench>.json)");
   cli.parse(argc, argv);

@@ -31,8 +31,9 @@ Report analyze(DS& ds, std::size_t size, std::uint64_t key_range,
   const auto built = ds.scheme().stats_snapshot();
   // Probe with a read-only pass to measure the fallback fraction.
   mp::common::Xoshiro256 rng(99);
+  const auto handle = ds.scheme().handle(0);
   for (int i = 0; i < probe_ops; ++i) {
-    ds.contains(0, 1 + rng.next_below(key_range));
+    ds.contains(handle, 1 + rng.next_below(key_range));
   }
   const auto probed = ds.scheme().stats_snapshot() - built;
   Report report;

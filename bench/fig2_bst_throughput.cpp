@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Fig 2: BST throughput by scheme, workload, and thread count",
       /*default_size=*/50000, /*full_size=*/500000,
-      /*default_schemes=*/"MP,IBR,HE,HP,EBR");
+      /*default_schemes=*/"MP,IBR,HE,HP,EBR,Hyaline,Stampit");
   mp::obs::BenchReport report("fig2_bst_throughput", args.json_out);
   mp::bench::fill_report_config(report, args);
   mp::bench::print_header();

@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Fig 4: linked-list throughput by scheme, workload, and thread count",
       /*default_size=*/2000, /*full_size=*/5000,
-      /*default_schemes=*/"MP,IBR,HE,HP,EBR,DTA");
+      /*default_schemes=*/"MP,IBR,HE,HP,EBR,DTA,Hyaline,Stampit");
   mp::obs::BenchReport report("fig4_list_throughput", args.json_out);
   mp::bench::fill_report_config(report, args);
   mp::bench::print_header();

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Fig 6: avg retired-unreclaimed nodes at op start (read-dominated)",
       /*default_size=*/20000, /*full_size=*/500000,
-      /*default_schemes=*/"MP,IBR,HE,HP,EBR",
+      /*default_schemes=*/"MP,IBR,HE,HP,EBR,Hyaline,Stampit",
       /*default_threads=*/"2,4,8,16,32");
   mp::obs::BenchReport report("fig6_wasted_memory", args.json_out);
   mp::bench::fill_report_config(report, args);

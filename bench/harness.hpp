@@ -118,8 +118,9 @@ void prefill(DS& ds, std::size_t target, std::uint64_t key_range,
 /// for MP index assignment: every insert halves the remaining index range).
 template <typename DS>
 void prefill_ascending(DS& ds, std::size_t count) {
+  const auto handle = ds.scheme().handle(0);
   for (std::uint64_t key = 1; key <= count; ++key) {
-    ds.insert(0, key, key);
+    ds.insert(handle, key, key);
   }
 }
 
@@ -369,6 +370,18 @@ inline void fill_report_config(obs::BenchReport& report,
   config["schemes"] = schemes;
 }
 
+/// Per-scheme capability flags (report schema v8): which reclamation
+/// capabilities the scheme declares at compile time. Attached to report
+/// rows so downstream tooling can group schemes without a name table.
+template <typename Scheme>
+obs::json::Value scheme_capabilities() {
+  obs::json::Value caps = obs::json::Value::object();
+  caps["snapshot_free"] = Scheme::kSnapshotFree;
+  caps["bounded_waste"] = Scheme::kBoundedWaste;
+  caps["robust"] = Scheme::kRobust;
+  return caps;
+}
+
 /// One report row in the shape shared by the figure benches: the CSV
 /// columns plus the full stats/waste/latency sections.
 inline obs::json::Value make_row(const char* figure, const char* structure,
@@ -429,11 +442,12 @@ void sweep_threads(const char* figure, const char* ds_name,
                 static_cast<unsigned long long>(stats_sum.emergency_empties));
     std::fflush(stdout);
     if (report != nullptr) {
-      report->add_row(make_row(figure, ds_name, workload.name, scheme_name,
-                               threads, mops / args.runs,
-                               avg_retired / args.runs,
-                               fences_per_read / args.runs, stats_sum,
-                               waste_bound, &latency));
+      auto row = make_row(figure, ds_name, workload.name, scheme_name,
+                          threads, mops / args.runs, avg_retired / args.runs,
+                          fences_per_read / args.runs, stats_sum, waste_bound,
+                          &latency);
+      row["capabilities"] = scheme_capabilities<typename DS::Scheme>();
+      report->add_row(std::move(row));
     }
   }
 }
@@ -445,26 +459,26 @@ inline void print_header() {
       "fences_per_read,peak_retired,emergency_empties\n");
 }
 
-/// Dispatch a template callable over a scheme named on the command line.
-/// `fn` is a generic functor taking the scheme tag as template parameter.
+/// Dispatch a macro body over a scheme named on the command line, driven
+/// by the central smr::AllSchemes typelist (schemes.hpp): a scheme added
+/// there is immediately addressable from every bench's --schemes flag.
+/// `action` is a macro taking the scheme class template as its argument;
+/// it is expanded once per listed scheme inside a generic lambda, with the
+/// lambda's template parameter standing in for the scheme.
 #define MARGINPTR_DISPATCH_SCHEME(scheme_name, action)                        \
   do {                                                                        \
     const std::string& name_ = (scheme_name);                                 \
-    if (name_ == "MP") {                                                      \
-      action(mp::smr::MP);                                                    \
-    } else if (name_ == "HP") {                                               \
-      action(mp::smr::HP);                                                    \
-    } else if (name_ == "EBR") {                                              \
-      action(mp::smr::EBR);                                                   \
-    } else if (name_ == "HE") {                                               \
-      action(mp::smr::HE);                                                    \
-    } else if (name_ == "IBR") {                                              \
-      action(mp::smr::IBR);                                                   \
-    } else if (name_ == "DTA") {                                              \
-      action(mp::smr::DTA);                                                   \
-    } else if (name_ == "Leaky") {                                            \
-      action(mp::smr::Leaky);                                                 \
-    } else {                                                                  \
+    bool matched_ = false;                                                    \
+    mp::smr::AllSchemes::for_each(                                            \
+        [&]<template <typename> class SchemeT_>() {                           \
+          if (matched_ ||                                                     \
+              name_ != SchemeT_<mp::smr::detail::ConceptProbeNode>::kName) {  \
+            return;                                                           \
+          }                                                                   \
+          matched_ = true;                                                    \
+          action(SchemeT_);                                                   \
+        });                                                                   \
+    if (!matched_) {                                                          \
       std::fprintf(stderr, "unknown scheme: %s\n", name_.c_str());            \
       std::exit(2);                                                           \
     }                                                                         \

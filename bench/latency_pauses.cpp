@@ -160,6 +160,16 @@ mp::obs::json::Value pause_row(const char* scheme, const char* arm_name,
 template <template <typename> class S>
 void pause_ab(const char* scheme, const Params& params,
               mp::obs::BenchReport& report, GateState& gate) {
+  if constexpr (S<ProbeNode>::kSnapshotFree) {
+    // No scan cursor to deamortize: a nonzero scan_quantum is rejected at
+    // construction, so the A/B has no B arm. The gate ignores the scheme.
+    (void)params;
+    (void)report;
+    (void)gate;
+    std::printf("pause_ab,%s,skipped(snapshot-free),-,-,-\n", scheme);
+    std::fflush(stdout);
+    return;
+  }
   const PauseArm amortized = run_pause_arm<S>(params, 0);
   const PauseArm deamortized = run_pause_arm<S>(params, params.quantum);
   std::printf(
@@ -261,11 +271,12 @@ void get_many_ab(const char* scheme, const Params& params,
   std::unique_ptr<bool[]> found(new bool[batch]);  // get_many wants bool*
 
   mp::common::Xoshiro256 rng_single(0xAB01);
+  const auto handle = set.scheme().handle(0);
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t single_ops =
       timed_ops(params.duration_ms, 1, [&] {
         std::uint64_t value;
-        set.get(0, 1 + rng_single.next_below(key_range), value);
+        set.get(handle, 1 + rng_single.next_below(key_range), value);
       });
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -275,7 +286,8 @@ void get_many_ab(const char* scheme, const Params& params,
         for (std::size_t i = 0; i < batch; ++i) {
           keys[i] = 1 + rng_batch.next_below(key_range);
         }
-        set.get_many(0, keys.data(), batch, values.data(), found.get());
+        set.get_many(handle, keys.data(), batch, values.data(),
+                     found.get());
       });
   const auto t2 = std::chrono::steady_clock::now();
 
@@ -324,7 +336,7 @@ int main(int argc, char** argv) {
   mp::common::Cli cli(
       "Tail-latency A/B: amortized vs deamortized reclamation pauses, and "
       "get_many vs K single gets");
-  cli.add_string("schemes", "MP,HP,EBR,HE,IBR",
+  cli.add_string("schemes", "MP,HP,EBR,HE,IBR,Hyaline,Stampit",
                  "comma-separated reclaiming SMR schemes");
   cli.add_int("size", 2000, "list prefill size S (keys from a 2S range)");
   cli.add_int("hash-size", 100000, "hash-set prefill size");

@@ -26,6 +26,9 @@ constexpr Row kRows[] = {
     {"IBR", "Low", "Robust", "Per-operation", 3},
     {"MP", "Low-Med (search DS), =HP (other)", "Bounded",
      "HP + extra method calls", 3},
+    {"Hyaline", "Low (refcounted handover)", "Unbounded", "Per-operation", 2},
+    {"Stampit", "Low (O(1) promote-on-leave)", "Unbounded", "Per-operation",
+     1},
 };
 
 template <typename DS>
@@ -94,7 +97,8 @@ int main(int argc, char** argv) {
       threads, size);
   std::printf("%-6s | %9s | %12s | %9s\n", "Scheme", "Mops/s", "avg_retired",
               "fences/rd");
-  for (const char* scheme : {"HP", "EBR", "HE", "IBR", "MP"}) {
+  for (const char* scheme :
+       {"HP", "EBR", "HE", "IBR", "MP", "Hyaline", "Stampit"}) {
     const std::string name(scheme);
 #define MARGINPTR_RUN(S)                                               \
   measured_row<mp::ds::NatarajanTree<S>>(name.c_str(), threads, size, \

@@ -71,36 +71,51 @@ class CowAvlTree {
   Scheme& scheme() noexcept { return smr_; }
   const Scheme& scheme() const noexcept { return smr_; }
 
-  // Typed-handle overloads (smr/handle.hpp): preferred entry points; the
-  // raw-tid forms remain for existing callers pending the next major
-  // cleanup.
+  // Typed-handle entry points (smr/handle.hpp). Readers are lock-free;
+  // writers serialize on the writer mutex.
   using Handle = smr::ThreadHandle<Scheme>;
 
   bool contains(Handle handle, Key key) {
     assert(&handle.scheme() == &smr_);
-    return contains(handle.tid(), key);
+    return do_contains(handle.tid(), key);
   }
   bool get(Handle handle, Key key, Value& value_out) {
     assert(&handle.scheme() == &smr_);
-    return get(handle.tid(), key, value_out);
+    return do_get(handle.tid(), key, value_out);
   }
   bool insert(Handle handle, Key key, Value value) {
     assert(&handle.scheme() == &smr_);
-    return insert(handle.tid(), key, value);
+    return do_insert(handle.tid(), key, value);
   }
   bool remove(Handle handle, Key key) {
     assert(&handle.scheme() == &smr_);
-    return remove(handle.tid(), key);
+    return do_remove(handle.tid(), key);
   }
 
+  // Deprecated raw-tid overloads: still working, but mint a ThreadHandle
+  // (scheme().handle(tid)) instead.
+  [[deprecated("use the ThreadHandle overload")]]
+  bool contains(int tid, Key key) { return do_contains(tid, key); }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool get(int tid, Key key, Value& value_out) {
+    return do_get(tid, key, value_out);
+  }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool insert(int tid, Key key, Value value) {
+    return do_insert(tid, key, value);
+  }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool remove(int tid, Key key) { return do_remove(tid, key); }
+
+ private:
   // ---- Readers: lock-free ----
 
-  bool contains(int tid, Key key) {
+  bool do_contains(int tid, Key key) {
     Value ignored;
-    return get(tid, key, ignored);
+    return do_get(tid, key, ignored);
   }
 
-  bool get(int tid, Key key, Value& value_out) {
+  bool do_get(int tid, Key key, Value& value_out) {
     smr::OpGuard<Scheme> guard(smr_, tid);
   retry:
     const TaggedPtr root_word = smr_.read(tid, kRootSlot, root_);
@@ -125,7 +140,7 @@ class CowAvlTree {
 
   // ---- Writers: serialized, persistent path copy + rotations ----
 
-  bool insert(int tid, Key key, Value value) {
+  bool do_insert(int tid, Key key, Value value) {
     std::lock_guard lock(writer_mutex_);
     smr::OpGuard<Scheme> guard(smr_, tid);
     Node* root = root_.load(std::memory_order_relaxed).template ptr<Node>();
@@ -137,7 +152,7 @@ class CowAvlTree {
     return true;
   }
 
-  bool remove(int tid, Key key) {
+  bool do_remove(int tid, Key key) {
     std::lock_guard lock(writer_mutex_);
     smr::OpGuard<Scheme> guard(smr_, tid);
     Node* root = root_.load(std::memory_order_relaxed).template ptr<Node>();
@@ -148,6 +163,8 @@ class CowAvlTree {
     publish(tid, next_root);
     return true;
   }
+
+ public:
 
   // ---- Single-threaded helpers ----
 

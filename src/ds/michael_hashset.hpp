@@ -78,49 +78,17 @@ class MichaelHashSet {
   const Scheme& scheme() const noexcept { return smr_; }
   std::size_t bucket_count() const noexcept { return bucket_count_; }
 
-  // Typed-handle overloads (smr/handle.hpp): preferred entry points; the
-  // raw-tid forms remain for existing callers pending the next major
-  // cleanup.
+  // Typed-handle entry points (smr/handle.hpp).
   using Handle = smr::ThreadHandle<Scheme>;
 
   bool contains(Handle handle, Key key) {
     assert(&handle.scheme() == &smr_);
-    return contains(handle.tid(), key);
+    return do_contains(handle.tid(), key);
   }
   bool get(Handle handle, Key key, Value& value_out) {
     assert(&handle.scheme() == &smr_);
-    return get(handle.tid(), key, value_out);
+    return do_get(handle.tid(), key, value_out);
   }
-  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
-                       Value* values, bool* found) {
-    assert(&handle.scheme() == &smr_);
-    return get_many(handle.tid(), keys, count, values, found);
-  }
-  bool insert(Handle handle, Key key, Value value) {
-    assert(&handle.scheme() == &smr_);
-    return insert(handle.tid(), key, value);
-  }
-  bool remove(Handle handle, Key key) {
-    assert(&handle.scheme() == &smr_);
-    return remove(handle.tid(), key);
-  }
-
-  bool contains(int tid, Key key) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    const Seek seek = locate(tid, key);
-    return seek.curr_node->key == key;
-  }
-
-  bool get(int tid, Key key, Value& value_out) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    const Seek seek = locate(tid, key);
-    if (seek.curr_node->key != key) return false;
-    value_out = seek.curr_node->value;
-    return true;
-  }
-
   /// Multi-key lookup under ONE operation bracket (DESIGN.md §12). The
   /// batch runs in chunks of kPrefetchChunk keys with a software-pipelined
   /// warm-up: first each key's bucket head line, then each bucket's first
@@ -130,78 +98,39 @@ class MichaelHashSet {
   /// name; no unprotected dereference happens (prefetching a freed line is
   /// harmless), so SMR safety is untouched. Each key still linearizes at
   /// its own seek, like get(). Returns the hit count.
+  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    assert(&handle.scheme() == &smr_);
+    return do_get_many(handle.tid(), keys, count, values, found);
+  }
+  bool insert(Handle handle, Key key, Value value) {
+    assert(&handle.scheme() == &smr_);
+    return do_insert(handle.tid(), key, value);
+  }
+  bool remove(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return do_remove(handle.tid(), key);
+  }
+
+  // Deprecated raw-tid overloads: still working, but mint a ThreadHandle
+  // (scheme().handle(tid)) instead.
+  [[deprecated("use the ThreadHandle overload")]]
+  bool contains(int tid, Key key) { return do_contains(tid, key); }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool get(int tid, Key key, Value& value_out) {
+    return do_get(tid, key, value_out);
+  }
+  [[deprecated("use the ThreadHandle overload")]]
   std::size_t get_many(int tid, const Key* keys, std::size_t count,
                        Value* values, bool* found) {
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    std::size_t hits = 0;
-    for (std::size_t base = 0; base < count; base += kPrefetchChunk) {
-      const std::size_t n =
-          count - base < kPrefetchChunk ? count - base : kPrefetchChunk;
-      Node* heads[kPrefetchChunk];
-      for (std::size_t j = 0; j < n; ++j) {
-        heads[j] = heads_[bucket_of(keys[base + j])].head;
-        __builtin_prefetch(&heads[j]->next);
-      }
-      for (std::size_t j = 0; j < n; ++j) {
-        __builtin_prefetch(heads[j]
-                               ->next.load(std::memory_order_relaxed)
-                               .template ptr<Node>());
-      }
-      for (std::size_t j = 0; j < n; ++j) {
-        const std::size_t i = base + j;
-        assert(keys[i] > kMinKey && keys[i] < kMaxKey);
-        const Seek seek = locate(tid, keys[i]);
-        const bool hit = seek.curr_node->key == keys[i];
-        found[i] = hit;
-        if (hit) {
-          values[i] = seek.curr_node->value;
-          ++hits;
-        }
-      }
-    }
-    return hits;
+    return do_get_many(tid, keys, count, values, found);
   }
-
+  [[deprecated("use the ThreadHandle overload")]]
   bool insert(int tid, Key key, Value value) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    while (true) {
-      const Seek seek = locate(tid, key);
-      if (seek.curr_node->key == key) return false;
-      Node* node = smr_.alloc(tid, key, value);
-      node->next.store(smr_.make_link(seek.curr_node));
-      TaggedPtr expected = seek.curr;
-      if (seek.prev_link->compare_exchange_strong(expected,
-                                                  smr_.make_link(node))) {
-        return true;
-      }
-      smr_.delete_unlinked(tid, node);
-    }
+    return do_insert(tid, key, value);
   }
-
-  bool remove(int tid, Key key) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    while (true) {
-      const Seek seek = locate(tid, key);
-      if (seek.curr_node->key != key) return false;
-      const TaggedPtr successor =
-          smr_.read(tid, seek.next_slot, seek.curr_node->next);
-      if (successor.mark() != 0) continue;
-      TaggedPtr expected = successor;
-      if (!seek.curr_node->next.compare_exchange_strong(
-              expected, successor.with_mark(1))) {
-        continue;
-      }
-      expected = seek.curr;
-      if (seek.prev_link->compare_exchange_strong(expected, successor)) {
-        smr_.retire(tid, seek.curr_node);
-      } else {
-        locate(tid, key);
-      }
-      return true;
-    }
-  }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool remove(int tid, Key key) { return do_remove(tid, key); }
 
   // ---- Single-threaded helpers ----
 
@@ -237,6 +166,95 @@ class MichaelHashSet {
   /// saturate typical miss-level parallelism without spilling the warm-up
   /// array out of registers/L1.
   static constexpr std::size_t kPrefetchChunk = 16;
+
+  bool do_contains(int tid, Key key) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    const Seek seek = locate(tid, key);
+    return seek.curr_node->key == key;
+  }
+
+  bool do_get(int tid, Key key, Value& value_out) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    const Seek seek = locate(tid, key);
+    if (seek.curr_node->key != key) return false;
+    value_out = seek.curr_node->value;
+    return true;
+  }
+
+  std::size_t do_get_many(int tid, const Key* keys, std::size_t count,
+                          Value* values, bool* found) {
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    std::size_t hits = 0;
+    for (std::size_t base = 0; base < count; base += kPrefetchChunk) {
+      const std::size_t n =
+          count - base < kPrefetchChunk ? count - base : kPrefetchChunk;
+      Node* heads[kPrefetchChunk];
+      for (std::size_t j = 0; j < n; ++j) {
+        heads[j] = heads_[bucket_of(keys[base + j])].head;
+        __builtin_prefetch(&heads[j]->next);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        __builtin_prefetch(heads[j]
+                               ->next.load(std::memory_order_relaxed)
+                               .template ptr<Node>());
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t i = base + j;
+        assert(keys[i] > kMinKey && keys[i] < kMaxKey);
+        const Seek seek = locate(tid, keys[i]);
+        const bool hit = seek.curr_node->key == keys[i];
+        found[i] = hit;
+        if (hit) {
+          values[i] = seek.curr_node->value;
+          ++hits;
+        }
+      }
+    }
+    return hits;
+  }
+
+  bool do_insert(int tid, Key key, Value value) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    while (true) {
+      const Seek seek = locate(tid, key);
+      if (seek.curr_node->key == key) return false;
+      Node* node = smr_.alloc(tid, key, value);
+      node->next.store(smr_.make_link(seek.curr_node));
+      TaggedPtr expected = seek.curr;
+      if (seek.prev_link->compare_exchange_strong(expected,
+                                                  smr_.make_link(node))) {
+        return true;
+      }
+      smr_.delete_unlinked(tid, node);
+    }
+  }
+
+  bool do_remove(int tid, Key key) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    while (true) {
+      const Seek seek = locate(tid, key);
+      if (seek.curr_node->key != key) return false;
+      const TaggedPtr successor =
+          smr_.read(tid, seek.next_slot, seek.curr_node->next);
+      if (successor.mark() != 0) continue;
+      TaggedPtr expected = successor;
+      if (!seek.curr_node->next.compare_exchange_strong(
+              expected, successor.with_mark(1))) {
+        continue;
+      }
+      expected = seek.curr;
+      if (seek.prev_link->compare_exchange_strong(expected, successor)) {
+        smr_.retire(tid, seek.curr_node);
+      } else {
+        locate(tid, key);
+      }
+      return true;
+    }
+  }
 
   struct Bucket {
     Node* head = nullptr;

@@ -75,124 +75,64 @@ class MichaelList {
 
   // ---- Typed-handle API (smr/handle.hpp) ----
   //
-  // Preferred entry points: the handle binds (scheme, tid) into one value,
-  // so a tid can't be paired with the wrong scheme instance. The raw-tid
-  // overloads below remain for existing callers and are slated for removal
-  // in the next major cleanup.
+  // The entry points: the handle binds (scheme, tid) into one value, so a
+  // tid can't be paired with the wrong scheme instance.
   using Handle = smr::ThreadHandle<Scheme>;
 
+  /// Set membership. Linearizes at the seek's final clean pointer load.
   bool contains(Handle handle, Key key) {
     assert(&handle.scheme() == &smr_);
-    return contains(handle.tid(), key);
+    return do_contains(handle.tid(), key);
   }
+  /// Lookup with value copy-out.
   bool get(Handle handle, Key key, Value& value_out) {
     assert(&handle.scheme() == &smr_);
-    return get(handle.tid(), key, value_out);
+    return do_get(handle.tid(), key, value_out);
   }
-  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
-                       Value* values, bool* found) {
-    assert(&handle.scheme() == &smr_);
-    return get_many(handle.tid(), keys, count, values, found);
-  }
-  bool insert(Handle handle, Key key, Value value) {
-    assert(&handle.scheme() == &smr_);
-    return insert(handle.tid(), key, value);
-  }
-  bool remove(Handle handle, Key key) {
-    assert(&handle.scheme() == &smr_);
-    return remove(handle.tid(), key);
-  }
-
-  /// Set membership. Linearizes at the seek's final clean pointer load.
-  bool contains(int tid, Key key) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    const Seek seek = locate(tid, key);
-    return seek.curr_node->key == key;
-  }
-
-  /// Lookup with value copy-out.
-  bool get(int tid, Key key, Value& value_out) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    const Seek seek = locate(tid, key);
-    if (seek.curr_node->key != key) return false;
-    value_out = seek.curr_node->value;
-    return true;
-  }
-
   /// Multi-key lookup under ONE start_op/end_op bracket (DESIGN.md §12):
   /// found[i] says whether keys[i] was present and values[i] holds its
   /// value when it was. Returns the hit count. Each key linearizes at its
   /// own seek's final clean pointer load, exactly like get(); the batch is
   /// NOT atomic across keys — it just amortizes the operation bracket
   /// (fences, epoch announcement) over the whole batch.
+  std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    assert(&handle.scheme() == &smr_);
+    return do_get_many(handle.tid(), keys, count, values, found);
+  }
+  /// Insert key; returns false if already present.
+  bool insert(Handle handle, Key key, Value value) {
+    assert(&handle.scheme() == &smr_);
+    return do_insert(handle.tid(), key, value);
+  }
+  /// Remove key; returns false if absent.
+  bool remove(Handle handle, Key key) {
+    assert(&handle.scheme() == &smr_);
+    return do_remove(handle.tid(), key);
+  }
+
+  // ---- Deprecated raw-tid overloads ----
+  //
+  // Still working, but a bare tid carries no proof it belongs to this
+  // scheme instance; mint a ThreadHandle (scheme().handle(tid)) or use an
+  // OperationScope/Guard instead.
+  [[deprecated("use the ThreadHandle overload")]]
+  bool contains(int tid, Key key) { return do_contains(tid, key); }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool get(int tid, Key key, Value& value_out) {
+    return do_get(tid, key, value_out);
+  }
+  [[deprecated("use the ThreadHandle overload")]]
   std::size_t get_many(int tid, const Key* keys, std::size_t count,
                        Value* values, bool* found) {
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    std::size_t hits = 0;
-    for (std::size_t i = 0; i < count; ++i) {
-      assert(keys[i] > kMinKey && keys[i] < kMaxKey);
-      const Seek seek = locate(tid, keys[i]);
-      const bool hit = seek.curr_node->key == keys[i];
-      found[i] = hit;
-      if (hit) {
-        values[i] = seek.curr_node->value;
-        ++hits;
-      }
-    }
-    return hits;
+    return do_get_many(tid, keys, count, values, found);
   }
-
-  /// Insert key; returns false if already present.
+  [[deprecated("use the ThreadHandle overload")]]
   bool insert(int tid, Key key, Value value) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    while (true) {
-      const Seek seek = locate(tid, key);
-      if (seek.curr_node->key == key) return false;
-      // The MP search interval is now (pred, succ); alloc assigns the
-      // midpoint index (Listing 5).
-      Node* node = smr_.alloc(tid, key, value);
-      node->next.store(smr_.make_link(seek.curr_node));
-      TaggedPtr expected = seek.curr;
-      if (seek.prev_link->compare_exchange_strong(expected,
-                                                  smr_.make_link(node))) {
-        return true;
-      }
-      // Lost the race; the node was never published.
-      smr_.delete_unlinked(tid, node);
-    }
+    return do_insert(tid, key, value);
   }
-
-  /// Remove key; returns false if absent.
-  bool remove(int tid, Key key) {
-    assert(key > kMinKey && key < kMaxKey);
-    smr::OpGuard<Scheme> guard(smr_, tid);
-    while (true) {
-      const Seek seek = locate(tid, key);
-      if (seek.curr_node->key != key) return false;
-      // Logical deletion: mark the victim's next word. Exactly one thread
-      // wins this CAS per node lifetime.
-      const TaggedPtr successor =
-          smr_.read(tid, seek.next_slot, seek.curr_node->next);
-      if (successor.mark() != 0) continue;  // someone else is deleting it
-      TaggedPtr expected = successor;
-      if (!seek.curr_node->next.compare_exchange_strong(
-              expected, successor.with_mark(1))) {
-        continue;
-      }
-      // Physical removal; on failure a concurrent seek will splice it out
-      // (and that seek retires it).
-      expected = seek.curr;
-      if (seek.prev_link->compare_exchange_strong(expected, successor)) {
-        smr_.retire(tid, seek.curr_node);
-      } else {
-        locate(tid, key);
-      }
-      return true;
-    }
-  }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool remove(int tid, Key key) { return do_remove(tid, key); }
 
   // ---- Single-threaded helpers for tests and examples ----
 
@@ -240,6 +180,87 @@ class MichaelList {
 
  private:
   using TaggedPtr = smr::TaggedPtr;
+
+  bool do_contains(int tid, Key key) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    const Seek seek = locate(tid, key);
+    return seek.curr_node->key == key;
+  }
+
+  bool do_get(int tid, Key key, Value& value_out) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    const Seek seek = locate(tid, key);
+    if (seek.curr_node->key != key) return false;
+    value_out = seek.curr_node->value;
+    return true;
+  }
+
+  std::size_t do_get_many(int tid, const Key* keys, std::size_t count,
+                          Value* values, bool* found) {
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      assert(keys[i] > kMinKey && keys[i] < kMaxKey);
+      const Seek seek = locate(tid, keys[i]);
+      const bool hit = seek.curr_node->key == keys[i];
+      found[i] = hit;
+      if (hit) {
+        values[i] = seek.curr_node->value;
+        ++hits;
+      }
+    }
+    return hits;
+  }
+
+  bool do_insert(int tid, Key key, Value value) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    while (true) {
+      const Seek seek = locate(tid, key);
+      if (seek.curr_node->key == key) return false;
+      // The MP search interval is now (pred, succ); alloc assigns the
+      // midpoint index (Listing 5).
+      Node* node = smr_.alloc(tid, key, value);
+      node->next.store(smr_.make_link(seek.curr_node));
+      TaggedPtr expected = seek.curr;
+      if (seek.prev_link->compare_exchange_strong(expected,
+                                                  smr_.make_link(node))) {
+        return true;
+      }
+      // Lost the race; the node was never published.
+      smr_.delete_unlinked(tid, node);
+    }
+  }
+
+  bool do_remove(int tid, Key key) {
+    assert(key > kMinKey && key < kMaxKey);
+    smr::OpGuard<Scheme> guard(smr_, tid);
+    while (true) {
+      const Seek seek = locate(tid, key);
+      if (seek.curr_node->key != key) return false;
+      // Logical deletion: mark the victim's next word. Exactly one thread
+      // wins this CAS per node lifetime.
+      const TaggedPtr successor =
+          smr_.read(tid, seek.next_slot, seek.curr_node->next);
+      if (successor.mark() != 0) continue;  // someone else is deleting it
+      TaggedPtr expected = successor;
+      if (!seek.curr_node->next.compare_exchange_strong(
+              expected, successor.with_mark(1))) {
+        continue;
+      }
+      // Physical removal; on failure a concurrent seek will splice it out
+      // (and that seek retires it).
+      expected = seek.curr;
+      if (seek.prev_link->compare_exchange_strong(expected, successor)) {
+        smr_.retire(tid, seek.curr_node);
+      } else {
+        locate(tid, key);
+      }
+      return true;
+    }
+  }
 
   struct Seek {
     smr::AtomicTaggedPtr* prev_link;  ///< &pred->next

@@ -103,34 +103,57 @@ class NatarajanTree {
   Scheme& scheme() noexcept { return smr_; }
   const Scheme& scheme() const noexcept { return smr_; }
 
-  // Typed-handle overloads (smr/handle.hpp): preferred entry points; the
-  // raw-tid forms remain for existing callers pending the next major
-  // cleanup.
+  // Typed-handle entry points (smr/handle.hpp).
   using Handle = smr::ThreadHandle<Scheme>;
 
   bool contains(Handle handle, Key key) {
     assert(&handle.scheme() == &smr_);
-    return contains(handle.tid(), key);
+    return do_contains(handle.tid(), key);
   }
   bool get(Handle handle, Key key, Value& value_out) {
     assert(&handle.scheme() == &smr_);
-    return get(handle.tid(), key, value_out);
+    return do_get(handle.tid(), key, value_out);
   }
+  /// Multi-key lookup under ONE operation bracket (DESIGN.md §12): K seeks
+  /// share a single start_op/end_op. Each key linearizes at its own seek,
+  /// like get(); the batch is not atomic across keys. found[i] / values[i]
+  /// mirror get()'s out-params; returns the hit count.
   std::size_t get_many(Handle handle, const Key* keys, std::size_t count,
                        Value* values, bool* found) {
     assert(&handle.scheme() == &smr_);
-    return get_many(handle.tid(), keys, count, values, found);
+    return do_get_many(handle.tid(), keys, count, values, found);
   }
   bool insert(Handle handle, Key key, Value value) {
     assert(&handle.scheme() == &smr_);
-    return insert(handle.tid(), key, value);
+    return do_insert(handle.tid(), key, value);
   }
   bool remove(Handle handle, Key key) {
     assert(&handle.scheme() == &smr_);
-    return remove(handle.tid(), key);
+    return do_remove(handle.tid(), key);
   }
 
-  bool contains(int tid, Key key) {
+  // Deprecated raw-tid overloads: still working, but mint a ThreadHandle
+  // (scheme().handle(tid)) instead.
+  [[deprecated("use the ThreadHandle overload")]]
+  bool contains(int tid, Key key) { return do_contains(tid, key); }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool get(int tid, Key key, Value& value_out) {
+    return do_get(tid, key, value_out);
+  }
+  [[deprecated("use the ThreadHandle overload")]]
+  std::size_t get_many(int tid, const Key* keys, std::size_t count,
+                       Value* values, bool* found) {
+    return do_get_many(tid, keys, count, values, found);
+  }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool insert(int tid, Key key, Value value) {
+    return do_insert(tid, key, value);
+  }
+  [[deprecated("use the ThreadHandle overload")]]
+  bool remove(int tid, Key key) { return do_remove(tid, key); }
+
+ private:
+  bool do_contains(int tid, Key key) {
     assert(key < kInf0);
     smr::OpGuard<Scheme> guard(smr_, tid);
     SeekRecord sr;
@@ -138,7 +161,7 @@ class NatarajanTree {
     return sr.leaf->key == key;
   }
 
-  bool get(int tid, Key key, Value& value_out) {
+  bool do_get(int tid, Key key, Value& value_out) {
     assert(key < kInf0);
     smr::OpGuard<Scheme> guard(smr_, tid);
     SeekRecord sr;
@@ -148,12 +171,8 @@ class NatarajanTree {
     return true;
   }
 
-  /// Multi-key lookup under ONE operation bracket (DESIGN.md §12): K seeks
-  /// share a single start_op/end_op. Each key linearizes at its own seek,
-  /// like get(); the batch is not atomic across keys. found[i] / values[i]
-  /// mirror get()'s out-params; returns the hit count.
-  std::size_t get_many(int tid, const Key* keys, std::size_t count,
-                       Value* values, bool* found) {
+  std::size_t do_get_many(int tid, const Key* keys, std::size_t count,
+                          Value* values, bool* found) {
     smr::OpGuard<Scheme> guard(smr_, tid);
     std::size_t hits = 0;
     SeekRecord sr;
@@ -170,7 +189,7 @@ class NatarajanTree {
     return hits;
   }
 
-  bool insert(int tid, Key key, Value value) {
+  bool do_insert(int tid, Key key, Value value) {
     assert(key < kInf0);
     smr::OpGuard<Scheme> guard(smr_, tid);
     SeekRecord sr;
@@ -215,7 +234,7 @@ class NatarajanTree {
     }
   }
 
-  bool remove(int tid, Key key) {
+  bool do_remove(int tid, Key key) {
     assert(key < kInf0);
     smr::OpGuard<Scheme> guard(smr_, tid);
     SeekRecord sr;
@@ -253,6 +272,7 @@ class NatarajanTree {
     }
   }
 
+ public:
   // ---- Single-threaded helpers for tests and examples ----
 
   /// Number of client keys. Not linearizable.

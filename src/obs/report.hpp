@@ -58,10 +58,15 @@ inline constexpr const char* kReportSchema = "marginptr-bench-report";
 /// max_pause_ns high-water, "config" gained scan_quantum, and latency
 /// histograms gained an explicit "p100" alias of "max" so tail-gate
 /// tooling can key on percentile names uniformly.
+/// v8 added the capability-split scheme API (DESIGN.md §13): rows may carry
+/// the scheme's compile-time capability flags
+///   "capabilities": { "snapshot_free": b, "bounded_waste": b, "robust": b }
+/// so report consumers can group schemes by reclamation capability without
+/// a name table.
 /// validate_report still accepts older documents (they predate churn mode /
 /// the pool / the background reclaimer / the sharded service / resilience /
-/// deamortization).
-inline constexpr std::uint64_t kReportVersion = 7;
+/// deamortization / the capability flags).
+inline constexpr std::uint64_t kReportVersion = 8;
 inline constexpr std::uint64_t kMinReportVersion = 1;
 
 inline json::Value to_json(const smr::StatsSnapshot& s) {
@@ -380,6 +385,23 @@ inline std::string validate_report(const json::Value& root) {
     }
     if (const json::Value* waste = row.find("waste"); waste != nullptr) {
       detail::check_waste(*waste, error);
+    }
+    // v8: the scheme's compile-time capability flags.
+    if (const json::Value* caps = row.find("capabilities");
+        caps != nullptr) {
+      if (detail::check(ver >= 8 && caps->is_object(),
+                        "row 'capabilities' requires version >= 8 and an "
+                        "object",
+                        error)) {
+        for (const char* key :
+             {"snapshot_free", "bounded_waste", "robust"}) {
+          const json::Value* field = caps->find(key);
+          detail::check(field != nullptr && field->is_bool(),
+                        std::string("capabilities missing bool '") + key +
+                            "'",
+                        error);
+        }
+      }
     }
     // v5: per-shard domain breakdown. Each entry mirrors a standalone
     // row's stats/waste, keyed by its shard index.

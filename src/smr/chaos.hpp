@@ -314,10 +314,16 @@ class WasteWatchdog {
 
   /// Theoretical per-thread bound for this scheme under its Config
   /// (including the deamortized carry-over term when scan_quantum != 0).
+  /// Snapshot-free schemes never run the scan cursor (Config rejects a
+  /// nonzero scan_quantum for them), so their base bound applies as-is.
   std::uint64_t bound() const noexcept {
-    return deamortized_waste_bound(
-        Scheme::waste_bound_per_thread(scheme_.config()),
-        scheme_.config().scan_quantum);
+    if constexpr (Scheme::kSnapshotFree) {
+      return Scheme::waste_bound_per_thread(scheme_.config());
+    } else {
+      return deamortized_waste_bound(
+          Scheme::waste_bound_per_thread(scheme_.config()),
+          scheme_.config().scan_quantum);
+    }
   }
 
   /// Highest retired-list high-water observed by any thread so far.

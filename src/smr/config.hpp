@@ -230,6 +230,19 @@ struct Config {
     }
   }
 
+  /// Additional constraint for snapshot-free schemes (kSnapshotFree — e.g.
+  /// Hyaline): they reclaim through reference-counted handover and never
+  /// run a protection-snapshot scan, so options that parameterize that scan
+  /// would be silent no-ops. Reject them loudly instead; called by every
+  /// snapshot-free scheme's constructor with its kName.
+  void validate_snapshot_free(const char* scheme) const {
+    if (scan_quantum != 0) {
+      fail(std::string(scheme) +
+           " is snapshot-free: scan_quantum drives the snapshot-scan cursor, "
+           "which this scheme never runs — set it to 0");
+    }
+  }
+
  private:
   [[noreturn]] static void fail(const std::string& why) {
     throw std::invalid_argument("smr::Config: " + why);

@@ -612,6 +612,16 @@ class SchemeBase {
   // every queued batch against it. Defaults give Leaky semantics — an
   // empty snapshot that protects everything, so nothing is ever freed;
   // every reclaiming scheme shadows all three.
+  //
+  // Capability trait (smr.hpp's SnapshotReclaimable): a scheme that
+  // reclaims without any snapshot pass — Hyaline's reference-counted
+  // handover — shadows kSnapshotFree with true and may define
+  // `using Snapshot = void;`. The ScanCursor, the background reclaimer's
+  // scan, and the waste watchdog's deamortized bound all dispatch on this
+  // via `if constexpr`, so the snapshot machinery is never instantiated
+  // for such a scheme.
+
+  static constexpr bool kSnapshotFree = false;
 
   struct Snapshot {};
   void collect_snapshot(Snapshot& /*snapshot*/) const noexcept {}
@@ -929,11 +939,21 @@ class SchemeBase {
   void run_reclaim_increment(int tid, bool incremental) {
     auto& stats = *stats_[tid];
     const std::uint64_t start = pause_clock_ns();
-    if (incremental) {
-      if (!local_[tid]->cursor.active) cursor_begin_pass(tid);
-      cursor_step(tid);
-    } else {
+    if constexpr (Derived::kSnapshotFree) {
+      // Snapshot-free schemes have no scan to deamortize: every pass is
+      // the scheme's own bounded handover (Config rejects a nonzero
+      // scan_quantum for them, so `incremental` is always false here —
+      // the discarded branch below would instantiate the cursor's
+      // `new Snapshot()` against Snapshot = void).
+      (void)incremental;
       derived().empty(tid);
+    } else {
+      if (incremental) {
+        if (!local_[tid]->cursor.active) cursor_begin_pass(tid);
+        cursor_step(tid);
+      } else {
+        derived().empty(tid);
+      }
     }
     stats.bump_max(stats.max_pause_ns, pause_clock_ns() - start);
   }

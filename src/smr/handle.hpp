@@ -9,9 +9,9 @@
 //
 // The handle is a trivially copyable two-word view — no ownership, no
 // registration side effects — so it can be passed by value through the
-// data-structure layer at zero cost. The raw-tid overloads remain on every
-// API (the data structures and harness delegate to them); they are slated
-// for removal in the next major cleanup.
+// data-structure layer at zero cost. The data structures' raw-tid
+// overloads are [[deprecated]] forwarders now; new code should mint a
+// handle and use the ThreadHandle overloads.
 #pragma once
 
 #include <utility>

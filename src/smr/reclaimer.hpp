@@ -239,25 +239,49 @@ class BackgroundReclaimer {
     // Reaching here implies a retire() or detach() ran, i.e. the derived
     // scheme finished constructing: the hook calls below are safe even
     // though the thread itself started in the base-class constructor.
-    typename Scheme::Snapshot snapshot;
-    scheme_.collect_snapshot(snapshot);
-    bg_stats_.bump(bg_stats_.bg_snapshots);
-    bg_stats_.bump_max(bg_stats_.peak_inflight, inflight());
-    if (quantum_ == 0) {
-      // Legacy monolithic pass: one uninterrupted scan under the mutex.
-      std::uint64_t freed = 0;
+    if constexpr (Scheme::kSnapshotFree) {
+      // Snapshot-free arm (Hyaline): there is nothing to scan — every node
+      // is handed over to the scheme's own reference-counted reclamation
+      // path, which frees it as soon as the operations concurrent with its
+      // retirement finish. No bg_snapshots bump: no snapshot was taken.
+      bg_stats_.bump_max(bg_stats_.peak_inflight, inflight());
+      std::uint64_t handed = 0;
       if (!backlog_.empty()) {
-        freed += scan_backlog(snapshot);
+        handed += backlog_.size();
+        scheme_.bg_reclaim_nodes(backlog_);
       }
       while (batch != nullptr) {
         RetiredBatch<Node>* next = batch->next;
-        freed += scan_batch(batch, snapshot);
+        handed += batch->nodes.size();
+        scheme_.bg_reclaim_nodes(batch->nodes);
+        scheme_.recycle_batch_shell(batch);
         batch = next;
       }
-      if (freed != 0) inflight_.fetch_sub(freed, std::memory_order_relaxed);
+      if (handed != 0) inflight_.fetch_sub(handed, std::memory_order_relaxed);
+      bg_stats_.bump(bg_stats_.bg_scans);
+      scheme_.bg_trace(obs::TraceEvent::kBgScan, handed);
       return;
+    } else {
+      typename Scheme::Snapshot snapshot;
+      scheme_.collect_snapshot(snapshot);
+      bg_stats_.bump(bg_stats_.bg_snapshots);
+      bg_stats_.bump_max(bg_stats_.peak_inflight, inflight());
+      if (quantum_ == 0) {
+        // Legacy monolithic pass: one uninterrupted scan under the mutex.
+        std::uint64_t freed = 0;
+        if (!backlog_.empty()) {
+          freed += scan_backlog(snapshot);
+        }
+        while (batch != nullptr) {
+          RetiredBatch<Node>* next = batch->next;
+          freed += scan_batch(batch, snapshot);
+          batch = next;
+        }
+        if (freed != 0) inflight_.fetch_sub(freed, std::memory_order_relaxed);
+        return;
+      }
+      chunked_scan(lock, batch, snapshot);
     }
-    chunked_scan(lock, batch, snapshot);
   }
 
   /// Deamortized arm of pass(): splice every queued batch into the backlog
@@ -266,9 +290,13 @@ class BackgroundReclaimer {
   /// dropping and re-taking pass_mutex_ between chunks. New offloads land
   /// in queue_ (picked up by the NEXT pass), so only drain_pending() can
   /// mutate the backlog at a yield point — detected via backlog_gen_.
+  /// Templated on the snapshot type (not `typename Scheme::Snapshot`
+  /// directly): snapshot-free schemes define Snapshot = void, and a void
+  /// parameter in a member declaration would be ill-formed at class
+  /// instantiation even though the function is never called.
+  template <typename Snapshot>
   void chunked_scan(std::unique_lock<std::mutex>& lock,
-                    RetiredBatch<Node>* batch,
-                    const typename Scheme::Snapshot& snapshot) {
+                    RetiredBatch<Node>* batch, const Snapshot& snapshot) {
     while (batch != nullptr) {
       RetiredBatch<Node>* next = batch->next;
       backlog_.insert(backlog_.end(), batch->nodes.begin(),
@@ -319,7 +347,8 @@ class BackgroundReclaimer {
   }
 
   /// In-place compaction of the carried-over backlog against `snapshot`.
-  std::uint64_t scan_backlog(const typename Scheme::Snapshot& snapshot) {
+  template <typename Snapshot>
+  std::uint64_t scan_backlog(const Snapshot& snapshot) {
     std::size_t keep = 0;
     for (Node* node : backlog_) {
       if (scheme_.snapshot_protects(node, snapshot)) {
@@ -337,8 +366,9 @@ class BackgroundReclaimer {
 
   /// Scan one queued batch: free what the snapshot permits, park the
   /// survivors in the backlog, recycle the emptied shell to its producer.
+  template <typename Snapshot>
   std::uint64_t scan_batch(RetiredBatch<Node>* batch,
-                           const typename Scheme::Snapshot& snapshot) {
+                           const Snapshot& snapshot) {
     std::uint64_t freed = 0;
     for (Node* node : batch->nodes) {
       if (scheme_.snapshot_protects(node, snapshot)) {

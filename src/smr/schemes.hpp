@@ -1,0 +1,61 @@
+// The central per-scheme typelist: the ONE place a new scheme is added.
+//
+// Consumers:
+//   * smr.hpp        — folds the SmrScheme concept static_assert over every
+//                      entry, so interface drift fails at the definition
+//                      site;
+//   * tests/test_util.hpp — instantiates the typed test suites
+//                      (chaos/churn/pool/reclaimer/incremental-scan) from
+//                      the same list;
+//   * bench/harness.hpp — builds the --scheme name registry and dispatcher
+//                      from it, so every comparison bench picks up a new
+//                      scheme without touching the bench bodies.
+//
+// SchemeList carries class templates (one type parameter: the node), not
+// concrete types — consumers apply their own node type or tag wrapper via
+// `apply`/`for_each`.
+#pragma once
+
+#include <cstddef>
+
+#include "smr/dta.hpp"
+#include "smr/ebr.hpp"
+#include "smr/he.hpp"
+#include "smr/hp.hpp"
+#include "smr/hyaline.hpp"
+#include "smr/ibr.hpp"
+#include "smr/leaky.hpp"
+#include "smr/mp.hpp"
+#include "smr/stampit.hpp"
+
+namespace mp::smr {
+
+/// A compile-time list of scheme class templates.
+template <template <typename> class... Ss>
+struct SchemeList {
+  static constexpr std::size_t size = sizeof...(Ss);
+
+  /// Rebind the pack into another template, e.g.
+  /// `AllSchemes::apply<TagTypesOf>` to build ::testing::Types<...>.
+  template <template <template <typename> class...> class F>
+  using apply = F<Ss...>;
+
+  /// Invoke `fn.template operator()<S>()` for every scheme template in the
+  /// list (a generic lambda with an explicit template parameter:
+  /// `[]<template <typename> class S>() { ... }`).
+  template <typename Fn>
+  static constexpr void for_each(Fn&& fn) {
+    (fn.template operator()<Ss>(), ...);
+  }
+};
+
+/// Every scheme, including the non-reclaiming Leaky baseline.
+using AllSchemes =
+    SchemeList<MP, HP, EBR, HE, IBR, DTA, Hyaline, Stampit, Leaky>;
+
+/// The schemes that actually reclaim (conservation/torture suites and the
+/// reclaimer tests exclude Leaky, whose retired list only drains).
+using ReclaimingSchemes =
+    SchemeList<MP, HP, EBR, HE, IBR, DTA, Hyaline, Stampit>;
+
+}  // namespace mp::smr

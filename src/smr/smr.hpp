@@ -22,6 +22,9 @@
 // Schemes:            wasted memory            per-read cost
 //   Leaky             unbounded (never frees)  plain load
 //   EBR               unbounded under stalls   plain load
+//   Stamp-it          unbounded under stalls   plain load; O(1) horizon
+//   Hyaline           unbounded under stalls   plain load; snapshot-free
+//                                              refcounted batch handover
 //   IBR (2GE)         robust, unbounded        load + epoch check
 //   HE                robust, unbounded        load + epoch check (per slot)
 //   DTA               robust†, list-only       load + anchor per k hops
@@ -42,10 +45,13 @@
 #include "smr/handle.hpp"
 #include "smr/he.hpp"
 #include "smr/hp.hpp"
+#include "smr/hyaline.hpp"
 #include "smr/ibr.hpp"
 #include "smr/leaky.hpp"
 #include "smr/mp.hpp"
 #include "smr/node.hpp"
+#include "smr/schemes.hpp"
+#include "smr/stampit.hpp"
 #include "smr/oracle.hpp"
 #include "smr/stats.hpp"
 #include "smr/tagged_ptr.hpp"
@@ -56,29 +62,24 @@ namespace mp::smr {
 template <typename Scheme>
 using OpGuard = detail::OpGuard<Scheme>;
 
-/// The SMR scheme interface as a checkable C++20 concept: the paper's
+/// The core SMR protocol as a checkable C++20 concept: the paper's
 /// Listing 1 surface (start_op/end_op/read/unprotect/alloc/retire/
 /// make_link) plus the base-layer extensions every scheme inherits — the
 /// typed-handle factory, the detach protocol, the epoch/waste
-/// introspection hooks, and the snapshot-scan interface the background
-/// reclaimer drives. Client templates can constrain on `SmrScheme` instead
-/// of relying on duck typing, and each scheme header's static_assert below
-/// turns an interface drift into a compile error at the definition site
-/// rather than deep inside a client instantiation.
+/// introspection hooks, and the per-thread reclamation entry point
+/// (empty). Deliberately says nothing about HOW a scheme reclaims: that is
+/// the capability axis below.
 template <typename S>
-concept SmrScheme =
-    std::default_initializable<typename S::Snapshot> &&
+concept SmrSchemeCore =
     requires(S s, const S cs, typename S::node_type* node,
              const typename S::node_type* cnode, const AtomicTaggedPtr& src,
-             typename S::Snapshot& snapshot,
-             const typename S::Snapshot& csnapshot, const Config& config,
-             int tid, int refno) {
+             const Config& config, int tid, int refno) {
       typename S::node_type;
-      typename S::Snapshot;
-      // Compile-time properties (Table 1).
+      // Compile-time properties (Table 1) and the reclamation capability.
       { S::kName } -> std::convertible_to<const char*>;
       { S::kBoundedWaste } -> std::convertible_to<bool>;
       { S::kRobust } -> std::convertible_to<bool>;
+      { S::kSnapshotFree } -> std::convertible_to<bool>;
       // Listing 1: the per-operation protocol.
       { s.start_op(tid) };
       { s.end_op(tid) };
@@ -97,12 +98,35 @@ concept SmrScheme =
       // build arms (it reports the scheme's own protection state and has
       // no oracle dependency), so the concept holds with SMR_ORACLE OFF.
       { cs.oracle_covers(tid, cnode) } -> std::same_as<bool>;
-      // Snapshot-scan interface (reclaimer.hpp): one hazard/epoch snapshot,
-      // reusable across many retired-batch scans.
-      { cs.collect_snapshot(snapshot) };
-      { cs.snapshot_protects(cnode, csnapshot) } -> std::same_as<bool>;
+      // Per-thread reclamation pass — a snapshot scan or a snapshot-free
+      // handover, the caller doesn't care.
       { s.empty(tid) };
     };
+
+/// The snapshot-scan capability (reclaimer.hpp, the ScanCursor): one
+/// hazard/epoch snapshot, collectable from a const scheme and reusable
+/// across many retired-batch scans. Snapshot-free schemes (Hyaline) define
+/// `Snapshot = void`, which fails every clause here by substitution — that
+/// is the designed signal, not an error.
+template <typename S>
+concept SnapshotReclaimable =
+    std::default_initializable<typename S::Snapshot> &&
+    requires(const S cs, const typename S::node_type* cnode,
+             typename S::Snapshot& snapshot,
+             const typename S::Snapshot& csnapshot) {
+      { cs.collect_snapshot(snapshot) };
+      { cs.snapshot_protects(cnode, csnapshot) } -> std::same_as<bool>;
+    };
+
+/// A complete scheme: the core protocol, plus a coherent reclamation
+/// capability — either it declares itself snapshot-free (and the scan
+/// cursor / background reclaimer / waste watchdog dispatch around the
+/// missing triple via `if constexpr`), or it provides the full snapshot
+/// interface. A scheme that claims kSnapshotFree AND provides the triple
+/// also passes: the trait, not the triple's presence, drives dispatch.
+template <typename S>
+concept SmrScheme =
+    SmrSchemeCore<S> && (S::kSnapshotFree || SnapshotReclaimable<S>);
 
 namespace detail {
 
@@ -111,13 +135,25 @@ struct ConceptProbeNode : NodeBase {
   AtomicTaggedPtr next;
 };
 
-static_assert(SmrScheme<MP<ConceptProbeNode>>);
-static_assert(SmrScheme<HP<ConceptProbeNode>>);
-static_assert(SmrScheme<EBR<ConceptProbeNode>>);
-static_assert(SmrScheme<HE<ConceptProbeNode>>);
-static_assert(SmrScheme<IBR<ConceptProbeNode>>);
-static_assert(SmrScheme<DTA<ConceptProbeNode>>);
-static_assert(SmrScheme<Leaky<ConceptProbeNode>>);
+/// Fold the concept over the central typelist (schemes.hpp): adding a
+/// scheme there is what puts it under the interface check.
+template <template <typename> class... Ss>
+struct ConceptCheck {
+  static_assert((SmrScheme<Ss<ConceptProbeNode>> && ...),
+                "a scheme in smr::AllSchemes does not satisfy SmrScheme");
+  static constexpr bool value = (SmrScheme<Ss<ConceptProbeNode>> && ...);
+};
+
+static_assert(AllSchemes::apply<ConceptCheck>::value);
+
+// The capability split, pinned down where it is defined: Hyaline is the
+// snapshot-free scheme (and genuinely lacks the triple); every snapshot
+// scheme satisfies SnapshotReclaimable.
+static_assert(Hyaline<ConceptProbeNode>::kSnapshotFree);
+static_assert(!SnapshotReclaimable<Hyaline<ConceptProbeNode>>);
+static_assert(SnapshotReclaimable<MP<ConceptProbeNode>>);
+static_assert(SnapshotReclaimable<Stampit<ConceptProbeNode>>);
+static_assert(!Stampit<ConceptProbeNode>::kSnapshotFree);
 
 }  // namespace detail
 

@@ -76,24 +76,25 @@ void reference_model_check(DS& ds, std::uint64_t seed, int ops,
                            std::uint64_t key_range) {
   common::Xoshiro256 rng(seed);
   std::set<std::uint64_t> model;
+  const auto handle = ds.scheme().handle(0);
   for (int i = 0; i < ops; ++i) {
     const std::uint64_t key = 1 + rng.next_below(key_range);
     switch (rng.next() % 3) {
       case 0: {
         const bool expect = model.insert(key).second;
-        ASSERT_EQ(ds.insert(0, key, key * 2), expect)
+        ASSERT_EQ(ds.insert(handle, key, key * 2), expect)
             << "insert(" << key << ") at op " << i;
         break;
       }
       case 1: {
         const bool expect = model.erase(key) > 0;
-        ASSERT_EQ(ds.remove(0, key), expect)
+        ASSERT_EQ(ds.remove(handle, key), expect)
             << "remove(" << key << ") at op " << i;
         break;
       }
       default: {
         const bool expect = model.count(key) > 0;
-        ASSERT_EQ(ds.contains(0, key), expect)
+        ASSERT_EQ(ds.contains(handle, key), expect)
             << "contains(" << key << ") at op " << i;
         break;
       }
@@ -125,17 +126,18 @@ ConcurrentOutcome concurrent_mix_check(DS& ds, int threads, int ops_per_thread,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
+      const auto handle = ds.scheme().handle(t);
       std::uint64_t local_inserts = 0, local_removes = 0;
       barrier.arrive_and_wait();
       for (int i = 0; i < ops_per_thread; ++i) {
         const std::uint64_t key = 1 + rng.next_below(key_range);
         const auto coin = static_cast<int>(rng.next() % 100);
         if (coin < insert_pct) {
-          local_inserts += ds.insert(t, key, key);
+          local_inserts += ds.insert(handle, key, key);
         } else if (coin < insert_pct + remove_pct) {
-          local_removes += ds.remove(t, key);
+          local_removes += ds.remove(handle, key);
         } else {
-          ds.contains(t, key);
+          ds.contains(handle, key);
         }
       }
       inserts.fetch_add(local_inserts);
@@ -159,19 +161,20 @@ void disjoint_stripes_check(DS& ds, int threads, int keys_per_thread) {
   std::atomic<bool> failed{false};
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
+      const auto handle = ds.scheme().handle(t);
       barrier.arrive_and_wait();
       const std::uint64_t base =
           1 + static_cast<std::uint64_t>(t) * keys_per_thread;
       for (int i = 0; i < keys_per_thread; ++i) {
-        if (!ds.insert(t, base + i, t)) failed.store(true);
+        if (!ds.insert(handle, base + i, t)) failed.store(true);
       }
       // Remove the even offsets again.
       for (int i = 0; i < keys_per_thread; i += 2) {
-        if (!ds.remove(t, base + i)) failed.store(true);
+        if (!ds.remove(handle, base + i)) failed.store(true);
       }
       for (int i = 0; i < keys_per_thread; ++i) {
         const bool expect = (i % 2) == 1;
-        if (ds.contains(t, base + i) != expect) failed.store(true);
+        if (ds.contains(handle, base + i) != expect) failed.store(true);
       }
     });
   }
@@ -190,13 +193,14 @@ void single_key_duel_check(DS& ds, int threads, int rounds) {
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
+      const auto handle = ds.scheme().handle(t);
       std::uint64_t local_inserts = 0, local_removes = 0;
       barrier.arrive_and_wait();
       for (int i = 0; i < rounds; ++i) {
         if ((i + t) % 2 == 0) {
-          local_inserts += ds.insert(t, 42, t);
+          local_inserts += ds.insert(handle, 42, t);
         } else {
-          local_removes += ds.remove(t, 42);
+          local_removes += ds.remove(handle, 42);
         }
       }
       inserts.fetch_add(local_inserts);
@@ -206,7 +210,7 @@ void single_key_duel_check(DS& ds, int threads, int rounds) {
   for (auto& worker : workers) worker.join();
   const std::uint64_t diff = inserts.load() - removes.load();
   ASSERT_LE(diff, 1u);
-  EXPECT_EQ(ds.contains(0, 42), diff == 1);
+  EXPECT_EQ(ds.contains(ds.scheme().handle(0), 42), diff == 1);
   EXPECT_TRUE(ds.validate());
 }
 

@@ -143,14 +143,15 @@ TEST(ChaosDeterminism, EndToEndSchemeRunReproducible) {
     mp::ds::MichaelList<mp::smr::MP> list(config);
     injector.set_armed(true);
     mp::common::Xoshiro256 rng(99);
+    const auto handle = list.scheme().handle(0);
     std::uint64_t ooms = 0;
     for (int i = 0; i < 2000; ++i) {
       const std::uint64_t key = 1 + rng.next_below(128);
       try {
         if (rng.next() % 2 == 0) {
-          list.insert(0, key, key);
+          list.insert(handle, key, key);
         } else {
-          list.remove(0, key);
+          list.remove(handle, key);
         }
       } catch (const std::bad_alloc&) {
         ++ooms;
@@ -190,6 +191,7 @@ TortureOutcome torture_mix(DS& ds, FaultInjector& injector, int threads,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       mp::common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
+      const auto handle = ds.scheme().handle(t);
       std::uint64_t local_inserts = 0, local_removes = 0, local_ooms = 0;
       barrier.arrive_and_wait();
       for (int i = 0; i < ops_per_thread; ++i) {
@@ -197,11 +199,11 @@ TortureOutcome torture_mix(DS& ds, FaultInjector& injector, int threads,
         const auto coin = static_cast<int>(rng.next() % 100);
         try {
           if (coin < 45) {
-            local_inserts += ds.insert(t, key, key);
+            local_inserts += ds.insert(handle, key, key);
           } else if (coin < 80) {
-            local_removes += ds.remove(t, key);
+            local_removes += ds.remove(handle, key);
           } else {
-            ds.contains(t, key);
+            ds.contains(handle, key);
           }
         } catch (const std::bad_alloc&) {
           ++local_ooms;
@@ -247,8 +249,9 @@ void survive_torture(std::uint64_t seed, bool background_reclaim = false) {
   oracle.attach(config);
   DS ds(config);
   std::uint64_t prefill = 0;
+  const auto prefill_handle = ds.scheme().handle(0);
   for (std::uint64_t key = 2; key <= 256; key += 2) {
-    prefill += ds.insert(0, key, key);
+    prefill += ds.insert(prefill_handle, key, key);
   }
   const TortureOutcome outcome =
       torture_mix(ds, injector, threads, 4000, 256, seed);
@@ -500,10 +503,11 @@ TEST(SoftCap, BoundedRetireLatencyUnderAllocFailure) {
   injector.set_armed(true);
 
   std::uint64_t ooms = 0, live = 0;
+  const auto handle = list.scheme().handle(0);
   for (std::uint64_t key = 1; key <= 2000; ++key) {
     try {
-      live += list.insert(0, key, key);
-      live -= list.remove(0, key);
+      live += list.insert(handle, key, key);
+      live -= list.remove(handle, key);
     } catch (const std::bad_alloc&) {
       ++ooms;
     }

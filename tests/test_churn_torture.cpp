@@ -106,26 +106,26 @@ ChurnOutcome churn_mix(DS& ds, FaultInjector& injector,
       std::uint64_t local_inserts = 0, local_removes = 0, local_ooms = 0;
       std::uint64_t local_departures = 0;
       ThreadLease lease(registry);
-      int tid = lease.tid();
+      auto handle = ds.scheme().handle(lease.tid());
       barrier.arrive_and_wait();
       for (int i = 0; i < ops_per_thread; ++i) {
         const std::uint64_t key = 1 + rng.next_below(key_range);
         const auto coin = static_cast<int>(rng.next() % 100);
         try {
           if (coin < 45) {
-            local_inserts += ds.insert(tid, key, key);
+            local_inserts += ds.insert(handle, key, key);
           } else if (coin < 80) {
-            local_removes += ds.remove(tid, key);
+            local_removes += ds.remove(handle, key);
           } else {
-            ds.contains(tid, key);
+            ds.contains(handle, key);
           }
         } catch (const std::bad_alloc&) {
           ++local_ooms;
         }
-        if (injector.should_die(tid)) {
+        if (injector.should_die(handle.tid())) {
           lease.detach();  // hook orphans the retired list, clears state
           lease = ThreadLease(registry);
-          tid = lease.tid();
+          handle = ds.scheme().handle(lease.tid());
           ++local_departures;
         }
       }
@@ -183,8 +183,9 @@ void survive_churn(std::uint64_t seed, bool background_reclaim = false) {
   std::uint64_t prefill = 0;
   {
     ThreadLease lease(registry);
+    const auto handle = ds.scheme().handle(lease.tid());
     for (std::uint64_t key = 2; key <= 256; key += 2) {
-      prefill += ds.insert(lease.tid(), key, key);
+      prefill += ds.insert(handle, key, key);
     }
   }
   const ChurnOutcome outcome =

@@ -1,0 +1,329 @@
+// Hyaline (snapshot-free refcounted batch handover): scheme-specific
+// behavior the typed cross-scheme suites cannot pin down.
+//
+//   * handover semantics — a batch handed to an active slot is freed by
+//     that slot's end_op, not before; with no active slots the handing
+//     thread frees immediately;
+//   * conservation (retires == reclaims + drained) in both the foreground
+//     and background arms;
+//   * config coherence — a nonzero scan_quantum is rejected at
+//     construction (there is no snapshot-scan cursor to drive);
+//   * chaos + churn mini-tortures through a real structure, oracle-clean,
+//     with the waste/in-flight watchdog invariants holding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_registry.hpp"
+#include "ds/michael_list.hpp"
+#include "ds_test_util.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using mp::common::ThreadLease;
+using mp::common::ThreadRegistry;
+using mp::smr::ChaosOptions;
+using mp::smr::Config;
+using mp::smr::FaultInjector;
+using mp::smr::WasteWatchdog;
+using mp::test::TestNode;
+
+using Scheme = mp::smr::Hyaline<TestNode>;
+
+static_assert(mp::smr::SmrScheme<Scheme>);
+static_assert(Scheme::kSnapshotFree);
+static_assert(!mp::smr::SnapshotReclaimable<Scheme>);
+
+// ---- Handover semantics ----
+
+TEST(HyalineHandover, BatchWaitsForActiveSlotToLeave) {
+  Config config = mp::test::ds_config(2, 2, 8);
+  Scheme scheme(config);
+  // Slot 1 is mid-operation when tid 0's empty() hands its batch over:
+  // the batch must stay alive until slot 1's end_op drops the reference.
+  scheme.start_op(1);
+  for (int i = 0; i < 8; ++i) {
+    scheme.retire(0, scheme.alloc(0, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_GT(scheme.stats_snapshot().empties, 0u);
+  EXPECT_EQ(scheme.stats_snapshot().reclaims, 0u)
+      << "an active slot must pin every batch handed to it";
+  scheme.end_op(1);
+  EXPECT_EQ(scheme.stats_snapshot().reclaims, 8u)
+      << "leaving the operation must free the handed-over batch";
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+TEST(HyalineHandover, NoActiveSlotsFreesImmediately) {
+  Config config = mp::test::ds_config(2, 2, 8);
+  Scheme scheme(config);
+  for (int i = 0; i < 8; ++i) {
+    scheme.retire(0, scheme.alloc(0, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(scheme.stats_snapshot().reclaims, 8u)
+      << "with every slot inactive the handing thread frees on the spot";
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+TEST(HyalineHandover, LaterBatchesDoNotWaitForEarlierHolders) {
+  Config config = mp::test::ds_config(3, 2, 8);
+  Scheme scheme(config);
+  scheme.start_op(1);
+  for (int i = 0; i < 8; ++i) {
+    scheme.retire(0, scheme.alloc(0, static_cast<std::uint64_t>(i)));
+  }
+  // Slot 2 activates after the first handover; the second batch lands on
+  // both 1 and 2, and slot 2's exit releases only its own references.
+  scheme.start_op(2);
+  for (int i = 0; i < 8; ++i) {
+    scheme.retire(0, scheme.alloc(0, static_cast<std::uint64_t>(100 + i)));
+  }
+  scheme.end_op(2);
+  EXPECT_EQ(scheme.stats_snapshot().reclaims, 0u)
+      << "slot 1 still references both batches";
+  scheme.end_op(1);
+  EXPECT_EQ(scheme.stats_snapshot().reclaims, 16u);
+  EXPECT_EQ(scheme.outstanding(), 0u);
+}
+
+// ---- Config coherence ----
+
+TEST(HyalineConfig, RejectsScanQuantumAtConstruction) {
+  Config config = mp::test::ds_config(1, 2, 8);
+  config.scan_quantum = 4;
+  EXPECT_THROW(Scheme scheme(config), std::invalid_argument);
+}
+
+// ---- Conservation ----
+
+TEST(HyalineConservation, ForegroundStormConservesEveryNode) {
+  Config config = mp::test::ds_config(2, 2, 8);
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
+  Scheme scheme(config);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&scheme, t] {
+      for (int i = 0; i < 3000; ++i) {
+        scheme.start_op(t);
+        scheme.retire(t, scheme.alloc(t, static_cast<std::uint64_t>(i)));
+        scheme.end_op(t);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  scheme.drain();
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
+  EXPECT_EQ(scheme.outstanding(), 0u);
+  oracle.expect_clean();
+}
+
+TEST(HyalineConservation, BackgroundStormConservesEveryNode) {
+  Config config = mp::test::ds_config(2, 2, 8);
+  config.background_reclaim = true;
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
+  Scheme scheme(config);
+  WasteWatchdog<Scheme> watchdog(scheme);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&scheme, t] {
+      for (int i = 0; i < 3000; ++i) {
+        scheme.start_op(t);
+        scheme.retire(t, scheme.alloc(t, static_cast<std::uint64_t>(i)));
+        scheme.end_op(t);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  scheme.drain();
+  EXPECT_EQ(scheme.reclaim_inflight(), 0u);
+  const auto stats = scheme.stats_snapshot();
+  EXPECT_GT(stats.offloaded, 0u) << "the bg arm must actually offload";
+  EXPECT_EQ(stats.bg_snapshots, 0u)
+      << "the snapshot-free bg pass must never collect a snapshot";
+  EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
+  EXPECT_EQ(scheme.outstanding(), 0u);
+  EXPECT_TRUE(watchdog.inflight_ok());
+  oracle.expect_clean();
+}
+
+// ---- Chaos torture through a real structure ----
+
+ChaosOptions hyaline_chaos_options(std::uint64_t seed) {
+  ChaosOptions options;
+  options.seed = seed;
+  options.stall_period = 257;
+  options.stall_iterations = 8;
+  options.alloc_failure_period = 211;
+  options.alloc_failure_burst = 3;
+  options.delay_reclamation_period = 13;
+  options.epoch_storm_period = 131;
+  options.epoch_storm_burst = 5;
+  options.collision_period = 29;
+  return options;
+}
+
+void hyaline_survive_torture(std::uint64_t seed, bool background_reclaim) {
+  using List = mp::ds::MichaelList<mp::smr::Hyaline>;
+  const int threads = 4;
+  FaultInjector injector(hyaline_chaos_options(seed),
+                         static_cast<std::size_t>(threads));
+  injector.set_armed(false);
+  Config config = mp::test::ds_config(threads, List::kRequiredSlots, 8);
+  config.background_reclaim = background_reclaim;
+  config.fault_injector = &injector;
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
+  List list(config);
+  WasteWatchdog<List::Scheme> watchdog(list.scheme());
+  std::uint64_t prefill = 0;
+  {
+    const auto handle = list.scheme().handle(0);
+    for (std::uint64_t key = 2; key <= 256; key += 2) {
+      prefill += list.insert(handle, key, key);
+    }
+  }
+  injector.set_armed(true);
+  std::atomic<std::uint64_t> inserts{0}, removes{0}, ooms{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      mp::common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
+      const auto handle = list.scheme().handle(t);
+      std::uint64_t local_inserts = 0, local_removes = 0, local_ooms = 0;
+      for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(256);
+        const auto coin = static_cast<int>(rng.next() % 100);
+        try {
+          if (coin < 45) {
+            local_inserts += list.insert(handle, key, key);
+          } else if (coin < 80) {
+            local_removes += list.remove(handle, key);
+          } else {
+            list.contains(handle, key);
+          }
+        } catch (const std::bad_alloc&) {
+          ++local_ooms;
+        }
+      }
+      inserts.fetch_add(local_inserts);
+      removes.fetch_add(local_removes);
+      ooms.fetch_add(local_ooms);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  injector.set_armed(false);
+  EXPECT_TRUE(list.validate());
+  EXPECT_EQ(list.size(), prefill + inserts.load() - removes.load());
+  EXPECT_GT(ooms.load(), 0u) << "injected OOM episodes must reach clients";
+  EXPECT_TRUE(watchdog.ok());
+  EXPECT_TRUE(watchdog.inflight_ok());
+  list.scheme().drain();
+  const auto stats = list.scheme().stats_snapshot();
+  EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
+  oracle.expect_clean();
+}
+
+TEST(HyalineTorture, SurvivesChaosMixForeground) {
+  hyaline_survive_torture(0x41, /*background_reclaim=*/false);
+}
+
+TEST(HyalineTorture, SurvivesChaosMixBackground) {
+  hyaline_survive_torture(0x42, /*background_reclaim=*/true);
+}
+
+// ---- Churn torture: thread death, orphaning, adoption ----
+
+void hyaline_survive_churn(std::uint64_t seed, bool background_reclaim) {
+  using List = mp::ds::MichaelList<mp::smr::Hyaline>;
+  const int threads = 4;
+  ChaosOptions options = hyaline_chaos_options(seed);
+  options.thread_death_period = 401;
+  FaultInjector injector(options, static_cast<std::size_t>(threads));
+  injector.set_armed(false);
+  Config config = mp::test::ds_config(threads, List::kRequiredSlots, 8);
+  config.background_reclaim = background_reclaim;
+  config.fault_injector = &injector;
+  mp::test::OracleAttachment oracle;
+  oracle.attach(config);
+  List list(config);
+  ThreadRegistry registry(static_cast<std::size_t>(threads));
+  registry.set_detach_hook(
+      [](void* context, int tid) {
+        static_cast<List::Scheme*>(context)->detach(tid);
+      },
+      &list.scheme());
+  std::uint64_t prefill = 0;
+  {
+    ThreadLease lease(registry);
+    const auto handle = list.scheme().handle(lease.tid());
+    for (std::uint64_t key = 2; key <= 256; key += 2) {
+      prefill += list.insert(handle, key, key);
+    }
+  }
+  injector.set_armed(true);
+  std::atomic<std::uint64_t> inserts{0}, removes{0}, departures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      mp::common::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
+      std::uint64_t local_inserts = 0, local_removes = 0;
+      std::uint64_t local_departures = 0;
+      ThreadLease lease(registry);
+      auto handle = list.scheme().handle(lease.tid());
+      for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(256);
+        const auto coin = static_cast<int>(rng.next() % 100);
+        try {
+          if (coin < 45) {
+            local_inserts += list.insert(handle, key, key);
+          } else if (coin < 80) {
+            local_removes += list.remove(handle, key);
+          } else {
+            list.contains(handle, key);
+          }
+        } catch (const std::bad_alloc&) {
+          // Injected OOM: the op simply did not happen.
+        }
+        if (injector.should_die(handle.tid())) {
+          lease.detach();
+          lease = ThreadLease(registry);
+          handle = list.scheme().handle(lease.tid());
+          ++local_departures;
+        }
+      }
+      inserts.fetch_add(local_inserts);
+      removes.fetch_add(local_removes);
+      departures.fetch_add(local_departures);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  injector.set_armed(false);
+  EXPECT_TRUE(list.validate());
+  EXPECT_EQ(list.size(), prefill + inserts.load() - removes.load());
+  EXPECT_GT(departures.load(), 0u) << "injected deaths must really fire";
+  list.scheme().drain();
+  const auto stats = list.scheme().stats_snapshot();
+  EXPECT_GT(stats.orphaned, 0u)
+      << "dead leases must orphan their retired lists";
+  EXPECT_EQ(stats.retires, stats.reclaims + stats.drained);
+  oracle.expect_clean();
+}
+
+TEST(HyalineChurn, SurvivesThreadDeathsForeground) {
+  hyaline_survive_churn(0x51, /*background_reclaim=*/false);
+}
+
+TEST(HyalineChurn, SurvivesThreadDeathsBackground) {
+  hyaline_survive_churn(0x52, /*background_reclaim=*/true);
+}
+
+}  // namespace

@@ -423,7 +423,7 @@ TEST(ReportTest, VersionSevenTailFieldsRoundTrip) {
   report.add_row(std::move(row));
 
   const json::Value doc = report.document();
-  EXPECT_EQ(doc.find("version")->as_uint(), 7u);
+  EXPECT_EQ(doc.find("version")->as_uint(), mp::obs::kReportVersion);
   EXPECT_EQ(validate_report(doc), "");
   const json::Value parsed = json::parse(doc.dump(2));
   EXPECT_EQ(validate_report(parsed), "");
@@ -492,6 +492,62 @@ TEST(ReportTest, ValidatorFlagsMissingTailFieldsAtVersionSeven) {
     row["scheme"] = "MP";
     row["latency_ns"] = latency;
     EXPECT_NE(validate_report(make_doc(row)), "");
+  }
+}
+
+TEST(ReportTest, VersionEightCapabilityFlags) {
+  // v8: rows may carry the scheme's compile-time capability flags
+  // (capability-split API, DESIGN.md §13). Earlier writers never emit
+  // them, so their presence requires the version; when present all three
+  // flags must be booleans.
+  const auto make_doc = [](json::Value row, std::uint64_t version) {
+    json::Value rows = json::Value::array();
+    rows.push_back(std::move(row));
+    json::Value doc = json::Value::object();
+    doc["schema"] = mp::obs::kReportSchema;
+    doc["version"] = version;
+    doc["bench"] = "caps_unit";
+    doc["config"] = json::Value::object();
+    doc["rows"] = rows;
+    return doc;
+  };
+  json::Value caps = json::Value::object();
+  caps["snapshot_free"] = true;
+  caps["bounded_waste"] = false;
+  caps["robust"] = false;
+  json::Value row = json::Value::object();
+  row["figure"] = "fig4";
+  row["scheme"] = "Hyaline";
+  row["capabilities"] = caps;
+
+  EXPECT_EQ(validate_report(make_doc(row, 8)), "");
+  const json::Value parsed = json::parse(make_doc(row, 8).dump(2));
+  EXPECT_EQ(validate_report(parsed), "");
+  const json::Value& round = parsed.find("rows")->as_array()[0];
+  EXPECT_TRUE(round.find("capabilities")->find("snapshot_free")->as_bool());
+  EXPECT_FALSE(round.find("capabilities")->find("bounded_waste")->as_bool());
+
+  // A document claiming v7 must not carry them.
+  EXPECT_NE(validate_report(make_doc(row, 7)), "");
+  {  // capabilities must be an object
+    json::Value bad = row;
+    bad["capabilities"] = json::Value::array();
+    EXPECT_NE(validate_report(make_doc(bad, 8)), "");
+  }
+  {  // missing one of the three flags
+    json::Value pruned = json::Value::object();
+    pruned["snapshot_free"] = true;
+    pruned["bounded_waste"] = false;  // no "robust"
+    json::Value bad = row;
+    bad["capabilities"] = pruned;
+    EXPECT_NE(validate_report(make_doc(bad, 8)), "");
+  }
+  {  // a flag that is not a boolean
+    json::Value nonbool = caps;
+    nonbool["robust"] = std::uint64_t{1};
+    json::Value bad = row;
+    bad["capabilities"] = nonbool;
+    EXPECT_NE(validate_report(make_doc(bad, 8)), "");
   }
 }
 

@@ -26,17 +26,18 @@ struct SchemeTag {
   static constexpr const char* name = SchemeT<TestNode>::kName;
 };
 
-using AllSchemeTags =
-    ::testing::Types<SchemeTag<smr::Leaky>, SchemeTag<smr::HP>,
-                     SchemeTag<smr::EBR>, SchemeTag<smr::HE>,
-                     SchemeTag<smr::IBR>, SchemeTag<smr::MP>,
-                     SchemeTag<smr::DTA>>;
+/// Rebinder: SchemeList<Ss...> -> ::testing::Types<SchemeTag<Ss>...>.
+/// The typed suites are driven by the central typelist (smr/schemes.hpp),
+/// so a new scheme joins every suite by being added there.
+template <template <typename> class... Ss>
+struct TagTypesOf {
+  using type = ::testing::Types<SchemeTag<Ss>...>;
+};
+
+using AllSchemeTags = smr::AllSchemes::apply<TagTypesOf>::type;
 
 /// Reclaiming schemes only (everything but Leaky).
-using ReclaimingSchemeTags =
-    ::testing::Types<SchemeTag<smr::HP>, SchemeTag<smr::EBR>,
-                     SchemeTag<smr::HE>, SchemeTag<smr::IBR>,
-                     SchemeTag<smr::MP>, SchemeTag<smr::DTA>>;
+using ReclaimingSchemeTags = smr::ReclaimingSchemes::apply<TagTypesOf>::type;
 
 struct SchemeTagNames {
   template <typename Tag>
